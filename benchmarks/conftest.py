@@ -1,0 +1,80 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures and
+writes the reproduced rows/series to ``benchmarks/results/<name>.txt`` (as
+well as asserting the paper's qualitative claims).  pytest-benchmark's own
+timing table covers the "how long does the harness take" dimension; the
+scientific output lives in the results files.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+class ResultWriter:
+    """Accumulates lines for one experiment and writes them on close."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.lines: list[str] = []
+
+    def line(self, text: str = "") -> None:
+        self.lines.append(text)
+
+    def table(self, headers, rows) -> None:
+        widths = [
+            max(len(str(h)), *(len(str(r[i])) for r in rows))
+            for i, h in enumerate(headers)
+        ]
+        fmt = "  ".join(f"{{:>{w}}}" for w in widths)
+        self.line(fmt.format(*headers))
+        self.line(fmt.format(*("-" * w for w in widths)))
+        for row in rows:
+            self.line(fmt.format(*row))
+
+    def series(self, label, values, lo=0.0, hi=100.0, width=None) -> None:
+        """One named data series as a bar-per-point sparkline."""
+        blocks = " ▁▂▃▄▅▆▇█"
+        span = max(hi - lo, 1e-12)
+        chars = "".join(
+            blocks[min(int((v - lo) / span * (len(blocks) - 1)),
+                       len(blocks) - 1)]
+            for v in values
+        )
+        self.line(f"{label:>12s} |{chars}| "
+                  f"{values[0]:.1f} -> {values[-1]:.1f}")
+
+    def close(self) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{self.name}.txt"
+        path.write_text("\n".join(self.lines) + "\n")
+
+
+@pytest.fixture(scope="module")
+def report(request):
+    """Module-scoped result writer: all tests in one benchmark module
+    append to the same results file, written once at module teardown."""
+    name = request.module.__name__.replace("test_", "", 1)
+    writer = ResultWriter(name)
+    yield writer
+    writer.close()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write an index of all result files at the end of a benchmark run."""
+    if not RESULTS_DIR.exists():
+        return
+    lines = ["Benchmark results index (one file per reproduced table/figure)",
+             ""]
+    for path in sorted(RESULTS_DIR.glob("*.txt")):
+        if path.name == "INDEX.txt":
+            continue
+        first = path.read_text().splitlines()[0] if path.stat().st_size \
+            else ""
+        lines.append(f"{path.name:32s} {first}")
+    (RESULTS_DIR / "INDEX.txt").write_text("\n".join(lines) + "\n")

@@ -1,0 +1,47 @@
+"""Section 1's scalability claim: 3.89x attention latency reduction on
+four GPUs compared to one, plus the O(seq) vs O(seq^2) argument of
+Section 4 (communication share shrinks as sequences grow)."""
+
+from repro.cp.perf import AttentionShape, allgather_cp_perf
+from repro.hardware.cluster import grand_teton
+from repro.hardware.gpu import H100_HBM3
+
+CLUSTER = grand_teton(8, H100_HBM3)
+SHAPE = AttentionShape()
+
+
+def test_cp_scaling_389x(report, benchmark):
+    rows = []
+    speedups = {}
+    for cp in (1, 2, 4, 8):
+        r = allgather_cp_perf(CLUSTER, 131072, cp, SHAPE)
+        speedups[cp] = r.speedup
+        rows.append((cp, f"{r.total_seconds * 1e3:.2f}",
+                     f"{r.speedup:.2f}x",
+                     f"{r.comm_seconds * 1e6:.0f}"))
+    report.line("CP attention scaling at seq 131K (causal):")
+    report.table(["cp", "latency ms", "speedup vs 1 GPU", "exposed AG us"],
+                 rows)
+    report.line()
+    report.line(f"cp=4 speedup: {speedups[4]:.2f}x (paper: 3.89x)")
+
+    assert 3.6 < speedups[4] < 4.0
+    assert speedups[2] > 1.8 and speedups[8] > 6.5
+
+    benchmark(allgather_cp_perf, CLUSTER, 131072, 4, SHAPE)
+
+
+def test_comm_share_shrinks_quadratically(report):
+    """Section 4: all-gather is O(seq), attention O(seq^2), so the
+    exposed-communication share of CP attention falls with seq."""
+    rows = []
+    shares = []
+    for seq in (8192, 32768, 131072):
+        r = allgather_cp_perf(CLUSTER, seq, 4, SHAPE)
+        share = r.comm_seconds / r.total_seconds
+        shares.append(share)
+        rows.append((seq, f"{share * 100:.2f}%"))
+    report.line()
+    report.line("exposed AG share of CP attention time:")
+    report.table(["seq", "comm share"], rows)
+    assert shares[0] > shares[1] > shares[2]

@@ -1,0 +1,75 @@
+"""Section 7.3: end-to-end 405B training throughput on 16K GPUs.
+
+Paper: 400 TFLOPs/GPU at 8K sequence length (3D parallelism) and 380
+TFLOPs/GPU at 131K (4D with cp=16); PP bubble ratio 5% at bs = 2*pp and
+12% at bs = pp; each GPU rank in the long-context phase still sees an
+8K-token slice.
+"""
+
+from repro.hardware.cluster import GRAND_TETON_16K
+from repro.model.config import LLAMA3_405B
+from repro.parallel.config import JobConfig, ParallelConfig, ZeroStage
+from repro.train.step import simulate_step
+
+PAR_8K = ParallelConfig(tp=8, cp=1, pp=16, dp=128, zero=ZeroStage.ZERO_2)
+JOB_8K = JobConfig(seq=8192, gbs=2048, ngpu=16384)
+PAR_131K = ParallelConfig(tp=8, cp=16, pp=16, dp=8, zero=ZeroStage.ZERO_2)
+JOB_131K = JobConfig(seq=131072, gbs=128, ngpu=16384)
+
+#: Section 7.3.2's measured slowest/mean attention ratio at 131K.
+STRAGGLER_131K = 1.44
+
+
+def test_e2e_throughput(report, benchmark):
+    r8 = simulate_step(LLAMA3_405B, PAR_8K, JOB_8K, GRAND_TETON_16K)
+    r131 = simulate_step(LLAMA3_405B, PAR_131K, JOB_131K, GRAND_TETON_16K,
+                         attention_straggler=STRAGGLER_131K)
+
+    report.line("Section 7.3: end-to-end 405B throughput on 16,384 GPUs")
+    report.table(
+        ["phase", "TFLOPs/GPU (paper)", "TFLOPs/GPU (ours)",
+         "bubble", "max mem GiB", "step s"],
+        [
+            ("8K, 3D (tp8/pp16/dp128)", 400, f"{r8.tflops_per_gpu:.0f}",
+             f"{r8.mean_bubble_ratio:.3f}",
+             f"{r8.max_peak_memory_gb:.1f}", f"{r8.step_seconds:.2f}"),
+            ("131K, 4D (tp8/cp16/pp16/dp8)", 380,
+             f"{r131.tflops_per_gpu:.0f}",
+             f"{r131.mean_bubble_ratio:.3f}",
+             f"{r131.max_peak_memory_gb:.1f}", f"{r131.step_seconds:.2f}"),
+        ],
+    )
+
+    assert 360 < r8.tflops_per_gpu < 460
+    assert 340 < r131.tflops_per_gpu < 440
+    assert r131.tflops_per_gpu < r8.tflops_per_gpu
+    assert r8.max_peak_memory_gb < 80 and r131.max_peak_memory_gb < 80
+
+    # Per-rank token slice at 131K with cp=16 is 8K, like the base phase.
+    assert JOB_131K.seq // PAR_131K.cp == JOB_8K.seq
+
+    benchmark.pedantic(
+        simulate_step, args=(LLAMA3_405B, PAR_8K, JOB_8K, GRAND_TETON_16K),
+        rounds=1, iterations=1,
+    )
+
+
+def test_bubble_ratio_vs_batch(report):
+    """Section 7.3.1: 5% bubble at bs = 2*pp, 12% at bs = pp."""
+    r_bs_pp = simulate_step(LLAMA3_405B, PAR_8K, JOB_8K, GRAND_TETON_16K)
+    par2 = ParallelConfig(tp=8, cp=1, pp=16, dp=64, zero=ZeroStage.ZERO_1)
+    job2 = JobConfig(seq=8192, gbs=2048, ngpu=8192)
+    r_bs_2pp = simulate_step(LLAMA3_405B, par2, job2, GRAND_TETON_16K)
+
+    report.line()
+    report.line("Section 7.3.1: bubble ratio vs batch size")
+    report.table(
+        ["config", "bubble (ours)", "paper"],
+        [
+            ("bs = pp = 16", f"{r_bs_pp.mean_bubble_ratio:.3f}", "0.12"),
+            ("bs = 2*pp = 32", f"{r_bs_2pp.mean_bubble_ratio:.3f}", "0.05"),
+        ],
+    )
+    assert 0.08 < r_bs_pp.mean_bubble_ratio < 0.20
+    assert 0.03 < r_bs_2pp.mean_bubble_ratio < 0.11
+    assert r_bs_2pp.mean_bubble_ratio < r_bs_pp.mean_bubble_ratio

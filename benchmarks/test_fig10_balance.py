@@ -1,0 +1,100 @@
+"""Figure 10: balanced vs unbalanced pipeline parallelism.
+
+Paper results on the scaled-down 405B (Section 7.1.2):
+
+* removing one layer from the first and last PP stages flattens per-rank
+  peak memory (max drops by ~5 GB) and improves TFLOPs by ~6.5%;
+* the freed memory allows turning activation recomputation off, worth a
+  further 17.5% TFLOPs.
+
+We run the 28-layer (uniform) vs 26-layer (balanced) scaled-down models
+under the same job, with and without recomputation.
+"""
+
+from repro.hardware.cluster import grand_teton
+from repro.model.config import (
+    LLAMA3_405B_SCALED_26L,
+    LLAMA3_405B_SCALED_28L,
+)
+from repro.parallel.config import JobConfig, ParallelConfig, ZeroStage
+
+from repro.train.step import simulate_step
+
+CLUSTER = grand_teton(1536)
+PAR = ParallelConfig(tp=8, cp=1, pp=4, dp=48, zero=ZeroStage.ZERO_1)
+JOB = JobConfig(seq=8192, gbs=48 * 12, ngpu=1536)
+V = 7  # 28 stages of <=1 layer
+
+
+def _run(model, recompute):
+    return simulate_step(model, PAR, JOB, CLUSTER, v=V, nc=6,
+                         recompute=recompute)
+
+
+def test_fig10_balanced_pp(report, benchmark):
+    unbalanced_rec = _run(LLAMA3_405B_SCALED_28L, recompute=True)
+    unbalanced_sel = _run(LLAMA3_405B_SCALED_28L, recompute="selective")
+    unbalanced = _run(LLAMA3_405B_SCALED_28L, recompute=False)
+    balanced = _run(LLAMA3_405B_SCALED_26L, recompute=False)
+
+    report.line("Figure 10: balanced vs unbalanced PP (scaled-down 405B, "
+                "pp=4, v=7, bs=12)")
+    report.line()
+    report.line("(a) per-rank peak memory, GiB:")
+    report.table(
+        ["rank"] + [f"r{r}" for r in range(PAR.pp)],
+        [
+            ("28L uniform",) + tuple(
+                f"{m:.1f}" for m in unbalanced.per_rank_peak_memory_gb),
+            ("26L balanced",) + tuple(
+                f"{m:.1f}" for m in balanced.per_rank_peak_memory_gb),
+        ],
+    )
+    report.line()
+    report.line("(b) training throughput:")
+    report.table(
+        ["config", "TFLOPs/GPU", "max mem GiB"],
+        [
+            ("28L + full recompute", f"{unbalanced_rec.tflops_per_gpu:.0f}",
+             f"{unbalanced_rec.max_peak_memory_gb:.1f}"),
+            ("28L + selective recompute",
+             f"{unbalanced_sel.tflops_per_gpu:.0f}",
+             f"{unbalanced_sel.max_peak_memory_gb:.1f}"),
+            ("28L, no recompute", f"{unbalanced.tflops_per_gpu:.0f}",
+             f"{unbalanced.max_peak_memory_gb:.1f}"),
+            ("26L balanced, no recompute", f"{balanced.tflops_per_gpu:.0f}",
+             f"{balanced.max_peak_memory_gb:.1f}"),
+        ],
+    )
+    # Selective recompute sits between full recompute and none on both
+    # axes — the trade-off the production system navigates.
+    assert (unbalanced_rec.tflops_per_gpu < unbalanced_sel.tflops_per_gpu
+            < unbalanced.tflops_per_gpu)
+    assert (unbalanced_rec.max_peak_memory_gb
+            < unbalanced_sel.max_peak_memory_gb
+            < unbalanced.max_peak_memory_gb)
+
+    # Balanced placement cuts the peak across ranks by several GB.
+    saving = unbalanced.max_peak_memory_gb - balanced.max_peak_memory_gb
+    report.line()
+    report.line(f"peak-memory saving from balance: {saving:.1f} GiB "
+                "(paper: ~5 GB)")
+    assert 2.0 < saving < 10.0
+
+    # Balanced computation improves TFLOPs (paper: 6.5%).
+    gain_balance = balanced.tflops_per_gpu / unbalanced.tflops_per_gpu - 1
+    report.line(f"TFLOPs gain from balance: {gain_balance * 100:.1f}% "
+                "(paper: 6.5%)")
+    assert 0.02 < gain_balance < 0.15
+
+    # Turning recomputation off is the larger win (paper: 17.5% with
+    # selective recomputation; our model recomputes the full layer, so the
+    # measured gain is larger — recorded in EXPERIMENTS.md).
+    gain_recompute = (balanced.tflops_per_gpu
+                      / unbalanced_rec.tflops_per_gpu - 1)
+    report.line(f"TFLOPs gain of balanced/no-recompute over "
+                f"uniform/recompute: {gain_recompute * 100:.1f}% "
+                "(paper: 17.5%)")
+    assert 0.10 < gain_recompute < 0.45
+
+    benchmark(_run, LLAMA3_405B_SCALED_26L, False)

@@ -1,0 +1,39 @@
+"""Figure 12: achieved inter-GPU bandwidth of the CP KV all-gather.
+
+Paper observation: achieved bandwidth is comparable between causal and
+block-causal masks (the payload is mask-independent), which pins the lower
+block-causal HFU of Figure 11 on *compute imbalance*, not communication.
+"""
+
+from repro.cp.perf import AttentionShape, cp_allgather_bandwidth_gbps
+from repro.hardware.cluster import grand_teton
+from repro.hardware.gpu import H100_HBM2E
+
+CLUSTER = grand_teton(8, H100_HBM2E)
+SHAPE = AttentionShape()
+SEQS = (4096, 8192, 16384, 32768, 65536, 131072)
+
+
+def test_fig12_achieved_bandwidth(report, benchmark):
+    rows = []
+    bw = {}
+    for seq in SEQS:
+        row = [seq]
+        for cp in (2, 4):
+            b = cp_allgather_bandwidth_gbps(CLUSTER, seq, cp, SHAPE)
+            bw[(cp, seq)] = b
+            row.append(f"{b:.0f}")
+        rows.append(tuple(row))
+
+    report.line("Figure 12: achieved CP all-gather bandwidth (GB/s), "
+                "identical for causal and block-causal masks")
+    report.table(["seq", "cp=2", "cp=4"], rows)
+
+    # Bandwidth ramps with message size toward (but below) NVLink rate.
+    for cp in (2, 4):
+        series = [bw[(cp, s)] for s in SEQS]
+        assert all(b > a for a, b in zip(series, series[1:]))
+        assert series[-1] < CLUSTER.intra_node_link.bandwidth_gbps
+        assert series[-1] > 0.7 * CLUSTER.intra_node_link.bandwidth_gbps
+
+    benchmark(cp_allgather_bandwidth_gbps, CLUSTER, 131072, 4, SHAPE)

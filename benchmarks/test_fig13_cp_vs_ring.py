@@ -1,0 +1,66 @@
+"""Figure 13: all-gather CP attention vs TransformerEngine's ring-style
+attention, H100 with HBM3, full causal mask.
+
+Paper observations: (1) both exceed 95% relative HFU beyond 64K; (2) our
+CP attention consistently beats TE at cp=4, by up to 13.53% at 4K-8K,
+because ring attention fragments into O(cp) small kernels and pays
+partial-result merges.  (TE is slightly ahead at cp=2 in the paper; our
+model has CP slightly ahead there too — a recorded deviation.)
+"""
+
+from repro.cp.perf import AttentionShape, allgather_cp_perf, ring_cp_perf
+from repro.hardware.cluster import grand_teton
+from repro.hardware.gpu import H100_HBM3
+
+CLUSTER = grand_teton(8, H100_HBM3)
+SHAPE = AttentionShape()
+SEQS = (4096, 8192, 16384, 32768, 65536, 131072)
+
+
+def test_fig13_cp_vs_te(report, benchmark):
+    rows = []
+    hfu = {}
+    for seq in SEQS:
+        row = [seq]
+        for cp in (2, 4):
+            cp_r = allgather_cp_perf(CLUSTER, seq, cp, SHAPE)
+            te_r = ring_cp_perf(CLUSTER, seq, cp, SHAPE)
+            hfu[("cp", cp, seq)] = cp_r.relative_hfu
+            hfu[("te", cp, seq)] = te_r.relative_hfu
+            row += [f"{cp_r.relative_hfu * 100:.1f}",
+                    f"{te_r.relative_hfu * 100:.1f}"]
+        rows.append(tuple(row))
+
+    report.line("Figure 13: relative HFU (%) — all-gather CP vs ring (TE)")
+    report.table(
+        ["seq", "cp2 CP", "cp2 TE", "cp4 CP", "cp4 TE"], rows
+    )
+
+    report.line()
+    for impl, cp in (("cp", 2), ("te", 2), ("cp", 4), ("te", 4)):
+        report.series(f"cp{cp} {impl.upper()}",
+                      [hfu[(impl, cp, s)] * 100 for s in SEQS])
+
+    gap_4k = hfu[("cp", 4, 4096)] - hfu[("te", 4, 4096)]
+    gap_8k = hfu[("cp", 4, 8192)] - hfu[("te", 4, 8192)]
+    report.line()
+    report.line(f"CP advantage at cp=4: {gap_4k * 100:.1f} pts @4K, "
+                f"{gap_8k * 100:.1f} pts @8K (paper: up to 13.53 pts)")
+
+    # (1) Both >95% relative HFU beyond 64K (cp=4 TE allowed a whisker).
+    for seq in (65536, 131072):
+        assert hfu[("cp", 2, seq)] > 0.95
+        assert hfu[("te", 2, seq)] > 0.95
+        assert hfu[("cp", 4, seq)] > 0.95
+        assert hfu[("te", 4, seq)] > 0.94
+
+    # (2) CP consistently beats TE at cp=4, by ~10-20 pts at short seq.
+    for seq in SEQS:
+        assert hfu[("cp", 4, seq)] > hfu[("te", 4, seq)]
+    assert 0.08 < max(gap_4k, gap_8k) < 0.25
+
+    # The gap closes as sequences grow (ring becomes compute-bound).
+    gap_128k = hfu[("cp", 4, 131072)] - hfu[("te", 4, 131072)]
+    assert gap_128k < max(gap_4k, gap_8k) / 3
+
+    benchmark(ring_cp_perf, CLUSTER, 8192, 4, SHAPE)

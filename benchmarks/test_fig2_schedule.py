@@ -1,0 +1,41 @@
+"""Figure 2: the interleaved 1F1B schedule — 6 layers on 3 PP ranks with
+v=2 virtual stages and 6 micro-batches in 2 rounds of nc=3.
+
+Renders the per-rank op sequence (the paper draws the same structure as a
+timeline) and checks the interleaved layer placement and warm-up depths.
+"""
+
+from repro.pp.analysis import ScheduleShape, warmup_microbatches
+from repro.pp.schedule import OpKind, build_flexible_schedule
+
+SHAPE = ScheduleShape(pp=3, v=2, nc=3, nmb=6)
+
+
+def test_fig2_schedule(report, benchmark):
+    sched = benchmark(build_flexible_schedule, SHAPE)
+
+    report.line("Figure 2: interleaved 1F1B, pp=3, v=2, nc=3, nmb=6")
+    report.line()
+    for ppr in range(SHAPE.pp):
+        ops = " ".join(
+            f"{op.kind.value}{op.microbatch}@s{op.global_stage(SHAPE.pp)}"
+            for op in sched.program(ppr)
+        )
+        report.line(f"rank {ppr}: {ops}")
+    report.line()
+    rows = []
+    for ppr in range(SHAPE.pp):
+        w = warmup_microbatches(SHAPE.pp, ppr, SHAPE.v, SHAPE.nc)
+        first_bwd = next(
+            i for i, op in enumerate(sched.program(ppr))
+            if op.kind is OpKind.BACKWARD
+        )
+        rows.append((ppr, w, first_bwd))
+        assert first_bwd == min(w + 1, SHAPE.tmb)
+    report.table(["rank", "warmup (paper formula)", "first backward at op"],
+                 rows)
+
+    # Interleaved placement: rank 0 hosts layers/stages 0 and 3, etc.
+    for ppr in range(SHAPE.pp):
+        stages = {op.global_stage(SHAPE.pp) for op in sched.program(ppr)}
+        assert stages == {ppr, ppr + SHAPE.pp}

@@ -1,0 +1,71 @@
+"""Figure 9: throughput and memory of all-forward-all-backward, 1F1B, and
+flexible PP on the scaled-down 405B (26 layers, pp=4, bs=12, seq 8K).
+
+Paper setup (Section 7.1.1): AFAB processes all 12 micro-batches at once;
+1F1B processes pp=4 per round (3 rounds); flexible processes 6 per round
+(2 rounds).  Expected ordering:
+
+* TFLOPs:  AFAB >= flexible > 1F1B   (exposed P2P hurts 1F1B)
+* memory:  AFAB > flexible > 1F1B    (in-flight micro-batches)
+"""
+
+from repro.hardware.cluster import grand_teton
+from repro.model.config import LLAMA3_405B_SCALED_26L
+from repro.parallel.config import JobConfig, ParallelConfig, ZeroStage
+from repro.train.step import simulate_step
+
+CLUSTER = grand_teton(1536)
+PP, BS = 4, 12
+#: 26 layers over pp=4 with v=7 stages/rank -> 28 stages, ends get 0.
+V = 7
+PAR = ParallelConfig(tp=8, cp=1, pp=PP, dp=48, zero=ZeroStage.ZERO_1)
+JOB = JobConfig(seq=8192, gbs=48 * BS, ngpu=1536)
+
+SCHEDULES = {
+    "afab": dict(schedule_kind="afab", nc=BS),
+    "1f1b": dict(schedule_kind="flexible", nc=PP),
+    "flexible": dict(schedule_kind="flexible", nc=6),
+}
+
+#: P2P bandwidth-division factor modelling FSDP reduce-scatter traffic
+#: congesting the pipeline's point-to-point links (Section 3.1.3) — the
+#: regime where exposed P2P separates the schedules.
+CONGESTION = 2.0
+
+
+def _run(name):
+    return simulate_step(LLAMA3_405B_SCALED_26L, PAR, JOB, CLUSTER,
+                         v=V, congestion=CONGESTION, **SCHEDULES[name])
+
+
+def test_fig9_schedule_comparison(report, benchmark):
+    results = {name: _run(name) for name in SCHEDULES}
+
+    report.line("Figure 9: PP schedule comparison "
+                "(26-layer 405B, pp=4, bs=12, seq 8K)")
+    report.table(
+        ["schedule", "TFLOPs/GPU", "max memory GiB", "bubble"],
+        [
+            (name, f"{r.tflops_per_gpu:.0f}",
+             f"{r.max_peak_memory_gb:.1f}",
+             f"{r.mean_bubble_ratio:.3f}")
+            for name, r in results.items()
+        ],
+    )
+    report.line()
+    report.line("paper: 1F1B lowest memory AND lowest TFLOPs; AFAB highest"
+                " of both; flexible in between")
+
+    afab, f1b, flex = (results[k] for k in ("afab", "1f1b", "flexible"))
+    # Throughput: 1F1B loses to both (exposed P2P); AFAB and flexible hide
+    # P2P and land within a whisker of each other (the paper has AFAB
+    # marginally ahead; our simulator puts flexible marginally ahead —
+    # recorded as a deviation in EXPERIMENTS.md).
+    assert f1b.tflops_per_gpu < flex.tflops_per_gpu
+    assert f1b.tflops_per_gpu < afab.tflops_per_gpu
+    assert abs(flex.tflops_per_gpu / afab.tflops_per_gpu - 1) < 0.02
+    # Memory ordering: 1F1B < flexible < AFAB — Figure 9b exactly.
+    assert f1b.max_peak_memory_gb < flex.max_peak_memory_gb
+    assert flex.max_peak_memory_gb < afab.max_peak_memory_gb
+
+    benchmark(_run, "flexible")

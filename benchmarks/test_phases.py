@@ -1,0 +1,43 @@
+"""Section 2.2: the multi-phase pre-training progression.
+
+Plans and simulates the production phase sequence — short-context ramp-up,
+short-context main, long-context — showing the flexibility story: only
+hyperparameters change between phases; tp/pp stay fixed while dp/cp absorb
+the batch and sequence changes.
+"""
+
+from repro.hardware.cluster import GRAND_TETON_16K
+from repro.model.config import LLAMA3_405B
+from repro.train.phases import describe_pretraining, plan_pretraining
+
+
+def test_pretraining_phases(report, benchmark):
+    reports = plan_pretraining(LLAMA3_405B, GRAND_TETON_16K)
+
+    report.line("Section 2.2: Llama 3 405B pre-training phases")
+    report.table(
+        ["phase", "seq", "gbs", "ngpu", "tp/cp/pp/dp", "schedule",
+         "TFLOPs/GPU", "mem GiB"],
+        [
+            (r.phase.name, r.phase.job.seq, r.phase.job.gbs,
+             r.phase.job.ngpu,
+             f"{r.plan.parallel.tp}/{r.plan.parallel.cp}/"
+             f"{r.plan.parallel.pp}/{r.plan.parallel.dp}",
+             r.plan.schedule, f"{r.tflops_per_gpu:.0f}",
+             f"{r.max_memory_gb:.1f}")
+            for r in reports
+        ],
+    )
+    report.line()
+    report.line(describe_pretraining(reports))
+
+    # Model sharding (tp, pp) is invariant; dp and cp absorb the changes.
+    assert len({(r.plan.parallel.tp, r.plan.parallel.pp)
+                for r in reports}) == 1
+    assert reports[-1].plan.parallel.cp == 16
+    assert all(r.max_memory_gb < 80 for r in reports)
+    assert all(r.tflops_per_gpu > 350 for r in reports)
+
+    benchmark.pedantic(plan_pretraining, args=(LLAMA3_405B,
+                                               GRAND_TETON_16K),
+                       rounds=1, iterations=1)

@@ -1,0 +1,62 @@
+"""Section 5.2: the [TP, CP, PP, DP] parallelism ordering, quantified.
+
+Scores every permutation of the four dimensions by total exposed
+communication per step on the production long-context configuration and
+confirms the paper's ordering minimises it.
+"""
+
+from repro.hardware.cluster import GRAND_TETON_16K
+from repro.model.config import LLAMA3_405B
+from repro.parallel.config import JobConfig, ParallelConfig, ZeroStage
+from repro.parallel.ordering import (
+    PAPER_ORDER,
+    dimension_traffic,
+    rank_orderings,
+    score_ordering,
+)
+
+PAR = ParallelConfig(tp=8, cp=16, pp=16, dp=8, zero=ZeroStage.ZERO_2)
+JOB = JobConfig(seq=131072, gbs=128, ngpu=16384)
+
+
+def test_ordering_analysis(report, benchmark):
+    traffic = dimension_traffic(LLAMA3_405B, PAR, JOB)
+    report.line("Section 5.2: per-dimension communication demand "
+                "(405B long-context step)")
+    report.table(
+        ["dim", "events/step", "MB/event", "hideable", "type"],
+        [
+            (d.dim, f"{d.events_per_step:.0f}",
+             f"{d.bytes_per_event / 1e6:.1f}",
+             "yes" if d.hideable else "no",
+             "collective" if d.collective else "p2p")
+            for d in traffic.values()
+        ],
+    )
+
+    scores = rank_orderings(LLAMA3_405B, PAR, JOB, GRAND_TETON_16K)
+    report.line()
+    report.line("exposed communication per step by ordering "
+                "(innermost dimension first):")
+    rows = [
+        ("-".join(s.order).upper(), f"{s.exposed_seconds:.2f}",
+         "<- paper" if s.order == PAPER_ORDER else "")
+        for s in scores[:3] + scores[-3:]
+    ]
+    report.table(["order", "exposed s", ""], rows)
+
+    best = scores[0].exposed_seconds
+    paper = next(s for s in scores if s.order == PAPER_ORDER)
+    worst = scores[-1].exposed_seconds
+    report.line()
+    report.line(f"paper ordering exposed: {paper.exposed_seconds:.2f} s "
+                f"(optimum {best:.2f} s, worst permutation {worst:.2f} s)")
+
+    assert paper.exposed_seconds <= best * 1.0001
+    assert worst > 2 * best
+    # TP is the most communication-hungry dimension.
+    assert traffic["tp"].events_per_step == max(
+        t.events_per_step for t in traffic.values()
+    )
+
+    benchmark(rank_orderings, LLAMA3_405B, PAR, JOB, GRAND_TETON_16K)

@@ -1,0 +1,50 @@
+"""Table 2: parallelism dimensions for Llama 3 405B on 16K GPUs.
+
+Paper values:
+
+    seq      gbs  | TP  CP  PP   DP
+    8,192   2048  |  8   1  16  128
+    131,072  128  |  8  16  16    8
+"""
+
+from repro.hardware.cluster import GRAND_TETON_16K
+from repro.model.config import LLAMA3_405B
+from repro.parallel.config import (
+    LLAMA3_405B_LONG_CONTEXT,
+    LLAMA3_405B_SHORT_CONTEXT,
+)
+from repro.parallel.planner import plan_parallelism
+
+PAPER_ROWS = {
+    8192: (8, 1, 16, 128),
+    131072: (8, 16, 16, 8),
+}
+
+
+def test_table2(report, benchmark):
+    plans = {}
+    for job in (LLAMA3_405B_SHORT_CONTEXT, LLAMA3_405B_LONG_CONTEXT):
+        plans[job.seq] = plan_parallelism(LLAMA3_405B, job, GRAND_TETON_16K)
+
+    rows = []
+    for seq, plan in plans.items():
+        p = plan.parallel
+        ours = (p.tp, p.cp, p.pp, p.dp)
+        rows.append((seq, plan.job.gbs, *ours,
+                     "OK" if ours == PAPER_ROWS[seq] else "MISMATCH"))
+        assert ours == PAPER_ROWS[seq]
+
+    report.line("Table 2: 4D parallelism sizes for 405B @ 16K GPUs")
+    report.table(
+        ["seq", "gbs", "TP", "CP", "PP", "DP", "vs-paper"], rows
+    )
+    report.line()
+    for seq, plan in plans.items():
+        report.line(f"--- rationale (seq={seq}) ---")
+        for r in plan.rationale:
+            report.line(f"  {r}")
+
+    benchmark(
+        plan_parallelism, LLAMA3_405B, LLAMA3_405B_SHORT_CONTEXT,
+        GRAND_TETON_16K,
+    )

@@ -1,0 +1,78 @@
+"""Context parallelism end to end: real document-mask attention on CP
+ranks, then the performance model at production scale.
+
+Run:
+    python examples/long_context_cp.py
+
+Part 1 runs the paper's all-gather CP attention *numerically* (numpy) on a
+document-structured batch and verifies it matches single-device attention
+bit for bit — including documents that cross chunk boundaries — while the
+ring-attention baseline matches only to rounding (Section 4).
+
+Part 2 uses the calibrated H100 performance model to reproduce the
+Figure 11/13 relative-HFU curves and the 3.89x scaling claim.
+"""
+
+import numpy as np
+
+from repro.attention import attention_reference, document_mask
+from repro.cp import (
+    AttentionShape,
+    allgather_cp_attention,
+    allgather_cp_perf,
+    rank_workloads,
+    ring_cp_attention,
+    ring_cp_perf,
+    workload_imbalance,
+)
+from repro.data import make_batch
+from repro.hardware import H100_HBM3, grand_teton
+
+
+def numerical_demo() -> None:
+    print("=== Part 1: exact CP attention on a document batch ===")
+    rng = np.random.default_rng(0)
+    seq, heads, kv_heads, head_dim, cp = 256, 8, 2, 16, 4
+    batch = make_batch(seq, mean_doc_len=48.0, rng=rng)
+    print(f"seq={seq}, cp={cp}, documents: {batch.doc_lens}")
+
+    q = rng.standard_normal((seq, heads, head_dim))
+    k = rng.standard_normal((seq, kv_heads, head_dim))
+    v = rng.standard_normal((seq, kv_heads, head_dim))
+
+    reference = attention_reference(q, k, v, document_mask(batch.doc_ids))
+    ag = allgather_cp_attention(q, k, v, cp=cp, batch=batch)
+    ring, ring_stats = ring_cp_attention(q, k, v, cp=cp, batch=batch)
+
+    print(f"all-gather CP == reference bitwise: "
+          f"{np.array_equal(ag.out, reference.out)}")
+    print(f"ring CP max |err| vs reference:     "
+          f"{np.abs(ring.out - reference.out).max():.2e} "
+          f"(LSE-merge rounding; {ring_stats.kernels_launched} partial "
+          "kernels)")
+
+    workloads = rank_workloads(seq, cp, batch)
+    print(f"per-rank score areas: {workloads} "
+          f"(imbalance {workload_imbalance(workloads):.2f}; causal would "
+          "be exactly balanced)\n")
+
+
+def performance_demo() -> None:
+    print("=== Part 2: calibrated H100 performance model ===")
+    cluster = grand_teton(8, H100_HBM3)
+    shape = AttentionShape()
+    print(f"{'seq':>8} {'CP rel-HFU':>11} {'ring rel-HFU':>13} "
+          f"{'CP speedup x4':>14}")
+    for seq in (4096, 8192, 32768, 131072):
+        cp_r = allgather_cp_perf(cluster, seq, 4, shape)
+        ring_r = ring_cp_perf(cluster, seq, 4, shape)
+        print(f"{seq:>8} {cp_r.relative_hfu * 100:>10.1f}% "
+              f"{ring_r.relative_hfu * 100:>12.1f}% "
+              f"{cp_r.speedup:>13.2f}x")
+    print("\npaper: CP beats ring by up to 13.53% at 4-8K; 3.89x speedup "
+          "on 4 GPUs at 131K")
+
+
+if __name__ == "__main__":
+    numerical_demo()
+    performance_demo()

@@ -1,0 +1,54 @@
+"""Multimodal pipeline sharding (Section 3.2).
+
+Run:
+    python examples/multimodal_sharding.py
+
+Re-enacts the production story: Option 2 (encoder as a serial
+pre-processing stage) was fine at 448 px; the move to 672 px pushed the
+encoder to a third of step latency; Option 3 (replicate the encoder across
+PP ranks) recovered it.  Also compares the two self/cross layer groupings.
+"""
+
+from repro.hardware import grand_teton
+from repro.model import LLAMA3_MULTIMODAL_448, LLAMA3_MULTIMODAL_672
+from repro.pp.multimodal import (
+    EncoderSharding,
+    compare_layer_grouping,
+    evaluate_encoder_sharding,
+)
+
+CLUSTER = grand_teton(64)
+BS, PP = 16, 8
+
+
+def encoder_story() -> None:
+    print("=== Image-encoder sharding (Figure 6) ===")
+    for mm, res in ((LLAMA3_MULTIMODAL_448, "448px"),
+                    (LLAMA3_MULTIMODAL_672, "672px")):
+        print(f"\nresolution {res} "
+              f"({mm.vision.num_image_tokens} image tokens):")
+        for option in EncoderSharding:
+            r = evaluate_encoder_sharding(mm, option, bs=BS, pp=PP,
+                                          cluster=CLUSTER)
+            print(f"  option {option.value} ({option.name:22s}): "
+                  f"encoder {r.encoder_seconds * 1e3:6.0f} ms, "
+                  f"text {r.text_seconds * 1e3:6.0f} ms, "
+                  f"encoder share {r.encoder_ratio * 100:5.1f}%")
+    print("\npaper: serial encoder hit 33% at 672px; replication (option "
+          "3) cut it to 8%")
+
+
+def grouping_story() -> None:
+    print("\n=== Self/cross layer grouping (Section 3.2.2) ===")
+    for g in compare_layer_grouping(LLAMA3_MULTIMODAL_672, pp=PP, nmb=BS):
+        print(f"  {g.grouping.name:8s}: {g.num_stages:3d} stages, "
+              f"imbalance {g.imbalance:.2f}, "
+              f"ideal bubble {g.ideal_bubble:.3f}, "
+              f"effective step cost {g.effective_step_cost:.3f}")
+    print("  -> WRAPPED (n self + 1 cross per stage) wins: balance beats "
+          "stage count")
+
+
+if __name__ == "__main__":
+    encoder_story()
+    grouping_story()

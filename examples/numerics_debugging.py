@@ -1,0 +1,87 @@
+"""Numerical debugging of 4D parallelism (Section 6.2).
+
+Run:
+    python examples/numerics_debugging.py
+
+Trains a small numpy transformer under emulated BF16 and demonstrates the
+paper's methodology end to end:
+
+1. a data-parallel run does not match a naive sequential run bit for bit
+   (floating-point addition is not associative);
+2. a sequential baseline forced into the same accumulation order matches
+   the parallel code path **bitwise** — so any remaining difference in a
+   real system is an implementation bug, not "numerics";
+3. FP32 gradient accumulation (the production setting) collapses the
+   order sensitivity, keeping loss curves together.
+"""
+
+import numpy as np
+
+from repro.numerics import (
+    ALL_BF16,
+    PRODUCTION,
+    TinyConfig,
+    TinyTransformer,
+    bitwise_equal,
+    dp_sharded_grads,
+    grads_in_order,
+    loss_divergence,
+    pp_backward_order,
+    pp_microbatch_grads,
+    relative_grad_gap,
+    train_loss_curve,
+)
+from repro.pp.analysis import ScheduleShape
+from repro.pp.schedule import build_flexible_schedule
+
+
+def main() -> None:
+    cfg = TinyConfig()
+    model = TinyTransformer.create(cfg, seed=1)
+    rng = np.random.default_rng(2)
+    tokens = rng.integers(0, cfg.vocab, (8, 16))
+    targets = rng.integers(0, cfg.vocab, (8, 16))
+
+    print("=== 1. Parallelism changes accumulation order ===")
+    naive = grads_in_order(model, tokens, targets, range(8), ALL_BF16)
+    dp = dp_sharded_grads(model, tokens, targets, dp=4, precision=ALL_BF16)
+    print(f"DP(4) vs naive sequential, BF16 accumulation: "
+          f"bitwise equal = {bitwise_equal(naive, dp)}, "
+          f"relative gap = {relative_grad_gap(naive, dp):.2e}")
+
+    print("\n=== 2. Emulated-order baseline isolates bugs ===")
+    sched = build_flexible_schedule(ScheduleShape(pp=4, v=2, nc=4, nmb=8))
+    pp = pp_microbatch_grads(model, tokens, targets, sched, ppr=1,
+                             precision=ALL_BF16)
+    order = pp_backward_order(sched, ppr=1)
+    emulated = grads_in_order(model, tokens, targets, order, ALL_BF16)
+    print(f"PP stage (schedule-driven) vs sequential-in-PP-order: "
+          f"bitwise equal = {bitwise_equal(pp, emulated)}")
+    print("-> a real PP implementation that fails this check has a BUG;")
+    print("   one that only differs from the naive order has a numerics "
+          "gap.")
+
+    print("\n=== 3. FP32 gradient accumulation closes the gap ===")
+    naive32 = grads_in_order(model, tokens, targets, range(8), PRODUCTION)
+    dp32 = dp_sharded_grads(model, tokens, targets, dp=4,
+                            precision=PRODUCTION)
+    gap16 = relative_grad_gap(naive, dp)
+    gap32 = relative_grad_gap(naive32, dp32)
+    print(f"relative order-gap: BF16 accum {gap16:.2e}  ->  "
+          f"FP32 accum {gap32:.2e}  ({gap16 / gap32:.0f}x smaller)")
+
+    print("\n=== 4. Loss-curve view over 12 training steps ===")
+    ref = train_loss_curve(TinyTransformer.create(cfg, seed=9),
+                           tokens, targets, 12, PRODUCTION)
+    drift = train_loss_curve(TinyTransformer.create(cfg, seed=9),
+                             tokens, targets, 12, ALL_BF16)
+    rep = loss_divergence(drift, ref)
+    print(f"{'step':>4} {'fp32-accum':>11} {'bf16-accum':>11}")
+    for i, (a, b) in enumerate(zip(ref, drift)):
+        print(f"{i:>4} {a:>11.5f} {b:>11.5f}")
+    print(f"max loss gap {rep.max_gap:.2e} (both configurations train, "
+          "but only FP32 accumulation is order-robust)")
+
+
+if __name__ == "__main__":
+    main()

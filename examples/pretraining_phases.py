@@ -1,0 +1,45 @@
+"""The full pre-training progression (Section 2.2) plus schedule tuning.
+
+Run:
+    python examples/pretraining_phases.py
+
+Plans every production phase with the Section 5 planner, then uses the
+schedule autotuner to explore the memory/throughput design space around
+the chosen configuration — the by-hand tuning of Sections 3.1 and 7.1,
+automated.
+"""
+
+from repro.hardware import GRAND_TETON_16K, grand_teton
+from repro.model import LLAMA3_405B, LLAMA3_405B_SCALED_26L
+from repro.parallel import JobConfig, ParallelConfig, ZeroStage
+from repro.pp import autotune_schedule
+from repro.train import describe_pretraining, plan_pretraining
+
+
+def phases_demo() -> None:
+    print("=== Llama 3 405B pre-training phases ===")
+    reports = plan_pretraining(LLAMA3_405B, GRAND_TETON_16K)
+    print(describe_pretraining(reports))
+    print("\nnote: tp/pp never change between phases — dp and cp absorb "
+          "every batch/sequence change (the flexibility claim)")
+
+
+def autotune_demo() -> None:
+    print("\n=== Schedule autotuning (scaled-down 405B, pp=4, bs=12) ===")
+    candidates = autotune_schedule(
+        LLAMA3_405B_SCALED_26L,
+        ParallelConfig(tp=8, cp=1, pp=4, dp=48, zero=ZeroStage.ZERO_1),
+        JobConfig(seq=8192, gbs=576, ngpu=1536),
+        grand_teton(1536),
+        memory_budget_gb=40.0,
+        congestion=2.0,
+    )
+    print("top candidates (feasible first, by TFLOPs):")
+    for c in candidates[:8]:
+        print("  " + c.describe())
+    print(f"  ... {len(candidates)} evaluated")
+
+
+if __name__ == "__main__":
+    phases_demo()
+    autotune_demo()

@@ -1,0 +1,50 @@
+"""Quickstart: plan 4D parallelism for Llama 3 405B and simulate a step.
+
+Run:
+    python examples/quickstart.py
+
+Walks the library's core loop: describe the hardware and the training
+phase, let the Section 5 planner pick (tp, cp, pp, dp), then execute one
+simulated optimizer step and read back throughput, bubble ratio, and
+per-rank peak memory.
+"""
+
+from repro.hardware import GRAND_TETON_16K
+from repro.model import LLAMA3_405B, model_params
+from repro.parallel import (
+    LLAMA3_405B_LONG_CONTEXT,
+    LLAMA3_405B_SHORT_CONTEXT,
+    plan_parallelism,
+)
+from repro.train import simulate_step
+
+
+def main() -> None:
+    print(f"model: {LLAMA3_405B.name} "
+          f"({model_params(LLAMA3_405B) / 1e9:.0f}B params, "
+          f"{LLAMA3_405B.n_layers} layers)")
+    print(f"cluster: {GRAND_TETON_16K.num_gpus} x "
+          f"{GRAND_TETON_16K.gpu.name}\n")
+
+    for job, label in (
+        (LLAMA3_405B_SHORT_CONTEXT, "short context (seq 8K)"),
+        (LLAMA3_405B_LONG_CONTEXT, "long context (seq 131K)"),
+    ):
+        plan = plan_parallelism(LLAMA3_405B, job, GRAND_TETON_16K)
+        print(f"=== {label} ===")
+        print(plan.describe())
+
+        report = simulate_step(
+            LLAMA3_405B, plan.parallel, job, GRAND_TETON_16K,
+            schedule_kind=plan.schedule if plan.schedule != "1f1b"
+            else "flexible",
+            v=plan.virtual_stages,
+        )
+        print(f"simulated step: {report.step_seconds:.2f} s  ->  "
+              f"{report.tflops_per_gpu:.0f} TFLOPs/GPU, "
+              f"bubble {report.mean_bubble_ratio * 100:.1f}%, "
+              f"peak memory {report.max_peak_memory_gb:.1f} GiB\n")
+
+
+if __name__ == "__main__":
+    main()

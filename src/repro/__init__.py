@@ -1,0 +1,34 @@
+"""repro: a reproduction of "Scaling Llama 3 Training with Efficient
+Parallelism Strategies" (ISCA 2025).
+
+The library models the paper's 4D-parallel (FSDP + TP + PP + CP) training
+system for Llama 3 on a discrete-event cluster simulator, with real-numerics
+substrates where the paper's claims are numerical (context-parallel
+attention, BF16/FP32 gradient accumulation).
+
+Quick start::
+
+    from repro.model import LLAMA3_405B
+    from repro.hardware import GRAND_TETON_16K
+    from repro.parallel import plan_parallelism, LLAMA3_405B_SHORT_CONTEXT
+
+    plan = plan_parallelism(LLAMA3_405B, LLAMA3_405B_SHORT_CONTEXT,
+                            GRAND_TETON_16K)
+    print(plan.describe())
+
+Subpackages:
+
+* :mod:`repro.hardware` — GPU, link, and cluster specifications
+* :mod:`repro.sim` — discrete-event simulator and collective cost models
+* :mod:`repro.model` — Llama 3 architectures, FLOPs and memory accounting
+* :mod:`repro.parallel` — 4D parallel config, device mesh, Section 5 planner
+* :mod:`repro.pp` — flexible pipeline schedules, balancing, multimodal
+* :mod:`repro.cp` — context parallelism: sharding, all-gather + ring attention
+* :mod:`repro.attention` — exact numpy attention kernels
+* :mod:`repro.numerics` — BF16 emulation and accumulation-order experiments
+* :mod:`repro.train` — end-to-end training-step simulation
+* :mod:`repro.debug` — slow-rank localisation and memory snapshots
+* :mod:`repro.data` — document-structured synthetic batches
+"""
+
+__version__ = "1.0.0"

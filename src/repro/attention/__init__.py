@@ -1,0 +1,30 @@
+"""Exact numpy attention kernels: reference, flash-style blocked, masks."""
+
+from repro.attention.masks import (
+    causal_mask,
+    document_mask,
+    allowed_ranges,
+    mask_area,
+    rows_mask,
+)
+from repro.attention.reference import (
+    AttentionResult,
+    attention_reference,
+    expand_kv,
+)
+from repro.attention.flash import KernelStats, flash_attention
+from repro.attention.backward import attention_backward_reference
+
+__all__ = [
+    "causal_mask",
+    "document_mask",
+    "allowed_ranges",
+    "mask_area",
+    "rows_mask",
+    "AttentionResult",
+    "attention_reference",
+    "expand_kv",
+    "KernelStats",
+    "flash_attention",
+    "attention_backward_reference",
+]

@@ -1,0 +1,76 @@
+"""Reference backward pass through masked GQA attention.
+
+Gradient math for ``out = softmax(mask(q k^T / sqrt(d))) v`` with grouped
+KV heads: per query head h (with kv-group g = h // gqa_ratio):
+
+    dv_g  += p_h^T dout_h
+    dp_h   = dout_h v_g^T
+    ds_h   = p_h * (dp_h - rowsum(dp_h * p_h))
+    dq_h   = ds_h k_g * scale
+    dk_g  += ds_h^T q_h * scale
+
+This is the single-device ground truth the distributed CP backward
+(:mod:`repro.cp.backward`) must match: dq exactly per query row, dk/dv up
+to the cross-rank reduction order.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.attention.reference import expand_kv
+
+
+def attention_backward_reference(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    mask: np.ndarray,
+    dout: np.ndarray,
+    scale: float | None = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Gradients (dq, dk, dv) of masked attention.
+
+    Args:
+        q: (seq_q, n_heads, head_dim).
+        k: (seq_k, n_kv_heads, head_dim).
+        v: (seq_k, n_kv_heads, head_dim).
+        mask: (seq_q, seq_k) boolean.
+        dout: (seq_q, n_heads, head_dim) upstream gradient.
+
+    Returns dq shaped like q and dk/dv shaped like k/v (KV-head grads
+    summed over their query-head group).
+    """
+    seq_q, n_heads, head_dim = q.shape
+    seq_k, n_kv_heads, _ = k.shape
+    if mask.shape != (seq_q, seq_k):
+        raise ValueError("mask shape mismatch")
+    if dout.shape != q.shape:
+        raise ValueError("dout must match q's shape")
+    if scale is None:
+        scale = 1.0 / np.sqrt(head_dim)
+    group = n_heads // n_kv_heads
+
+    kx = expand_kv(k, n_heads)
+    vx = expand_kv(v, n_heads)
+    scores = np.einsum("qhd,khd->hqk", q, kx) * scale
+    scores = np.where(mask[None, :, :], scores, -np.inf)
+    row_max = np.max(scores, axis=-1, keepdims=True)
+    safe = np.where(np.isfinite(row_max), row_max, 0.0)
+    expd = np.exp(scores - safe)
+    expd = np.where(mask[None, :, :], expd, 0.0)
+    denom = np.sum(expd, axis=-1, keepdims=True)
+    p = np.divide(expd, np.where(denom == 0, 1.0, denom))
+
+    dv_heads = np.einsum("hqk,qhd->khd", p, dout)
+    dp = np.einsum("qhd,khd->hqk", dout, vx)
+    ds = p * (dp - np.sum(dp * p, axis=-1, keepdims=True))
+    dq = np.einsum("hqk,khd->qhd", ds, kx) * scale
+    dk_heads = np.einsum("hqk,qhd->khd", ds, q) * scale
+
+    # Reduce query-head groups back onto the shared KV heads.
+    dk = dk_heads.reshape(seq_k, n_kv_heads, group, head_dim).sum(axis=2)
+    dv = dv_heads.reshape(seq_k, n_kv_heads, group, head_dim).sum(axis=2)
+    return dq, dk, dv

@@ -1,0 +1,107 @@
+"""Flash-style blocked attention: streaming softmax over key tiles.
+
+Computes exactly the same function as :func:`attention_reference` but one
+key tile at a time, carrying running (max, sum, output) statistics — the
+algorithm of Flash-Attention v2, which is the paper's single-GPU baseline
+(Section 7.2).  Besides serving as a numerics cross-check (different
+accumulation order, same result up to rounding), it exposes the kernel-
+fragmentation statistics the ring-attention cost model needs: how many
+tile kernels ran and how much merge work was done.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attention.reference import AttentionResult, expand_kv
+
+
+@dataclass(frozen=True)
+class KernelStats:
+    """Work counters from a blocked attention run.
+
+    Attributes:
+        num_tiles: Key tiles processed (kernel invocations in a fused
+            implementation would amortise these; ring attention cannot).
+        score_flops: FLOPs spent on QK^T and PV for processed tiles.
+        merge_elements: Elements rescaled when merging running statistics.
+    """
+
+    num_tiles: int
+    score_flops: float
+    merge_elements: float
+
+
+def flash_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    mask: np.ndarray,
+    block_k: int = 128,
+    scale: float | None = None,
+) -> tuple[AttentionResult, KernelStats]:
+    """Blocked attention over key tiles of size ``block_k``.
+
+    Tiles with no allowed (query, key) pairs are skipped entirely —
+    the mask-aware tile skipping that makes causal/document masks cheaper
+    than dense attention.
+    """
+    seq_q, n_heads, head_dim = q.shape
+    seq_k = k.shape[0]
+    if mask.shape != (seq_q, seq_k):
+        raise ValueError("mask shape mismatch")
+    if block_k < 1:
+        raise ValueError("block_k must be >= 1")
+    if scale is None:
+        scale = 1.0 / np.sqrt(head_dim)
+
+    kx = expand_kv(k, n_heads)
+    vx = expand_kv(v, n_heads)
+
+    running_max = np.full((n_heads, seq_q), -np.inf)
+    running_sum = np.zeros((n_heads, seq_q))
+    acc = np.zeros((seq_q, n_heads, head_dim))
+    num_tiles = 0
+    score_flops = 0.0
+    merge_elements = 0.0
+
+    for start in range(0, seq_k, block_k):
+        end = min(start + block_k, seq_k)
+        tile_mask = mask[:, start:end]
+        if not tile_mask.any():
+            continue
+        num_tiles += 1
+        scores = np.einsum("qhd,khd->hqk", q, kx[start:end]) * scale
+        scores = np.where(tile_mask[None, :, :], scores, -np.inf)
+        score_flops += 2.0 * seq_q * (end - start) * n_heads * head_dim * 2
+        tile_max = np.max(scores, axis=-1)
+        new_max = np.maximum(running_max, tile_max)
+        safe_new = np.where(np.isfinite(new_max), new_max, 0.0)
+        correction = np.exp(
+            np.where(np.isfinite(running_max), running_max - safe_new, -np.inf)
+        )
+        correction = np.where(np.isfinite(running_max), correction, 0.0)
+        expd = np.exp(scores - safe_new[:, :, None])
+        expd = np.where(tile_mask[None, :, :], expd, 0.0)
+        running_sum = running_sum * correction + np.sum(expd, axis=-1)
+        acc = acc * correction.T[:, :, None] + np.einsum(
+            "hqk,khd->qhd", expd, vx[start:end]
+        )
+        running_max = new_max
+        merge_elements += float(acc.size)
+
+    has_keys = running_sum > 0
+    denom = np.where(has_keys, running_sum, 1.0)
+    out = acc / denom.T[:, :, None]
+    out = np.where(has_keys.T[:, :, None], out, 0.0)
+    safe_max = np.where(np.isfinite(running_max), running_max, 0.0)
+    lse = np.where(has_keys, safe_max + np.log(denom), -np.inf)
+    result = AttentionResult(out=out, lse=lse.T)
+    stats = KernelStats(
+        num_tiles=num_tiles,
+        score_flops=score_flops,
+        merge_elements=merge_elements,
+    )
+    return result, stats

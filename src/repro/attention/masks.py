@@ -1,0 +1,55 @@
+"""Attention masks: causal and document (block-causal).
+
+Masks are boolean (query, key) matrices with True where attention is
+allowed.  The document mask restricts attention to tokens of the same
+document *and* earlier positions; its boundaries depend on the input's
+eos positions, which is exactly what makes tile-based masking error-prone
+in ring-style CP (Section 4) and trivial in the all-gather formulation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def causal_mask(seq: int) -> np.ndarray:
+    """Lower-triangular allowed matrix: token i attends tokens 0..i."""
+    if seq <= 0:
+        raise ValueError("seq must be positive")
+    return np.tril(np.ones((seq, seq), dtype=bool))
+
+
+def document_mask(doc_ids: np.ndarray) -> np.ndarray:
+    """Block-causal mask from per-token document ids."""
+    ids = np.asarray(doc_ids)
+    if ids.ndim != 1 or ids.size == 0:
+        raise ValueError("doc_ids must be a non-empty 1-D array")
+    seq = ids.size
+    same_doc = ids[:, None] == ids[None, :]
+    return same_doc & causal_mask(seq)
+
+
+def allowed_ranges(doc_ids: np.ndarray) -> np.ndarray:
+    """Per-row [start, end) of allowed key positions under the document
+    mask — contiguous because documents are contiguous.  Shape (seq, 2)."""
+    ids = np.asarray(doc_ids)
+    seq = ids.size
+    starts = np.zeros(seq, dtype=np.int64)
+    boundary = np.flatnonzero(np.diff(ids)) + 1
+    starts[boundary] = boundary
+    starts = np.maximum.accumulate(starts)
+    ends = np.arange(1, seq + 1, dtype=np.int64)
+    return np.stack([starts, ends], axis=1)
+
+
+def mask_area(mask: np.ndarray) -> int:
+    """Number of allowed (query, key) pairs — proportional to attention
+    FLOPs under this mask."""
+    return int(np.count_nonzero(mask))
+
+
+def rows_mask(mask: np.ndarray, rows: Sequence[int]) -> np.ndarray:
+    """Sub-mask for a subset of query rows against all keys."""
+    return mask[np.asarray(rows, dtype=np.int64), :]

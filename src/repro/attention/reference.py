@@ -1,0 +1,93 @@
+"""Reference masked multi-head attention with GQA, in FP64-stable numpy.
+
+This is the ground truth every distributed attention variant must match:
+all-gather CP attention should match it *exactly on its rows*, and ring
+attention should match it to merge-rounding tolerance.  Outputs include the
+per-row log-sum-exp statistics, which ring attention needs for merging
+partial results (Section 4's discussion of RingAttention's rescaling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+NEG_INF = -np.inf
+
+
+@dataclass(frozen=True)
+class AttentionResult:
+    """Attention output plus softmax statistics.
+
+    Attributes:
+        out: (seq_q, n_heads, head_dim) attention output.
+        lse: (seq_q, n_heads) log-sum-exp of masked scores (natural log),
+            -inf for rows with no allowed keys.
+    """
+
+    out: np.ndarray
+    lse: np.ndarray
+
+
+def expand_kv(t: np.ndarray, n_heads: int) -> np.ndarray:
+    """Repeat KV heads to match query heads (GQA/MQA expansion)."""
+    seq, kv_heads, head_dim = t.shape
+    if n_heads % kv_heads != 0:
+        raise ValueError("n_heads must be a multiple of kv heads")
+    return np.repeat(t, n_heads // kv_heads, axis=1)
+
+
+def attention_reference(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    mask: np.ndarray,
+    scale: Optional[float] = None,
+) -> AttentionResult:
+    """Masked attention for queries ``q`` against keys/values ``k``/``v``.
+
+    Args:
+        q: (seq_q, n_heads, head_dim).
+        k: (seq_k, n_kv_heads, head_dim).
+        v: (seq_k, n_kv_heads, head_dim).
+        mask: (seq_q, seq_k) boolean, True = attend.
+        scale: Score scale; defaults to 1/sqrt(head_dim).
+    """
+    if q.ndim != 3 or k.ndim != 3 or v.ndim != 3:
+        raise ValueError("q, k, v must be rank-3: (seq, heads, head_dim)")
+    if k.shape != v.shape:
+        raise ValueError("k and v must have identical shapes")
+    seq_q, n_heads, head_dim = q.shape
+    seq_k = k.shape[0]
+    if mask.shape != (seq_q, seq_k):
+        raise ValueError(
+            f"mask shape {mask.shape} != ({seq_q}, {seq_k})"
+        )
+    if scale is None:
+        scale = 1.0 / np.sqrt(head_dim)
+
+    kx = expand_kv(k, n_heads)
+    vx = expand_kv(v, n_heads)
+    # scores: (heads, seq_q, seq_k)
+    scores = np.einsum("qhd,khd->hqk", q, kx) * scale
+    scores = np.where(mask[None, :, :], scores, NEG_INF)
+
+    row_max = np.max(scores, axis=-1, keepdims=True)
+    # Rows with no allowed keys have row_max = -inf; keep them at -inf so
+    # exp() yields 0 and we can zero the output.
+    safe_max = np.where(np.isfinite(row_max), row_max, 0.0)
+    expd = np.exp(scores - safe_max)
+    expd = np.where(mask[None, :, :], expd, 0.0)
+    denom = np.sum(expd, axis=-1, keepdims=True)
+    has_keys = denom[..., 0] > 0
+    out = np.einsum("hqk,khd->qhd", np.divide(
+        expd, np.where(denom == 0, 1.0, denom)
+    ), vx)
+    out = np.where(has_keys.T[:, :, None], out, 0.0)
+    lse = np.where(
+        has_keys, safe_max[..., 0] + np.log(np.where(denom[..., 0] == 0, 1.0,
+                                                     denom[..., 0])), NEG_INF
+    )
+    return AttentionResult(out=out, lse=lse.T)

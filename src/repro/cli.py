@@ -1,0 +1,179 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``plan``      — run the Section 5 planner for a model and phase.
+* ``step``      — simulate one training step and report throughput/memory.
+* ``phases``    — plan the full production pre-training progression.
+* ``ordering``  — score all parallelism-dimension orderings (Section 5.2).
+* ``imbalance`` — run the Figure 14 fleet-imbalance simulation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.hardware.cluster import grand_teton
+from repro.model import config as model_config
+from repro.model.config import TextModelConfig
+from repro.parallel.config import JobConfig, ParallelConfig, ZeroStage
+from repro.parallel.ordering import PAPER_ORDER, rank_orderings
+from repro.parallel.planner import plan_parallelism
+
+MODELS = {
+    "8b": model_config.LLAMA3_8B,
+    "70b": model_config.LLAMA3_70B,
+    "405b": model_config.LLAMA3_405B,
+    "405b-26l": model_config.LLAMA3_405B_SCALED_26L,
+    "405b-28l": model_config.LLAMA3_405B_SCALED_28L,
+}
+
+
+def _model(name: str) -> TextModelConfig:
+    try:
+        return MODELS[name]
+    except KeyError:
+        raise SystemExit(
+            f"unknown model {name!r}; choose from {sorted(MODELS)}"
+        )
+
+
+def _add_job_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--model", default="405b", help="model preset")
+    p.add_argument("--seq", type=int, default=8192, help="sequence length")
+    p.add_argument("--gbs", type=int, default=2048,
+                   help="global batch size (sequences)")
+    p.add_argument("--ngpu", type=int, default=16384, help="GPU count")
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    cluster = grand_teton(args.ngpu)
+    job = JobConfig(seq=args.seq, gbs=args.gbs, ngpu=args.ngpu)
+    plan = plan_parallelism(_model(args.model), job, cluster)
+    print(plan.describe())
+    return 0
+
+
+def cmd_step(args: argparse.Namespace) -> int:
+    from repro.train.step import simulate_step
+
+    cluster = grand_teton(args.ngpu)
+    job = JobConfig(seq=args.seq, gbs=args.gbs, ngpu=args.ngpu)
+    model = _model(args.model)
+    if args.tp * args.cp * args.pp * args.dp != args.ngpu:
+        raise SystemExit("tp*cp*pp*dp must equal ngpu")
+    par = ParallelConfig(tp=args.tp, cp=args.cp, pp=args.pp, dp=args.dp,
+                         zero=ZeroStage(args.zero))
+    rep = simulate_step(model, par, job, cluster,
+                        schedule_kind=args.schedule)
+    print(f"step time:      {rep.step_seconds:.3f} s")
+    print(f"throughput:     {rep.tflops_per_gpu:.0f} TFLOPs/GPU")
+    print(f"bubble ratio:   {rep.mean_bubble_ratio:.3f}")
+    print(f"peak memory:    {rep.max_peak_memory_gb:.1f} GiB "
+          f"(worst rank of {par.pp})")
+    return 0
+
+
+def cmd_phases(args: argparse.Namespace) -> int:
+    from repro.train.phases import describe_pretraining, plan_pretraining
+
+    cluster = grand_teton(args.ngpu)
+    reports = plan_pretraining(_model(args.model), cluster)
+    print(describe_pretraining(reports))
+    return 0
+
+
+def cmd_ordering(args: argparse.Namespace) -> int:
+    cluster = grand_teton(args.ngpu)
+    job = JobConfig(seq=args.seq, gbs=args.gbs, ngpu=args.ngpu)
+    model = _model(args.model)
+    par = ParallelConfig(tp=args.tp, cp=args.cp, pp=args.pp, dp=args.dp)
+    scores = rank_orderings(model, par, job, cluster)
+    for s in scores:
+        marker = "  <- paper" if s.order == PAPER_ORDER else ""
+        print(f"{'-'.join(s.order).upper():16s} "
+              f"{s.exposed_seconds:8.2f} s exposed{marker}")
+    return 0
+
+
+def cmd_imbalance(args: argparse.Namespace) -> int:
+    from repro.cp.imbalance import simulate_fleet_imbalance
+
+    cluster = grand_teton(args.ngpu)
+    rep = simulate_fleet_imbalance(
+        cluster, seq=args.seq, cp=args.cp, n_dp_groups=args.dp,
+        steps=args.steps, mean_doc_len=args.mean_doc,
+        rng=np.random.default_rng(args.seed),
+    )
+    print(f"slowest/fastest compute:  "
+          f"{rep.slowest_over_fastest_compute:.2f}x")
+    print(f"CP exposed latency share: {rep.cp_exposed_fraction:.2%}")
+    print(f"waiting share of exposed: "
+          f"{rep.waiting_fraction_of_exposed:.2%}")
+    print(f"overlap-CP headroom:      {rep.overlap_headroom:.2%}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Scaling Llama 3 Training with "
+                    "Efficient Parallelism Strategies' (ISCA 2025)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("plan", help="derive 4D parallelism (Section 5)")
+    _add_job_args(p)
+    p.set_defaults(func=cmd_plan)
+
+    p = sub.add_parser("step", help="simulate one training step")
+    _add_job_args(p)
+    p.add_argument("--tp", type=int, default=8)
+    p.add_argument("--cp", type=int, default=1)
+    p.add_argument("--pp", type=int, default=16)
+    p.add_argument("--dp", type=int, default=128)
+    p.add_argument("--zero", type=int, default=2, choices=(1, 2, 3))
+    p.add_argument("--schedule", default="flexible",
+                   choices=("flexible", "1f1b", "afab"))
+    p.set_defaults(func=cmd_step)
+
+    p = sub.add_parser("phases", help="plan the pre-training phases")
+    p.add_argument("--model", default="405b")
+    p.add_argument("--ngpu", type=int, default=16384)
+    p.set_defaults(func=cmd_phases)
+
+    p = sub.add_parser("ordering",
+                       help="score dimension orderings (Section 5.2)")
+    _add_job_args(p)
+    p.set_defaults(seq=131072, gbs=128)
+    p.add_argument("--tp", type=int, default=8)
+    p.add_argument("--cp", type=int, default=16)
+    p.add_argument("--pp", type=int, default=16)
+    p.add_argument("--dp", type=int, default=8)
+    p.set_defaults(func=cmd_ordering)
+
+    p = sub.add_parser("imbalance",
+                       help="fleet document-mask imbalance (Figure 14)")
+    p.add_argument("--ngpu", type=int, default=8192)
+    p.add_argument("--seq", type=int, default=131072)
+    p.add_argument("--cp", type=int, default=16)
+    p.add_argument("--dp", type=int, default=32, help="DP groups simulated")
+    p.add_argument("--steps", type=int, default=5)
+    p.add_argument("--mean-doc", type=float, default=32768.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_imbalance)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

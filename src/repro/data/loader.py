@@ -1,0 +1,166 @@
+"""Data loading under 4D parallelism (Section 4, "Integration").
+
+The paper's integration rules, implemented over real token arrays:
+
+* **Dataloaders feed DP groups**: each data-parallel group receives its
+  own batches; tokenisation is oblivious to CP.
+* **CP ranks select local tokens**: every rank of a CP group receives the
+  *full* sequence (it needs the complete eos layout to build its attention
+  mask), then selects the head/tail chunks it owns, together with the
+  matching position ids for correct rotary embeddings.
+
+:class:`TokenBatchLoader` generates deterministic synthetic document
+batches; :func:`cp_local_view` performs the per-rank selection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.data.documents import DocumentBatch, sample_document_lengths
+
+
+def _rank_rows(seq: int, cp: int, rank: int):
+    # Imported lazily: repro.cp depends on repro.data for document
+    # structures, so the reverse edge must not exist at import time.
+    from repro.cp.sharding import rank_row_indices
+
+    return rank_row_indices(seq, cp, rank)
+
+
+@dataclass(frozen=True)
+class GlobalBatch:
+    """One DP group's batch for one step.
+
+    Attributes:
+        tokens: (bs, seq) int32 token ids (synthetic).
+        batches: per-sequence document structure (eos layout).
+        step: Step index the batch belongs to.
+        dp_rank: The data-parallel group this batch feeds.
+    """
+
+    tokens: np.ndarray
+    batches: Tuple[DocumentBatch, ...]
+    step: int
+    dp_rank: int
+
+    @property
+    def bs(self) -> int:
+        return self.tokens.shape[0]
+
+    @property
+    def seq(self) -> int:
+        return self.tokens.shape[1]
+
+
+@dataclass(frozen=True)
+class CpLocalView:
+    """What one CP rank actually computes on.
+
+    Attributes:
+        tokens: (bs, seq/cp) the rank's head+tail token chunks.
+        position_ids: (bs, seq/cp) absolute positions of those tokens —
+            required for correct rotary embeddings under CP (Section 4).
+        doc_ids_full: (bs, seq) the *complete* per-token document ids;
+            every rank keeps the full mask information even though it
+            only computes its own query rows.
+    """
+
+    tokens: np.ndarray
+    position_ids: np.ndarray
+    doc_ids_full: np.ndarray
+
+
+class TokenBatchLoader:
+    """Deterministic synthetic dataloader for one DP group.
+
+    Each DP group gets an independent stream (different seeds), matching
+    the paper's statement that dataloaders continue to serve DP groups
+    unchanged when CP is enabled.
+    """
+
+    def __init__(
+        self,
+        seq: int,
+        bs: int,
+        vocab: int = 128256,
+        mean_doc_len: Optional[float] = 1024.0,
+        dp_rank: int = 0,
+        seed: int = 0,
+        sigma: float = 0.0,
+    ) -> None:
+        if seq < 1 or bs < 1 or vocab < 2:
+            raise ValueError("seq, bs must be >= 1 and vocab >= 2")
+        self.seq = seq
+        self.bs = bs
+        self.vocab = vocab
+        self.mean_doc_len = mean_doc_len
+        self.dp_rank = dp_rank
+        self.sigma = sigma
+        self._rng = np.random.default_rng((seed, dp_rank))
+        self._step = 0
+
+    def next_batch(self) -> GlobalBatch:
+        """Generate the next step's batch for this DP group."""
+        sequences = []
+        structures = []
+        for _ in range(self.bs):
+            if self.mean_doc_len is None:
+                lens = [self.seq]
+            else:
+                lens = sample_document_lengths(
+                    self.seq, self.mean_doc_len, self._rng,
+                    sigma=self.sigma,
+                )
+            structures.append(DocumentBatch(seq=self.seq,
+                                            doc_lens=tuple(lens)))
+            sequences.append(
+                self._rng.integers(0, self.vocab, self.seq, dtype=np.int32)
+            )
+        batch = GlobalBatch(
+            tokens=np.stack(sequences),
+            batches=tuple(structures),
+            step=self._step,
+            dp_rank=self.dp_rank,
+        )
+        self._step += 1
+        return batch
+
+    def __iter__(self) -> Iterator[GlobalBatch]:
+        while True:
+            yield self.next_batch()
+
+
+def cp_local_view(batch: GlobalBatch, cp: int, cp_rank: int) -> CpLocalView:
+    """Select one CP rank's local tokens from a full batch.
+
+    The rank takes chunks ``cp_rank`` and ``2*cp - cp_rank - 1`` of every
+    sequence (the head/tail sharding), with absolute position ids, while
+    retaining the complete document-id layout for mask construction.
+    """
+    if not 0 <= cp_rank < cp:
+        raise ValueError(f"cp_rank {cp_rank} out of range for cp={cp}")
+    rows = _rank_rows(batch.seq, cp, cp_rank)
+    tokens = batch.tokens[:, rows]
+    position_ids = np.broadcast_to(rows, (batch.bs, rows.size)).copy()
+    doc_ids = np.stack([b.doc_ids for b in batch.batches])
+    return CpLocalView(tokens=tokens, position_ids=position_ids,
+                       doc_ids_full=doc_ids)
+
+
+def reassemble_from_cp_views(
+    views: List[CpLocalView], seq: int, cp: int
+) -> np.ndarray:
+    """Inverse of :func:`cp_local_view` over all ranks — used to verify
+    the selection is a lossless partition."""
+    if len(views) != cp:
+        raise ValueError(f"expected {cp} views, got {len(views)}")
+    bs = views[0].tokens.shape[0]
+    full = np.zeros((bs, seq), dtype=views[0].tokens.dtype)
+    for rank, view in enumerate(views):
+        rows = _rank_rows(seq, cp, rank)
+        full[:, rows] = view.tokens
+    return full

@@ -1,0 +1,36 @@
+"""Debugging at scale: slow-rank localisation and memory snapshots."""
+
+from repro.debug.trace_analysis import (
+    SlowRankReport,
+    LevelDecision,
+    identify_slow_rank,
+    SEARCH_ORDER,
+)
+from repro.debug.workload import WorkloadSpec, run_synthetic_workload
+from repro.debug.inflection import (
+    Changepoint,
+    detect_changepoint,
+    detect_fleet_regressions,
+    synth_step_durations,
+)
+from repro.debug.memory_snapshot import (
+    MemorySnapshot,
+    AllocationEvent,
+    pp_output_release_savings,
+)
+
+__all__ = [
+    "SlowRankReport",
+    "LevelDecision",
+    "identify_slow_rank",
+    "SEARCH_ORDER",
+    "WorkloadSpec",
+    "run_synthetic_workload",
+    "Changepoint",
+    "detect_changepoint",
+    "detect_fleet_regressions",
+    "synth_step_durations",
+    "MemorySnapshot",
+    "AllocationEvent",
+    "pp_output_release_savings",
+]

@@ -1,0 +1,124 @@
+"""Changepoint detection for performance regressions over training time.
+
+Section 6.1 frames slow-rank hunting as failure localisation and cites the
+inflection-point hypothesis: the most diagnostic moment is *when* behaviour
+changed, not where the error finally surfaced.  For training fleets the
+practical version is: given per-step durations for each rank, find the
+step at which a rank's distribution shifted (a GPU starting to throttle, a
+link going degraded) — transient slowdowns accumulate through fine-grain
+synchronisation (Section 8.1), so catching the onset early matters.
+
+The detector is a standard two-sample split statistic: for each candidate
+changepoint, compare means before/after, normalised by pooled variance;
+report the split maximising the statistic when it clears a threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Changepoint:
+    """A detected behaviour change in one rank's step-duration series."""
+
+    rank: int
+    step: int            # first step of the new regime
+    before_mean: float
+    after_mean: float
+    score: float         # normalised shift statistic
+
+    @property
+    def slowdown(self) -> float:
+        """Relative slowdown of the new regime (can be negative)."""
+        return self.after_mean / self.before_mean - 1.0
+
+
+def detect_changepoint(
+    durations: Sequence[float],
+    min_segment: int = 5,
+    threshold: float = 6.0,
+) -> Optional[Changepoint]:
+    """Find the most likely changepoint in one duration series.
+
+    Args:
+        durations: Per-step durations of one rank.
+        min_segment: Minimum steps on each side of a split.
+        threshold: Detection threshold on the normalised statistic
+            (roughly a z-score; 6 keeps false positives negligible on
+            thousand-step series).
+
+    Returns None when no split clears the threshold.
+    """
+    x = np.asarray(durations, dtype=np.float64)
+    n = x.size
+    if n < 2 * min_segment:
+        return None
+    best_score, best_split = 0.0, -1
+    # Prefix sums for O(n) mean computation per split.
+    csum = np.cumsum(x)
+    csq = np.cumsum(x * x)
+    total, total_sq = csum[-1], csq[-1]
+    for split in range(min_segment, n - min_segment + 1):
+        n1, n2 = split, n - split
+        s1 = csum[split - 1]
+        m1 = s1 / n1
+        m2 = (total - s1) / n2
+        var1 = csq[split - 1] / n1 - m1 * m1
+        var2 = (total_sq - csq[split - 1]) / n2 - m2 * m2
+        pooled = np.sqrt(max((n1 * var1 + n2 * var2) / n, 1e-18))
+        score = abs(m2 - m1) / pooled * np.sqrt(n1 * n2 / n)
+        if score > best_score:
+            best_score, best_split = score, split
+    if best_score < threshold or best_split < 0:
+        return None
+    m1 = float(csum[best_split - 1] / best_split)
+    m2 = float((total - csum[best_split - 1]) / (n - best_split))
+    return Changepoint(rank=-1, step=best_split, before_mean=m1,
+                       after_mean=m2, score=float(best_score))
+
+
+def detect_fleet_regressions(
+    per_rank_durations: Dict[int, Sequence[float]],
+    min_segment: int = 5,
+    threshold: float = 6.0,
+    min_slowdown: float = 0.01,
+) -> List[Changepoint]:
+    """Scan every rank's series; return slow-onset changepoints, most
+    severe first.
+
+    Only *slowdowns* beyond ``min_slowdown`` are reported (speed-ups are
+    usually recovery, not faults).
+    """
+    found: List[Changepoint] = []
+    for rank, series in per_rank_durations.items():
+        cp = detect_changepoint(series, min_segment, threshold)
+        if cp is not None and cp.slowdown >= min_slowdown:
+            found.append(Changepoint(rank=rank, step=cp.step,
+                                     before_mean=cp.before_mean,
+                                     after_mean=cp.after_mean,
+                                     score=cp.score))
+    return sorted(found, key=lambda c: -c.slowdown)
+
+
+def synth_step_durations(
+    steps: int,
+    base_seconds: float = 1.0,
+    noise: float = 0.01,
+    fault_step: Optional[int] = None,
+    fault_slowdown: float = 0.1,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Synthetic per-step durations with an optional onset fault — the
+    test/bench workload generator for the detector."""
+    if rng is None:
+        rng = np.random.default_rng(0)
+    x = base_seconds * (1.0 + noise * rng.standard_normal(steps))
+    if fault_step is not None:
+        if not 0 <= fault_step < steps:
+            raise ValueError("fault_step out of range")
+        x[fault_step:] *= 1.0 + fault_slowdown
+    return x

@@ -1,0 +1,128 @@
+"""Memory-snapshot tracking and the Section 6.3 optimizations.
+
+Models PyTorch's memory-snapshot tool: a tagged allocation timeline with
+exact peak attribution.  On top of it, two optimizations the paper applies
+to 4D parallelism:
+
+* **Early release of P2P-sent outputs** — a PP stage only needs the
+  *metadata* (shape) of its forward output to start backward, but a
+  reference-counting autograd engine keeps the full tensor alive until the
+  backward executes.  Releasing the storage right after the P2P send (by
+  resizing the storage to zero) removes one activation-sized tensor per
+  in-flight micro-batch.
+* The resulting headroom is what let Llama 3 turn off activation
+  recomputation (worth 17.5% TFLOPs on the scaled-down model, Figure 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.pp.schedule import OpKind, PipelineSchedule
+
+
+@dataclass(frozen=True)
+class AllocationEvent:
+    """One allocator action."""
+
+    time: float
+    tag: str
+    delta_bytes: float  # positive = alloc, negative = free / resize-to-zero
+
+
+class MemorySnapshot:
+    """Tagged allocation recorder with peak attribution.
+
+    Mirrors the workflow of the PyTorch memory-snapshot tool the paper
+    uses: record every (de)allocation with a tag, then ask for the peak
+    and which tags held memory at that moment.
+    """
+
+    def __init__(self) -> None:
+        self._events: List[AllocationEvent] = []
+        self._live: Dict[str, float] = {}
+
+    def alloc(self, time: float, tag: str, nbytes: float) -> None:
+        if nbytes < 0:
+            raise ValueError("alloc size must be non-negative")
+        self._events.append(AllocationEvent(time, tag, nbytes))
+        self._live[tag] = self._live.get(tag, 0.0) + nbytes
+
+    def free(self, time: float, tag: str, nbytes: Optional[float] = None) -> None:
+        """Free ``nbytes`` of a tag (all of it by default) — the
+        resize-storage-to-zero trick frees without waiting for refcounts."""
+        held = self._live.get(tag, 0.0)
+        amount = held if nbytes is None else nbytes
+        if amount - held > 1e-9:
+            raise ValueError(f"freeing more than held for tag {tag!r}")
+        self._events.append(AllocationEvent(time, tag, -amount))
+        self._live[tag] = held - amount
+
+    @property
+    def events(self) -> List[AllocationEvent]:
+        return list(self._events)
+
+    def timeline(self) -> List[Tuple[float, float]]:
+        """(time, total live bytes) after each event, in time order."""
+        out = []
+        total = 0.0
+        for e in sorted(self._events, key=lambda e: e.time):
+            total += e.delta_bytes
+            out.append((e.time, total))
+        return out
+
+    def peak(self) -> Tuple[float, float]:
+        """(peak bytes, time of peak)."""
+        best, best_t = 0.0, 0.0
+        for t, total in self.timeline():
+            if total > best:
+                best, best_t = total, t
+        return best, best_t
+
+    def live_at_peak(self) -> Dict[str, float]:
+        """Bytes held per tag at the peak moment."""
+        _, peak_t = self.peak()
+        live: Dict[str, float] = {}
+        for e in sorted(self._events, key=lambda e: e.time):
+            if e.time > peak_t:
+                break
+            live[e.tag] = live.get(e.tag, 0.0) + e.delta_bytes
+        return {k: v for k, v in live.items() if v > 0}
+
+
+def pp_output_release_savings(
+    schedule: PipelineSchedule,
+    ppr: int,
+    output_bytes: float,
+    act_bytes: float,
+) -> Tuple[float, float]:
+    """Peak memory on one rank with and without early output release.
+
+    Without the optimization, every forward's *output* tensor stays alive
+    (held by autograd) until that micro-batch's backward; with it, the
+    output is freed right after the P2P send — only the saved activations
+    remain.  Returns ``(peak_without, peak_with)`` in bytes.
+    """
+    if output_bytes < 0 or act_bytes < 0:
+        raise ValueError("byte sizes must be non-negative")
+
+    def run(release_early: bool) -> float:
+        snap = MemorySnapshot()
+        t = 0.0
+        for op in schedule.program(ppr):
+            t += 1.0
+            key = f"mb{op.microbatch}:vs{op.virtual_stage}"
+            if op.kind is OpKind.FORWARD:
+                snap.alloc(t, f"act:{key}", act_bytes)
+                snap.alloc(t, f"out:{key}", output_bytes)
+                if release_early:
+                    # Freed right after the send completes.
+                    snap.free(t + 0.5, f"out:{key}")
+            else:
+                snap.free(t, f"act:{key}")
+                if not release_early:
+                    snap.free(t, f"out:{key}")
+        return snap.peak()[0]
+
+    return run(release_early=False), run(release_early=True)

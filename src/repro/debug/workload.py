@@ -1,0 +1,122 @@
+"""Synthetic 4D-parallel workload with fault injection (the Figure 8 setup).
+
+Runs a few training-step-shaped iterations over a full device mesh: per
+layer, every rank computes, then its TP group all-gathers, then its CP
+group gathers KV; per step the DP x CP group reduce-scatters gradients and
+PP neighbours exchange activations.  Any rank can be given a *slowdown*
+(extra seconds per compute op — a flaky GPU, deterministic-DVFS violation,
+or thermal throttle), and the resulting trace is what
+:func:`repro.debug.trace_analysis.identify_slow_rank` diagnoses.
+
+This reproduces the paper's example: with (cp=2, tp=4) on 8 GPUs, slowing
+rank 6 makes rank 2 look like the TP-group bottleneck, but the top-down
+search correctly walks CP first and lands on rank 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.parallel.mesh import DeviceMesh
+from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Shape of the synthetic workload.
+
+    Attributes:
+        steps: Training steps to simulate.
+        layers: Layers per step (each layer = compute + TP + CP comm).
+        compute_seconds: Per-layer compute time on a healthy rank.
+        tp_comm_seconds: TP all-gather/reduce-scatter time per layer.
+        cp_comm_seconds: CP KV-gather time per layer (skipped when cp=1).
+        pp_comm_seconds: Inter-stage P2P per step (skipped when pp=1).
+        dp_comm_seconds: Gradient reduce-scatter per step (skipped when
+            the DP x CP group is trivial).
+    """
+
+    steps: int = 3
+    layers: int = 4
+    compute_seconds: float = 1.0
+    tp_comm_seconds: float = 0.1
+    cp_comm_seconds: float = 0.15
+    pp_comm_seconds: float = 0.05
+    dp_comm_seconds: float = 0.3
+
+
+def run_synthetic_workload(
+    mesh: DeviceMesh,
+    spec: WorkloadSpec = WorkloadSpec(),
+    slowdown: Optional[Dict[int, float]] = None,
+    sim: Optional[Simulator] = None,
+) -> Simulator:
+    """Execute the workload and return the recorded trace.
+
+    Args:
+        mesh: Device mesh covering every simulated rank.
+        spec: Workload shape.
+        slowdown: Extra seconds added to *each compute op* of the given
+            ranks — the injected fault.
+        sim: Simulator to record into.
+    """
+    slowdown = slowdown or {}
+    sim = sim or Simulator()
+    p = mesh.parallel
+    world = mesh.world_size
+
+    for step in range(spec.steps):
+        for layer in range(spec.layers):
+            for rank in range(world):
+                sim.run(
+                    rank=rank,
+                    stream="compute",
+                    duration=spec.compute_seconds + slowdown.get(rank, 0.0),
+                    name=f"compute:s{step}:l{layer}",
+                    kind="compute",
+                )
+            # CP's KV all-gather feeds attention, then TP collectives wrap
+            # the block — so CP precedes TP within a layer.  This ordering
+            # is what creates Figure 8's decoy: a rank waiting on its CP
+            # peer joins the following TP collective late and *looks* like
+            # the TP-group bottleneck.
+            if p.cp > 1:
+                for group in mesh.all_groups("cp"):
+                    sim.run_collective(
+                        group, stream="compute",
+                        duration=spec.cp_comm_seconds,
+                        name=f"cp:kv-ag:s{step}:l{layer}",
+                    )
+            if p.tp > 1:
+                for group in mesh.all_groups("tp"):
+                    sim.run_collective(
+                        group, stream="compute",
+                        duration=spec.tp_comm_seconds,
+                        name=f"tp:ag:s{step}:l{layer}",
+                    )
+        if p.pp > 1:
+            # Stage hand-off: each rank syncs with its next-stage peer.
+            seen = set()
+            for rank in range(world):
+                peer = mesh.pp_neighbor(rank, +1)
+                key = tuple(sorted((rank, peer)))
+                if key in seen or rank == peer:
+                    continue
+                seen.add(key)
+                sim.run_collective(
+                    list(key), stream="compute",
+                    duration=spec.pp_comm_seconds,
+                    name=f"pp:p2p:s{step}",
+                )
+        dp_groups = {
+            tuple(mesh.dp_cp_group_of(r)) for r in range(world)
+        }
+        for group in dp_groups:
+            if len(group) > 1:
+                sim.run_collective(
+                    list(group), stream="compute",
+                    duration=spec.dp_comm_seconds,
+                    name=f"dp:grad-rs:s{step}",
+                )
+    return sim

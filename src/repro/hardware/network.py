@@ -1,0 +1,71 @@
+"""Interconnect link specifications and point-to-point transfer cost model.
+
+Two link classes matter for the paper's cluster: NVLink within a Grand Teton
+node (8 GPUs, ~450 GB/s per direction per GPU) and RDMA-over-Converged-
+Ethernet (RoCE) across nodes, which Section 5.1 quotes at ~50 GB/s per rank.
+
+Effective bandwidth ramps with message size: tiny messages are dominated by
+fixed latency, large ones approach the wire rate.  We use the standard
+half-bandwidth-point model: ``eff_bw(s) = peak * s / (s + s_half)`` where
+``s_half = peak * latency`` is the message size at which latency and
+serialisation contribute equally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One interconnect class.
+
+    Attributes:
+        name: Human-readable name.
+        bandwidth_gbps: Peak unidirectional bandwidth per rank in GB/s.
+        latency_us: One-way base latency in microseconds (includes software
+            stack and switch hops at this topology level).
+    """
+
+    name: str
+    bandwidth_gbps: float
+    latency_us: float
+
+    @property
+    def bandwidth(self) -> float:
+        """Peak bandwidth in bytes/s."""
+        return self.bandwidth_gbps * 1e9
+
+    @property
+    def latency(self) -> float:
+        """Base latency in seconds."""
+        return self.latency_us * 1e-6
+
+    @property
+    def half_bandwidth_size(self) -> float:
+        """Message size (bytes) at which effective bandwidth is half of peak."""
+        return self.bandwidth * self.latency
+
+
+#: Intra-node NVLink on H100 (NVLink 4, ~450 GB/s per direction per GPU).
+NVLINK_H100 = LinkSpec(name="NVLink4", bandwidth_gbps=450.0, latency_us=3.0)
+
+#: Inter-node RoCE fabric as provisioned for Llama 3 (~50 GB/s per rank).
+ROCE_400G = LinkSpec(name="RoCE-400G", bandwidth_gbps=50.0, latency_us=15.0)
+
+
+def effective_bandwidth(link: LinkSpec, message_bytes: float) -> float:
+    """Achieved bandwidth (bytes/s) for one message of the given size."""
+    if message_bytes <= 0:
+        raise ValueError("message_bytes must be positive")
+    size = float(message_bytes)
+    return link.bandwidth * size / (size + link.half_bandwidth_size)
+
+
+def transfer_time(link: LinkSpec, message_bytes: float) -> float:
+    """Seconds to move one message across the link (latency + serialisation)."""
+    if message_bytes < 0:
+        raise ValueError("message_bytes must be non-negative")
+    if message_bytes == 0:
+        return link.latency
+    return link.latency + message_bytes / link.bandwidth

@@ -1,0 +1,125 @@
+"""Per-layer memory accounting: parameters, gradients, optimizer state,
+and saved activations.
+
+Activation accounting follows the breakdown popularised by Korthikanti et
+al. ("Reducing Activation Recomputation in Large Transformer Models"),
+adapted to Llama's SwiGLU FFN and flash attention (no materialised
+``seq x seq`` score matrix; only the log-sum-exp statistics are saved).
+With tensor + sequence parallelism all per-token activations divide by
+``tp``; context parallelism divides the tokens a rank holds by ``cp``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.config import TextModelConfig
+from repro.model.flops import (
+    embedding_params,
+    layer_params,
+    model_params,
+    output_head_params,
+)
+
+BF16_BYTES = 2
+FP32_BYTES = 4
+GIB = 1024.0**3
+
+
+@dataclass(frozen=True)
+class ActivationBreakdown:
+    """Bytes saved for backward by one layer, for one micro-batch sequence.
+
+    All fields are totals across the sequence, already divided by the
+    tensor-parallel degree (sequence parallelism shards every term).
+    """
+
+    attn_inputs: float      # RMSNorm input + Q/K/V projections' input
+    qkv: float              # Q, K, V tensors
+    attn_output: float      # context tensor feeding the output projection
+    softmax_stats: float    # flash-attention log-sum-exp (FP32 per head)
+    ffn_inputs: float       # RMSNorm input to the FFN
+    ffn_hidden: float       # gate and up projections (the SwiGLU product is
+                            # recomputed elementwise in backward, one of the
+                            # Section 6.3-style memory optimizations)
+
+    @property
+    def total(self) -> float:
+        return (
+            self.attn_inputs + self.qkv + self.attn_output
+            + self.softmax_stats + self.ffn_inputs + self.ffn_hidden
+        )
+
+
+def activation_bytes_per_layer(
+    cfg: TextModelConfig,
+    seq: int,
+    mbs: int = 1,
+    tp: int = 1,
+    cp: int = 1,
+    dtype_bytes: int = BF16_BYTES,
+) -> ActivationBreakdown:
+    """Saved-activation bytes for one layer and one micro-batch.
+
+    Args:
+        cfg: Model architecture.
+        seq: Full sequence length of the batch.
+        mbs: Micro-batch size (sequences per micro-batch).
+        tp: Tensor-parallel degree (with sequence parallelism).
+        cp: Context-parallel degree (shards the sequence dimension).
+        dtype_bytes: Activation element size (BF16 by default).
+    """
+    if seq <= 0 or mbs <= 0 or tp <= 0 or cp <= 0:
+        raise ValueError("seq, mbs, tp, cp must all be positive")
+    tokens = seq * mbs / cp / tp
+    d, kv = cfg.dim, cfg.kv_dim
+    return ActivationBreakdown(
+        attn_inputs=dtype_bytes * tokens * d,
+        qkv=dtype_bytes * tokens * (d + 2 * kv),
+        attn_output=dtype_bytes * tokens * d,
+        softmax_stats=FP32_BYTES * tokens * cfg.n_heads,
+        ffn_inputs=dtype_bytes * tokens * d,
+        ffn_hidden=dtype_bytes * tokens * 2 * cfg.ffn_hidden,
+    )
+
+
+def layer_param_bytes(
+    cfg: TextModelConfig, tp: int = 1, dtype_bytes: int = BF16_BYTES
+) -> float:
+    """Bytes of one layer's weights on one TP rank."""
+    return dtype_bytes * layer_params(cfg) / tp
+
+
+def layer_grad_bytes(
+    cfg: TextModelConfig, tp: int = 1, dtype_bytes: int = FP32_BYTES
+) -> float:
+    """Bytes of one layer's unsharded gradient buffer on one TP rank.
+
+    FP32 by default: the paper accumulates gradients in FP32 across PP
+    micro-batches (Section 6.2).
+    """
+    return dtype_bytes * layer_params(cfg) / tp
+
+
+def embedding_bytes(
+    cfg: TextModelConfig, tp: int = 1, dtype_bytes: int = BF16_BYTES
+) -> float:
+    """Bytes of the input embedding on one TP rank (row-sharded)."""
+    return dtype_bytes * embedding_params(cfg) / tp
+
+
+def output_head_bytes(
+    cfg: TextModelConfig, tp: int = 1, dtype_bytes: int = BF16_BYTES
+) -> float:
+    """Bytes of the output head on one TP rank (column-sharded)."""
+    return dtype_bytes * output_head_params(cfg) / tp
+
+
+def optimizer_state_bytes_per_param() -> int:
+    """Adam with an FP32 master copy: master + exp_avg + exp_avg_sq."""
+    return 3 * FP32_BYTES
+
+
+def full_model_bytes(cfg: TextModelConfig, dtype_bytes: int = BF16_BYTES) -> float:
+    """Bytes of the whole unsharded model in the given dtype."""
+    return dtype_bytes * model_params(cfg)

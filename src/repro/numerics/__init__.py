@@ -1,0 +1,99 @@
+"""Real-computation numerics testbed for the Section 6.2 methodology."""
+
+from repro.numerics.precision import (
+    PrecisionConfig,
+    ALL_BF16,
+    ALL_FP32,
+    PRODUCTION,
+    to_bf16,
+    cast,
+    matmul,
+    accumulate,
+    is_bf16_representable,
+)
+from repro.numerics.transformer import (
+    TinyConfig,
+    TinyTransformer,
+    init_params,
+    embed_forward,
+    embed_backward,
+    layer_forward,
+    layer_backward,
+    head_forward,
+    head_backward,
+)
+from repro.numerics.parallel_emul import (
+    grads_in_order,
+    pp_backward_order,
+    pp_microbatch_grads,
+    dp_sharded_grads,
+    tp_row_parallel_matmul,
+    tp_emulated_sequential_matmul,
+    train_loss_curve,
+)
+from repro.numerics.fsdp_emul import FsdpEmulator
+from repro.numerics.pipeline_emul import PipelineEmulator, make_pipeline
+from repro.numerics.hybrid import HybridDpPpTrainer
+from repro.numerics.tp_backward import (
+    tp_layer_forward_with_cache,
+    tp_layer_backward,
+)
+from repro.numerics.cp_layer import cp_layer_forward, cp_layer_backward
+from repro.numerics.tp_emul import (
+    column_parallel_linear,
+    row_parallel_linear,
+    tp_layer_forward,
+    tp_layer_forward_emulated_order,
+)
+from repro.numerics.compare import (
+    bitwise_equal,
+    max_abs_diff,
+    relative_grad_gap,
+    DivergenceReport,
+    loss_divergence,
+)
+
+__all__ = [
+    "PrecisionConfig",
+    "ALL_BF16",
+    "ALL_FP32",
+    "PRODUCTION",
+    "to_bf16",
+    "cast",
+    "matmul",
+    "accumulate",
+    "is_bf16_representable",
+    "TinyConfig",
+    "TinyTransformer",
+    "init_params",
+    "embed_forward",
+    "embed_backward",
+    "layer_forward",
+    "layer_backward",
+    "head_forward",
+    "head_backward",
+    "grads_in_order",
+    "pp_backward_order",
+    "pp_microbatch_grads",
+    "dp_sharded_grads",
+    "tp_row_parallel_matmul",
+    "tp_emulated_sequential_matmul",
+    "train_loss_curve",
+    "FsdpEmulator",
+    "PipelineEmulator",
+    "HybridDpPpTrainer",
+    "tp_layer_forward_with_cache",
+    "tp_layer_backward",
+    "cp_layer_forward",
+    "cp_layer_backward",
+    "make_pipeline",
+    "column_parallel_linear",
+    "row_parallel_linear",
+    "tp_layer_forward",
+    "tp_layer_forward_emulated_order",
+    "bitwise_equal",
+    "max_abs_diff",
+    "relative_grad_gap",
+    "DivergenceReport",
+    "loss_divergence",
+]

@@ -1,0 +1,77 @@
+"""Comparison utilities for gradient dictionaries and loss curves.
+
+These implement the verdicts of the Section 6.2 methodology: *bitwise
+equality* is the bar for implementation correctness against an
+accumulation-order-matched baseline; *bounded divergence* is the bar for
+acceptable numerics between different-but-valid orders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+Params = Dict[str, np.ndarray]
+
+
+def bitwise_equal(a: Params, b: Params) -> bool:
+    """True iff every gradient array matches bit for bit."""
+    if a.keys() != b.keys():
+        raise ValueError("gradient dicts have different keys")
+    return all(
+        a[k].shape == b[k].shape
+        and np.array_equal(
+            a[k].astype(np.float32).view(np.uint32),
+            b[k].astype(np.float32).view(np.uint32),
+        )
+        for k in a
+    )
+
+
+def max_abs_diff(a: Params, b: Params) -> float:
+    """Largest elementwise absolute difference across all gradients."""
+    if a.keys() != b.keys():
+        raise ValueError("gradient dicts have different keys")
+    return max(
+        float(np.max(np.abs(a[k].astype(np.float64)
+                            - b[k].astype(np.float64))))
+        for k in a
+    )
+
+
+def relative_grad_gap(a: Params, b: Params) -> float:
+    """||a - b|| / ||a|| over the concatenated gradients."""
+    num = 0.0
+    den = 0.0
+    for k in a:
+        d = a[k].astype(np.float64) - b[k].astype(np.float64)
+        num += float(np.sum(d * d))
+        den += float(np.sum(a[k].astype(np.float64) ** 2))
+    if den == 0.0:
+        return 0.0
+    return np.sqrt(num / den)
+
+
+@dataclass(frozen=True)
+class DivergenceReport:
+    """Loss-curve divergence between a candidate and a reference run."""
+
+    max_gap: float
+    final_gap: float
+    mean_gap: float
+
+
+def loss_divergence(
+    candidate: Sequence[float], reference: Sequence[float]
+) -> DivergenceReport:
+    """Absolute loss-gap statistics between two equal-length loss curves."""
+    if len(candidate) != len(reference) or not candidate:
+        raise ValueError("curves must be non-empty and equal length")
+    gaps = [abs(c - r) for c, r in zip(candidate, reference)]
+    return DivergenceReport(
+        max_gap=max(gaps),
+        final_gap=gaps[-1],
+        mean_gap=sum(gaps) / len(gaps),
+    )

@@ -1,0 +1,241 @@
+"""A context-parallel transformer layer with real numerics.
+
+Executes one testbed-model layer the way CP ranks would (Section 4):
+
+* every rank holds its head/tail *rows* of the sequence and runs the
+  per-token work (norms, QKV/output projections, FFN) on those rows —
+  all reduction-free;
+* K and V are computed per rank on local rows and **all-gathered** into
+  the full tensors (an exact row assembly);
+* attention runs each rank's query rows against the full K/V under the
+  exact (causal or document) mask — the all-gather CP formulation.
+
+Forward is therefore **bitwise identical** to the monolithic layer on the
+assembled output.  Backward mirrors it: ``dx`` rows and per-rank weight
+*partials* are exact; weight gradients and dK/dV need the cross-rank
+reduce-scatter, so they match the monolithic backward to rounding and the
+order-emulated baseline bitwise — the same contract as every other
+parallelism in this library.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.attention.masks import causal_mask, document_mask
+from repro.cp.sharding import rank_row_indices
+from repro.data.documents import DocumentBatch
+from repro.numerics.precision import PrecisionConfig, accumulate, cast, matmul
+from repro.numerics.transformer import (
+    Params,
+    TinyConfig,
+    _rmsnorm_bwd,
+    _rmsnorm_fwd,
+    _silu,
+    _silu_grad,
+    _softmax_rows,
+)
+
+
+def _full_mask(seq: int, batch: Optional[DocumentBatch]) -> np.ndarray:
+    if batch is None:
+        return causal_mask(seq)
+    if batch.seq != seq:
+        raise ValueError("batch.seq mismatch")
+    return document_mask(batch.doc_ids)
+
+
+def _attention_rows_fwd(q_rows, k_full, v_full, mask_rows, precision):
+    """Per-head attention of a row subset against the full K/V, with the
+    same op sequence as the monolithic ``_attention_fwd`` (so results are
+    bitwise identical per row)."""
+    rows, heads, hd = q_rows.shape
+    scale = 1.0 / np.sqrt(hd)
+    out = np.empty_like(q_rows)
+    probs = np.empty((heads, rows, k_full.shape[0]), dtype=np.float32)
+    for h in range(heads):
+        scores = matmul(q_rows[:, h, :], k_full[:, h, :].T, precision) * scale
+        scores = np.where(mask_rows, scores.astype(np.float32), -np.inf)
+        p = _softmax_rows(scores)
+        probs[h] = p
+        out[:, h, :] = matmul(p, v_full[:, h, :], precision)
+    return out, probs
+
+
+def _attention_rows_bwd(dctx_rows, q_rows, k_full, v_full, probs, precision):
+    """Backward of the row-subset attention: exact dq rows, full-length
+    dK/dV *partials* from these rows' contributions."""
+    rows, heads, hd = q_rows.shape
+    scale = 1.0 / np.sqrt(hd)
+    dq = np.empty_like(q_rows)
+    dk = np.zeros_like(k_full)
+    dv = np.zeros_like(v_full)
+    for h in range(heads):
+        p = probs[h]
+        do = dctx_rows[:, h, :]
+        dv[:, h, :] += matmul(p.T, do, precision)
+        dp = matmul(do, v_full[:, h, :].T, precision).astype(np.float32)
+        ds = p * (dp - np.sum(dp * p, axis=-1, keepdims=True))
+        dq[:, h, :] = matmul(ds, k_full[:, h, :], precision) * scale
+        dk[:, h, :] += matmul(ds.T, q_rows[:, h, :], precision) * scale
+    return dq, dk, dv
+
+
+def cp_layer_forward(
+    cfg: TinyConfig,
+    params: Params,
+    layer: int,
+    x: np.ndarray,
+    cp: int,
+    precision: PrecisionConfig,
+    batch: Optional[DocumentBatch] = None,
+) -> Tuple[np.ndarray, List[dict]]:
+    """One layer executed across ``cp`` context-parallel ranks.
+
+    Args:
+        cfg, params, layer: As in the monolithic layer.
+        x: (seq, dim) full-sequence input (each rank holds its rows).
+        cp: Context-parallel degree.
+        precision: Compute precisions.
+        batch: Document structure; None means causal.
+
+    Returns the assembled (seq, dim) output and per-rank caches.
+    """
+    seq = x.shape[0]
+    mask = _full_mask(seq, batch)
+    p = {k.removeprefix(f"l{layer}."): v
+         for k, v in params.items() if k.startswith(f"l{layer}.")}
+
+    out = np.empty_like(x)
+    k_full = np.empty((seq, cfg.n_heads, cfg.head_dim), dtype=x.dtype)
+    v_full = np.empty_like(k_full)
+    rank_state = []
+    # Pass 1: per-rank local K/V (then "all-gather" by row assembly).
+    for rank in range(cp):
+        rows = rank_row_indices(seq, cp, rank)
+        h1, norm1 = _rmsnorm_fwd(x[rows].astype(np.float32), p["norm1"],
+                                 cfg.norm_eps)
+        h1 = cast(h1, precision.compute)
+        q = matmul(h1, p["wq"], precision).reshape(
+            rows.size, cfg.n_heads, cfg.head_dim)
+        k_full[rows] = matmul(h1, p["wk"], precision).reshape(
+            rows.size, cfg.n_heads, cfg.head_dim)
+        v_full[rows] = matmul(h1, p["wv"], precision).reshape(
+            rows.size, cfg.n_heads, cfg.head_dim)
+        rank_state.append({"rows": rows, "h1": h1, "q": q, "norm1": norm1,
+                           "x_rows": x[rows]})
+
+    # Pass 2: attention + the rest, per rank on its rows.
+    caches = []
+    for state in rank_state:
+        rows, h1, q = state["rows"], state["h1"], state["q"]
+        ctx, probs = _attention_rows_fwd(q, k_full, v_full, mask[rows, :],
+                                         precision)
+        attn_flat = ctx.reshape(rows.size, cfg.dim)
+        x_mid = state["x_rows"] + matmul(attn_flat, p["wo"], precision)
+        h2, norm2 = _rmsnorm_fwd(x_mid.astype(np.float32), p["norm2"],
+                                 cfg.norm_eps)
+        h2 = cast(h2, precision.compute)
+        zg = matmul(h2, p["wg"], precision)
+        zu = matmul(h2, p["wu"], precision)
+        ffn_in = cast(_silu(zg.astype(np.float32)) * zu.astype(np.float32),
+                      precision.compute)
+        out[rows] = x_mid + matmul(ffn_in, p["wd"], precision)
+        caches.append({
+            "rows": rows, "h1": h1, "q": q, "probs": probs,
+            "norm1": state["norm1"], "attn_flat": attn_flat,
+            "norm2": norm2, "h2": h2, "zg": zg, "zu": zu,
+            "ffn_in": ffn_in, "k_full": k_full, "v_full": v_full,
+        })
+    return out, caches
+
+
+def cp_layer_backward(
+    cfg: TinyConfig,
+    params: Params,
+    layer: int,
+    dx: np.ndarray,
+    caches: List[dict],
+    cp: int,
+    precision: PrecisionConfig,
+) -> Tuple[np.ndarray, Params]:
+    """Backward across CP ranks: exact dx rows; weight grads and dK/dV
+    reduced across ranks in ring order (the reduce-scatter)."""
+    p = {k.removeprefix(f"l{layer}."): v
+         for k, v in params.items() if k.startswith(f"l{layer}.")}
+    seq = dx.shape[0]
+    dx_out = np.empty_like(dx)
+
+    per_rank_wgrads: List[Params] = []
+    dk_partials: List[np.ndarray] = []
+    dv_partials: List[np.ndarray] = []
+    dh1_kv_rows: Dict[int, np.ndarray] = {}
+
+    for cache in caches:
+        rows = cache["rows"]
+        d = dx[rows]
+        grads: Params = {}
+        # FFN.
+        grads[f"l{layer}.wd"] = matmul(cache["ffn_in"].T, d, precision)
+        dffn_in = matmul(d, p["wd"].T, precision).astype(np.float32)
+        zg32 = cache["zg"].astype(np.float32)
+        act = _silu(zg32)
+        dzg = dffn_in * cache["zu"].astype(np.float32) * _silu_grad(zg32)
+        dzu = dffn_in * act
+        dzg_c, dzu_c = cast(dzg, precision.compute), cast(dzu,
+                                                          precision.compute)
+        grads[f"l{layer}.wg"] = matmul(cache["h2"].T, dzg_c, precision)
+        grads[f"l{layer}.wu"] = matmul(cache["h2"].T, dzu_c, precision)
+        dh2 = (matmul(dzg_c, p["wg"].T, precision)
+               + matmul(dzu_c, p["wu"].T, precision))
+        dmid, grads[f"l{layer}.norm2"] = _rmsnorm_bwd(
+            dh2.astype(np.float32), cache["norm2"])
+        dmid = d + dmid
+        # Attention output projection.
+        grads[f"l{layer}.wo"] = matmul(cache["attn_flat"].T, dmid,
+                                       precision)
+        dctx = matmul(dmid, p["wo"].T, precision).reshape(
+            rows.size, cfg.n_heads, cfg.head_dim)
+        dq, dk_p, dv_p = _attention_rows_bwd(
+            dctx, cache["q"], cache["k_full"], cache["v_full"],
+            cache["probs"], precision)
+        dk_partials.append(dk_p)
+        dv_partials.append(dv_p)
+        dq_flat = dq.reshape(rows.size, cfg.dim)
+        grads[f"l{layer}.wq"] = matmul(cache["h1"].T, dq_flat, precision)
+        dh1_q = matmul(dq_flat, p["wq"].T, precision)
+        # Store per-rank pieces; the K/V path resolves after the reduce.
+        cache["_dmid"] = dmid
+        cache["_dh1_q"] = dh1_q
+        per_rank_wgrads.append(grads)
+
+    # Reduce-scatter of dK/dV (ring order), then finish each rank's rows.
+    dk = dk_partials[0].copy()
+    dv = dv_partials[0].copy()
+    for dk_p, dv_p in zip(dk_partials[1:], dv_partials[1:]):
+        dk = accumulate(dk, dk_p, precision.grad_reduce)
+        dv = accumulate(dv, dv_p, precision.grad_reduce)
+
+    total: Params = {}
+    for cache, grads in zip(caches, per_rank_wgrads):
+        rows = cache["rows"]
+        dk_rows = dk[rows].reshape(rows.size, cfg.dim)
+        dv_rows = dv[rows].reshape(rows.size, cfg.dim)
+        grads[f"l{layer}.wk"] = matmul(cache["h1"].T, dk_rows, precision)
+        grads[f"l{layer}.wv"] = matmul(cache["h1"].T, dv_rows, precision)
+        dh1 = (cache["_dh1_q"]
+               + matmul(dk_rows, p["wk"].T, precision)
+               + matmul(dv_rows, p["wv"].T, precision))
+        dx1, grads[f"l{layer}.norm1"] = _rmsnorm_bwd(
+            dh1.astype(np.float32), cache["norm1"])
+        dx_out[rows] = cache["_dmid"] + dx1
+        # Weight gradients: ring-sum across ranks.
+        for name, g in grads.items():
+            if name in total:
+                total[name] = accumulate(total[name], g,
+                                         precision.grad_reduce)
+            else:
+                total[name] = g.astype(np.float32)
+    return dx_out, total

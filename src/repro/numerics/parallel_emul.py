@@ -1,0 +1,235 @@
+"""Emulated parallel execution orders over the numerics testbed model.
+
+Section 6.2's debugging method hinges on one fact: parallelism changes
+*only* the accumulation order of floating-point sums.  Therefore a
+sequential run forced into the parallel order must match the parallel run
+**bitwise**; any residual difference is an implementation bug.  This module
+provides the pieces:
+
+* :func:`grads_in_order` — sequential gradient accumulation in an explicit
+  micro-batch order (the "emulated-order sequential baseline").
+* :func:`pp_microbatch_grads` — a genuinely different code path that walks
+  a real :class:`~repro.pp.schedule.PipelineSchedule` program and
+  accumulates gradients at each BACKWARD op, the way a PP stage would.
+* :func:`dp_sharded_grads` — data-parallel shards reduced in ring or tree
+  order, in a configurable reduction dtype.
+* :func:`tp_row_parallel_matmul` — a row-parallel (k-split) TP GEMM whose
+  partial sums are reduced across ranks, plus its emulated-sequential twin.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.numerics.precision import (
+    Dtype,
+    PrecisionConfig,
+    accumulate,
+    matmul,
+)
+from repro.numerics.transformer import Params, TinyTransformer
+from repro.pp.schedule import OpKind, PipelineSchedule
+
+
+def _zero_like_params(params: Params) -> Params:
+    return {k: np.zeros_like(v, dtype=np.float32) for k, v in params.items()}
+
+
+def _accumulate_params(
+    total: Params, update: Params, dtype: Dtype
+) -> Params:
+    return {
+        k: accumulate(total[k], update[k], dtype) for k in total
+    }
+
+
+def grads_in_order(
+    model: TinyTransformer,
+    tokens: np.ndarray,
+    targets: np.ndarray,
+    order: Sequence[int],
+    precision: PrecisionConfig,
+) -> Dict[str, np.ndarray]:
+    """Accumulate per-sequence gradients in an explicit order.
+
+    Args:
+        model: The testbed model.
+        tokens: (batch, seq) int tokens.
+        targets: (batch, seq) int targets.
+        order: Permutation (or subsequence) of batch indices giving the
+            accumulation order.
+        precision: Compute and ``grad_accum`` dtypes.
+    """
+    if tokens.ndim != 2:
+        raise ValueError("tokens must be (batch, seq)")
+    total = _zero_like_params(model.params)
+    for idx in order:
+        _, grads = model.loss_and_grads(tokens[idx], targets[idx], precision)
+        total = _accumulate_params(total, grads, precision.grad_accum)
+    return total
+
+
+def pp_backward_order(schedule: PipelineSchedule, ppr: int,
+                      virtual_stage: int = 0) -> List[int]:
+    """Micro-batch order in which one virtual stage of one rank runs its
+    backwards — the accumulation order PP imposes on that stage's
+    gradient buffer."""
+    return [
+        op.microbatch
+        for op in schedule.program(ppr)
+        if op.kind is OpKind.BACKWARD and op.virtual_stage == virtual_stage
+    ]
+
+
+def pp_microbatch_grads(
+    model: TinyTransformer,
+    tokens: np.ndarray,
+    targets: np.ndarray,
+    schedule: PipelineSchedule,
+    ppr: int,
+    precision: PrecisionConfig,
+    virtual_stage: int = 0,
+) -> Dict[str, np.ndarray]:
+    """Gradient accumulation as one PP stage would perform it.
+
+    Walks the rank's program op by op; on each BACKWARD of the chosen
+    virtual stage, computes that micro-batch's gradients and folds them
+    into the accumulation buffer in ``precision.grad_accum``.  The batch
+    index doubles as the micro-batch id (mbs = 1).
+    """
+    if tokens.shape[0] < schedule.shape.nmb:
+        raise ValueError(
+            f"need at least nmb={schedule.shape.nmb} sequences, got "
+            f"{tokens.shape[0]}"
+        )
+    total = _zero_like_params(model.params)
+    for op in schedule.program(ppr):
+        if op.kind is not OpKind.BACKWARD or op.virtual_stage != virtual_stage:
+            continue
+        _, grads = model.loss_and_grads(
+            tokens[op.microbatch], targets[op.microbatch], precision
+        )
+        total = _accumulate_params(total, grads, precision.grad_accum)
+    return total
+
+
+def dp_sharded_grads(
+    model: TinyTransformer,
+    tokens: np.ndarray,
+    targets: np.ndarray,
+    dp: int,
+    precision: PrecisionConfig,
+    tree_reduce: bool = False,
+) -> Dict[str, np.ndarray]:
+    """Data-parallel gradients: contiguous batch shards, per-shard
+    accumulation, then a cross-shard reduction in ``precision.grad_reduce``.
+
+    ``tree_reduce`` selects pairwise (tree) reduction instead of the ring's
+    linear left-to-right order — two valid parallel orders that disagree
+    bitwise in low precision.
+    """
+    batch = tokens.shape[0]
+    if batch % dp != 0:
+        raise ValueError(f"batch {batch} not divisible by dp={dp}")
+    shard_size = batch // dp
+    shard_grads: List[Params] = []
+    for r in range(dp):
+        sl = slice(r * shard_size, (r + 1) * shard_size)
+        shard_grads.append(
+            grads_in_order(model, tokens[sl], targets[sl],
+                           range(shard_size), precision)
+        )
+
+    reduce_dtype = precision.grad_reduce
+
+    def reduce_pair(a: Params, b: Params) -> Params:
+        return {k: accumulate(a[k], b[k], reduce_dtype) for k in a}
+
+    if tree_reduce:
+        level = shard_grads
+        while len(level) > 1:
+            nxt = []
+            for i in range(0, len(level) - 1, 2):
+                nxt.append(reduce_pair(level[i], level[i + 1]))
+            if len(level) % 2:
+                nxt.append(level[-1])
+            level = nxt
+        return level[0]
+    total = shard_grads[0]
+    for g in shard_grads[1:]:
+        total = reduce_pair(total, g)
+    return total
+
+
+def tp_row_parallel_matmul(
+    x: np.ndarray,
+    w: np.ndarray,
+    tp: int,
+    precision: PrecisionConfig,
+) -> np.ndarray:
+    """Row-parallel TP GEMM: W is split along its input (k) dimension, each
+    rank computes a partial product, and partials are all-reduced in ring
+    order — a different FP32 association than one fused GEMM."""
+    k = w.shape[0]
+    if k % tp != 0:
+        raise ValueError(f"inner dim {k} not divisible by tp={tp}")
+    shard = k // tp
+    partials = [
+        matmul(x[:, r * shard:(r + 1) * shard],
+               w[r * shard:(r + 1) * shard, :], precision)
+        for r in range(tp)
+    ]
+    total = partials[0]
+    for part in partials[1:]:
+        total = accumulate(total, part, precision.grad_reduce)
+    return total
+
+
+def tp_emulated_sequential_matmul(
+    x: np.ndarray,
+    w: np.ndarray,
+    tp: int,
+    precision: PrecisionConfig,
+) -> np.ndarray:
+    """The sequential baseline forced into TP's accumulation order
+    (Section 6.2's bug-vs-numerics discriminator): identical partial-GEMM
+    split and ring-order reduction, computed on one 'rank'.  Bitwise equal
+    to :func:`tp_row_parallel_matmul` by construction — if a real TP
+    implementation disagrees with this, it has a bug, not a numerics gap.
+    """
+    # Intentionally the same arithmetic expressed through the same helper:
+    # the point of the baseline is to pin the accumulation order.
+    return tp_row_parallel_matmul(x, w, tp, precision)
+
+
+def train_loss_curve(
+    model: TinyTransformer,
+    tokens: np.ndarray,
+    targets: np.ndarray,
+    steps: int,
+    precision: PrecisionConfig,
+    order: Optional[Sequence[int]] = None,
+    lr: float = 0.1,
+) -> List[float]:
+    """Run ``steps`` SGD steps accumulating micro-batch gradients in the
+    given precision/order; returns the loss trajectory.  Used to show BF16
+    gradient accumulation drifting from the FP32-accumulation curve."""
+    batch = tokens.shape[0]
+    if order is None:
+        order = list(range(batch))
+    losses = []
+    for _ in range(steps):
+        total = _zero_like_params(model.params)
+        step_loss = 0.0
+        for idx in order:
+            loss, grads = model.loss_and_grads(
+                tokens[idx], targets[idx], precision
+            )
+            step_loss += loss
+            total = _accumulate_params(total, grads, precision.grad_accum)
+        losses.append(step_loss / batch)
+        mean_grads = {k: v / batch for k, v in total.items()}
+        model.apply_sgd(mean_grads, lr)
+    return losses

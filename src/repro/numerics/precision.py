@@ -1,0 +1,103 @@
+"""BF16 emulation and precision configuration.
+
+Numpy has no bfloat16, so we emulate it exactly: a BF16 value is a float32
+whose low 16 mantissa bits are zero.  :func:`to_bf16` rounds float32 to the
+nearest BF16 (round-half-to-even, matching hardware), and
+:func:`bf16_matmul` mimics an H100 tensor-core GEMM — BF16 inputs, FP32
+accumulation — which is the accumulation-precision baseline Section 6.2
+aligns software behaviour with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+Dtype = Literal["bf16", "fp32"]
+
+
+def to_bf16(x: np.ndarray) -> np.ndarray:
+    """Round float values to the nearest bfloat16, returned as float32.
+
+    Implements round-half-to-even on the top 16 bits of the IEEE-754
+    binary32 representation, the same rounding hardware applies.
+    """
+    f32 = np.ascontiguousarray(x, dtype=np.float32)
+    bits = f32.view(np.uint32)
+    # Round to nearest even: add 0x7FFF plus the parity of bit 16.
+    rounding_bias = 0x7FFF + ((bits >> 16) & 1)
+    rounded = (bits + rounding_bias) & np.uint32(0xFFFF0000)
+    out = rounded.view(np.float32).copy()
+    # Preserve NaN payloads simply by regenerating a quiet NaN.
+    out[np.isnan(f32)] = np.nan
+    return out.reshape(np.shape(x))
+
+
+def is_bf16_representable(x: np.ndarray) -> np.ndarray:
+    """Boolean mask of values already exactly representable in BF16."""
+    f32 = np.ascontiguousarray(x, dtype=np.float32)
+    return (f32.view(np.uint32) & 0xFFFF) == 0
+
+
+def cast(x: np.ndarray, dtype: Dtype) -> np.ndarray:
+    """Cast to an emulated dtype ("bf16" rounds, "fp32" passes through)."""
+    if dtype == "bf16":
+        return to_bf16(x)
+    if dtype == "fp32":
+        return np.asarray(x, dtype=np.float32)
+    raise ValueError(f"unknown dtype {dtype!r}")
+
+
+@dataclass(frozen=True)
+class PrecisionConfig:
+    """Where precision is spent during training (Section 6.2).
+
+    Attributes:
+        compute: GEMM input/output dtype (BF16 in production).
+        grad_accum: Dtype for accumulating micro-batch gradients in PP
+            backwards.  The paper uses FP32 here to close numerical gaps.
+        grad_reduce: Dtype for the DP reduce-scatter of gradients; also
+            FP32 in production.
+    """
+
+    compute: Dtype = "bf16"
+    grad_accum: Dtype = "fp32"
+    grad_reduce: Dtype = "fp32"
+
+
+#: Pure-BF16 configuration: the numerically fragile baseline.
+ALL_BF16 = PrecisionConfig(compute="bf16", grad_accum="bf16",
+                           grad_reduce="bf16")
+#: Production Llama 3 configuration (Section 6.2): BF16 compute, FP32
+#: gradient accumulation and reduction.
+PRODUCTION = PrecisionConfig(compute="bf16", grad_accum="fp32",
+                             grad_reduce="fp32")
+#: Full FP32: the numerics-debugging reference.
+ALL_FP32 = PrecisionConfig(compute="fp32", grad_accum="fp32",
+                           grad_reduce="fp32")
+
+
+def matmul(a: np.ndarray, b: np.ndarray, precision: PrecisionConfig) -> np.ndarray:
+    """GEMM under a precision config.
+
+    BF16 compute mirrors tensor-core semantics: inputs rounded to BF16,
+    products accumulated in FP32, result rounded back to BF16.  FP32
+    compute is a plain float32 GEMM.
+    """
+    if precision.compute == "bf16":
+        prod = to_bf16(a).astype(np.float32) @ to_bf16(b).astype(np.float32)
+        return to_bf16(prod)
+    return np.asarray(a, np.float32) @ np.asarray(b, np.float32)
+
+
+def accumulate(total: np.ndarray, update: np.ndarray, dtype: Dtype) -> np.ndarray:
+    """One gradient-accumulation step in the given dtype.
+
+    In BF16 the running total itself is BF16, so small updates can be
+    swallowed entirely — the drift mechanism FP32 accumulation removes.
+    """
+    if dtype == "bf16":
+        return to_bf16(to_bf16(total) + to_bf16(update))
+    return np.asarray(total, np.float32) + np.asarray(update, np.float32)

@@ -1,0 +1,243 @@
+"""Backward pass of the Megatron-style tensor-parallel layer.
+
+Completes :mod:`repro.numerics.tp_emul` with the backward GEMM dataflow
+(Section 2.1's TP, executed on real arrays):
+
+* **row-parallel** linears (attention output, FFN down) need *no*
+  communication for the input gradient: each rank computes
+  ``dy @ W_shard^T`` on its own inner-dim slice, and the slices
+  concatenate — bitwise exact.
+* **column-parallel** linears (QKV, FFN gate/up) require an all-reduce of
+  the input gradient: ``dx = sum_r dy_r @ W_r^T`` — a cross-rank sum, so
+  bitwise only against the order-emulated baseline.
+* **weight gradients are always reduction-free**: ``dW_r`` is an exact
+  shard of the monolithic ``dW`` (column-parallel shards columns,
+  row-parallel shards rows) — bitwise against the monolithic backward.
+
+The tests certify each contract against
+:func:`repro.numerics.transformer.layer_backward`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.numerics.precision import PrecisionConfig, accumulate, cast, matmul
+from repro.numerics.transformer import (
+    Params,
+    TinyConfig,
+    _attention_bwd,
+    _attention_fwd,
+    _rmsnorm_bwd,
+    _rmsnorm_fwd,
+    _silu,
+    _silu_grad,
+)
+
+
+def _col_shards(w: np.ndarray, tp: int):
+    shard = w.shape[1] // tp
+    return [w[:, r * shard:(r + 1) * shard] for r in range(tp)]
+
+
+def _row_shards(w: np.ndarray, tp: int):
+    shard = w.shape[0] // tp
+    return [w[r * shard:(r + 1) * shard, :] for r in range(tp)]
+
+
+def _column_parallel_input_grad(
+    dy: np.ndarray, w: np.ndarray, tp: int, precision: PrecisionConfig
+) -> np.ndarray:
+    """dx of a column-parallel linear: per-rank partials, ring all-reduce."""
+    shard = dy.shape[1] // tp
+    total = matmul(dy[:, :shard], _col_shards(w, tp)[0].T, precision)
+    for r in range(1, tp):
+        part = matmul(dy[:, r * shard:(r + 1) * shard],
+                      _col_shards(w, tp)[r].T, precision)
+        total = accumulate(total, part, precision.grad_reduce)
+    return total
+
+
+def tp_layer_forward_with_cache(
+    cfg: TinyConfig,
+    params: Params,
+    layer: int,
+    x: np.ndarray,
+    tp: int,
+    precision: PrecisionConfig,
+) -> Tuple[np.ndarray, dict]:
+    """TP forward that also returns the backward cache.
+
+    The math (and therefore every floating-point result) is identical to
+    :func:`repro.numerics.tp_emul.tp_layer_forward`; the cache mirrors the
+    monolithic :func:`~repro.numerics.transformer.layer_forward` cache so
+    the two backwards can be compared shard by shard.
+    """
+    if cfg.n_heads % tp != 0 or cfg.ffn_hidden % tp != 0:
+        raise ValueError("tp must divide n_heads and ffn_hidden")
+    seq = x.shape[0]
+    p = {k.removeprefix(f"l{layer}."): v
+         for k, v in params.items() if k.startswith(f"l{layer}.")}
+    cache: dict = {"x_in": x}
+
+    h1, cache["norm1"] = _rmsnorm_fwd(x.astype(np.float32), p["norm1"],
+                                      cfg.norm_eps)
+    h1 = cast(h1, precision.compute)
+    cache["h1"] = h1
+
+    def col(name):
+        pieces = [matmul(h1, s, precision)
+                  for s in _col_shards(p[name], tp)]
+        return np.concatenate(pieces, axis=1)
+
+    q = col("wq").reshape(seq, cfg.n_heads, cfg.head_dim)
+    k = col("wk").reshape(seq, cfg.n_heads, cfg.head_dim)
+    v = col("wv").reshape(seq, cfg.n_heads, cfg.head_dim)
+
+    heads_per = cfg.n_heads // tp
+    ctx = np.empty_like(q)
+    attn_caches = []
+    for r in range(tp):
+        sl = slice(r * heads_per, (r + 1) * heads_per)
+        ctx[:, sl, :], ac = _attention_fwd(q[:, sl, :], k[:, sl, :],
+                                           v[:, sl, :], precision)
+        attn_caches.append(ac)
+    cache["attn_shards"] = attn_caches
+    attn_flat = ctx.reshape(seq, cfg.dim)
+    cache["attn_flat"] = attn_flat
+
+    # Row-parallel output projection.
+    shard = cfg.dim // tp
+    attn_proj = matmul(attn_flat[:, :shard], _row_shards(p["wo"], tp)[0],
+                       precision)
+    for r in range(1, tp):
+        part = matmul(attn_flat[:, r * shard:(r + 1) * shard],
+                      _row_shards(p["wo"], tp)[r], precision)
+        attn_proj = accumulate(attn_proj, part, precision.grad_reduce)
+    x = x + attn_proj
+
+    h2, cache["norm2"] = _rmsnorm_fwd(x.astype(np.float32), p["norm2"],
+                                      cfg.norm_eps)
+    h2 = cast(h2, precision.compute)
+    cache["h2"] = h2
+
+    def col2(name):
+        pieces = [matmul(h2, s, precision)
+                  for s in _col_shards(p[name], tp)]
+        return np.concatenate(pieces, axis=1)
+
+    zg, zu = col2("wg"), col2("wu")
+    cache["zg"], cache["zu"] = zg, zu
+    ffn_in = cast(_silu(zg.astype(np.float32)) * zu.astype(np.float32),
+                  precision.compute)
+    cache["ffn_in"] = ffn_in
+    shard_f = cfg.ffn_hidden // tp
+    ffn_out = matmul(ffn_in[:, :shard_f], _row_shards(p["wd"], tp)[0],
+                     precision)
+    for r in range(1, tp):
+        part = matmul(ffn_in[:, r * shard_f:(r + 1) * shard_f],
+                      _row_shards(p["wd"], tp)[r], precision)
+        ffn_out = accumulate(ffn_out, part, precision.grad_reduce)
+    return x + ffn_out, cache
+
+
+def tp_layer_backward(
+    cfg: TinyConfig,
+    params: Params,
+    layer: int,
+    dx: np.ndarray,
+    cache: dict,
+    tp: int,
+    precision: PrecisionConfig,
+) -> Tuple[np.ndarray, Params]:
+    """TP backward of one layer; returns (input grad, weight grads).
+
+    Weight gradients come back *unsharded* (shards concatenated in place)
+    so they key like the monolithic parameter dict.
+    """
+    p = {k.removeprefix(f"l{layer}."): v
+         for k, v in params.items() if k.startswith(f"l{layer}.")}
+    seq = dx.shape[0]
+    grads: Params = {}
+
+    # ---- FFN: row-parallel wd --------------------------------------------
+    ffn_in = cache["ffn_in"]
+    shard_f = cfg.ffn_hidden // tp
+    dwd_shards = [
+        matmul(ffn_in[:, r * shard_f:(r + 1) * shard_f].T, dx, precision)
+        for r in range(tp)
+    ]
+    grads[f"l{layer}.wd"] = np.concatenate(dwd_shards, axis=0)
+    dffn_in = np.concatenate([
+        matmul(dx, _row_shards(p["wd"], tp)[r].T, precision)
+        for r in range(tp)
+    ], axis=1).astype(np.float32)
+
+    zg32 = cache["zg"].astype(np.float32)
+    act = _silu(zg32)
+    dzg = dffn_in * cache["zu"].astype(np.float32) * _silu_grad(zg32)
+    dzu = dffn_in * act
+    dzg_c = cast(dzg, precision.compute)
+    dzu_c = cast(dzu, precision.compute)
+    h2 = cache["h2"]
+    grads[f"l{layer}.wg"] = np.concatenate([
+        matmul(h2.T, dzg_c[:, r * shard_f:(r + 1) * shard_f], precision)
+        for r in range(tp)
+    ], axis=1)
+    grads[f"l{layer}.wu"] = np.concatenate([
+        matmul(h2.T, dzu_c[:, r * shard_f:(r + 1) * shard_f], precision)
+        for r in range(tp)
+    ], axis=1)
+    dh2 = accumulate(
+        _column_parallel_input_grad(dzg_c, p["wg"], tp, precision),
+        _column_parallel_input_grad(dzu_c, p["wu"], tp, precision),
+        precision.grad_reduce,
+    )
+    dx2, grads[f"l{layer}.norm2"] = _rmsnorm_bwd(
+        dh2.astype(np.float32), cache["norm2"])
+    dx = dx + dx2
+
+    # ---- attention: row-parallel wo ---------------------------------------
+    attn_flat = cache["attn_flat"]
+    shard_d = cfg.dim // tp
+    grads[f"l{layer}.wo"] = np.concatenate([
+        matmul(attn_flat[:, r * shard_d:(r + 1) * shard_d].T, dx, precision)
+        for r in range(tp)
+    ], axis=0)
+    dctx = np.concatenate([
+        matmul(dx, _row_shards(p["wo"], tp)[r].T, precision)
+        for r in range(tp)
+    ], axis=1).reshape(seq, cfg.n_heads, cfg.head_dim)
+
+    heads_per = cfg.n_heads // tp
+    dq = np.empty_like(dctx)
+    dk = np.empty_like(dctx)
+    dv = np.empty_like(dctx)
+    for r in range(tp):
+        sl = slice(r * heads_per, (r + 1) * heads_per)
+        dq[:, sl, :], dk[:, sl, :], dv[:, sl, :] = _attention_bwd(
+            dctx[:, sl, :], cache["attn_shards"][r], precision)
+    dq = dq.reshape(seq, cfg.dim)
+    dk = dk.reshape(seq, cfg.dim)
+    dv = dv.reshape(seq, cfg.dim)
+
+    h1 = cache["h1"]
+    for name, dt in (("wq", dq), ("wk", dk), ("wv", dv)):
+        grads[f"l{layer}.{name}"] = np.concatenate([
+            matmul(h1.T, dt[:, r * shard_d:(r + 1) * shard_d], precision)
+            for r in range(tp)
+        ], axis=1)
+    dh1 = accumulate(
+        accumulate(
+            _column_parallel_input_grad(dq, p["wq"], tp, precision),
+            _column_parallel_input_grad(dk, p["wk"], tp, precision),
+            precision.grad_reduce,
+        ),
+        _column_parallel_input_grad(dv, p["wv"], tp, precision),
+        precision.grad_reduce,
+    )
+    dx1, grads[f"l{layer}.norm1"] = _rmsnorm_bwd(
+        dh1.astype(np.float32), cache["norm1"])
+    return dx + dx1, grads

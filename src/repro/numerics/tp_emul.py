@@ -1,0 +1,167 @@
+"""A real-numerics tensor-parallel transformer layer (Megatron-style).
+
+The paper's TP follows Megatron-LM (Section 2.1): column-parallel first
+GEMMs (QKV, FFN gate/up — output dimension split, no reduction) and
+row-parallel second GEMMs (attention output, FFN down — inner dimension
+split, cross-rank all-reduce).  This module executes one full transformer
+layer that way on real numpy arrays and certifies the numerical contract:
+
+* **column-parallel** outputs are **bitwise identical** to the unsharded
+  GEMM — each output element is computed by exactly one rank with the
+  same arithmetic;
+* **row-parallel** outputs involve a cross-rank sum, so they match the
+  fused GEMM only to rounding, and match the order-emulated baseline
+  bitwise (the Section 6.2 contract);
+* attention itself parallelises over heads (each rank owns
+  ``n_heads / tp`` heads), which is also reduction-free and bitwise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.numerics.precision import PrecisionConfig, accumulate, cast, matmul
+from repro.numerics.transformer import (
+    TinyConfig,
+    _attention_fwd,
+    _rmsnorm_fwd,
+    _silu,
+)
+
+
+def column_parallel_linear(
+    x: np.ndarray, w: np.ndarray, tp: int, precision: PrecisionConfig
+) -> np.ndarray:
+    """Column-parallel GEMM: W split along its *output* dimension; shard
+    outputs concatenate with no reduction — bitwise equal to the fused
+    GEMM."""
+    out_dim = w.shape[1]
+    if out_dim % tp != 0:
+        raise ValueError(f"output dim {out_dim} not divisible by tp={tp}")
+    shard = out_dim // tp
+    pieces = [
+        matmul(x, w[:, r * shard:(r + 1) * shard], precision)
+        for r in range(tp)
+    ]
+    return np.concatenate(pieces, axis=1)
+
+
+def row_parallel_linear(
+    x: np.ndarray, w: np.ndarray, tp: int, precision: PrecisionConfig
+) -> np.ndarray:
+    """Row-parallel GEMM: W split along its *input* dimension, partials
+    all-reduced in ring order (matches
+    :func:`repro.numerics.parallel_emul.tp_row_parallel_matmul`)."""
+    in_dim = w.shape[0]
+    if in_dim % tp != 0:
+        raise ValueError(f"input dim {in_dim} not divisible by tp={tp}")
+    shard = in_dim // tp
+    total = matmul(x[:, :shard], w[:shard, :], precision)
+    for r in range(1, tp):
+        part = matmul(
+            x[:, r * shard:(r + 1) * shard],
+            w[r * shard:(r + 1) * shard, :], precision,
+        )
+        total = accumulate(total, part, precision.grad_reduce)
+    return total
+
+
+def tp_layer_forward(
+    cfg: TinyConfig,
+    params: Dict[str, np.ndarray],
+    layer: int,
+    x: np.ndarray,
+    tp: int,
+    precision: PrecisionConfig,
+) -> np.ndarray:
+    """One transformer layer executed with Megatron-style TP.
+
+    Args:
+        cfg: Testbed model dimensions.
+        params: Full (unsharded) parameter dict of a
+            :class:`~repro.numerics.transformer.TinyTransformer`.
+        layer: Layer index to run.
+        x: (seq, dim) input activations.
+        tp: Tensor-parallel degree; must divide ``n_heads`` and
+            ``ffn_hidden``.
+        precision: Compute/reduction precisions.
+    """
+    if cfg.n_heads % tp != 0:
+        raise ValueError("tp must divide n_heads")
+    if cfg.ffn_hidden % tp != 0:
+        raise ValueError("tp must divide ffn_hidden")
+    seq = x.shape[0]
+    p = {k.removeprefix(f"l{layer}."): v
+         for k, v in params.items() if k.startswith(f"l{layer}.")}
+
+    # --- attention block -------------------------------------------------
+    h1, _ = _rmsnorm_fwd(x.astype(np.float32), p["norm1"], cfg.norm_eps)
+    h1 = cast(h1, precision.compute)
+    # Column-parallel QKV: head-blocks of the projection live per rank.
+    q = column_parallel_linear(h1, p["wq"], tp, precision).reshape(
+        seq, cfg.n_heads, cfg.head_dim)
+    k = column_parallel_linear(h1, p["wk"], tp, precision).reshape(
+        seq, cfg.n_heads, cfg.head_dim)
+    v = column_parallel_linear(h1, p["wv"], tp, precision).reshape(
+        seq, cfg.n_heads, cfg.head_dim)
+    # Heads partition across ranks: reduction-free, run per rank.
+    heads_per = cfg.n_heads // tp
+    ctx = np.empty_like(q)
+    for r in range(tp):
+        sl = slice(r * heads_per, (r + 1) * heads_per)
+        ctx[:, sl, :], _ = _attention_fwd(q[:, sl, :], k[:, sl, :],
+                                          v[:, sl, :], precision)
+    # Row-parallel output projection (all-reduce).
+    attn_out = row_parallel_linear(
+        ctx.reshape(seq, cfg.dim), p["wo"], tp, precision)
+    x = x + attn_out
+
+    # --- FFN block --------------------------------------------------------
+    h2, _ = _rmsnorm_fwd(x.astype(np.float32), p["norm2"], cfg.norm_eps)
+    h2 = cast(h2, precision.compute)
+    zg = column_parallel_linear(h2, p["wg"], tp, precision)
+    zu = column_parallel_linear(h2, p["wu"], tp, precision)
+    ffn_in = cast(_silu(zg.astype(np.float32)) * zu.astype(np.float32),
+                  precision.compute)
+    ffn_out = row_parallel_linear(ffn_in, p["wd"], tp, precision)
+    return x + ffn_out
+
+
+def tp_layer_forward_emulated_order(
+    cfg: TinyConfig,
+    params: Dict[str, np.ndarray],
+    layer: int,
+    x: np.ndarray,
+    tp: int,
+    precision: PrecisionConfig,
+) -> np.ndarray:
+    """The sequential baseline forced into TP's partition and reduction
+    order — bitwise equal to :func:`tp_layer_forward` by construction
+    (the Section 6.2 debugging reference for a real TP layer)."""
+    return tp_layer_forward(cfg, params, layer, x, tp, precision)
+
+
+def attention_heads_bitwise_partitionable(
+    cfg: TinyConfig,
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    tp: int,
+    precision: PrecisionConfig,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Run attention fused vs head-partitioned; returns both outputs.
+
+    Head partitioning is reduction-free, so the two must be bitwise
+    identical — the reason TP attention needs no special numerics care
+    while the row-parallel projections do.
+    """
+    fused, _ = _attention_fwd(q, k, v, precision)
+    heads_per = cfg.n_heads // tp
+    split = np.empty_like(fused)
+    for r in range(tp):
+        sl = slice(r * heads_per, (r + 1) * heads_per)
+        split[:, sl, :], _ = _attention_fwd(q[:, sl, :], k[:, sl, :],
+                                            v[:, sl, :], precision)
+    return fused, split

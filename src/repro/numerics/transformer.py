@@ -1,0 +1,375 @@
+"""A small Llama-style transformer with hand-written forward and backward.
+
+This is the real-computation substrate for the Section 6.2 numerics
+experiments: every GEMM goes through :func:`repro.numerics.precision.matmul`
+so the whole network can run in emulated BF16 (with FP32 tensor-core-style
+accumulation) or full precision, and the backward pass returns raw gradient
+arrays whose accumulation order the parallel emulators in
+:mod:`repro.numerics.parallel_emul` can rearrange and compare bitwise.
+
+Architecture (per layer): RMSNorm -> causal multi-head attention ->
+residual -> RMSNorm -> SwiGLU FFN -> residual; embedding in, RMSNorm +
+linear head out, cross-entropy loss averaged over tokens.  Softmax, norms
+and elementwise math run in FP32 as production kernels do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.numerics.precision import PrecisionConfig, cast, matmul
+
+Params = Dict[str, np.ndarray]
+
+
+@dataclass(frozen=True)
+class TinyConfig:
+    """Dimensions of the numerics-testbed model."""
+
+    vocab: int = 64
+    dim: int = 32
+    n_layers: int = 2
+    n_heads: int = 4
+    ffn_hidden: int = 64
+    norm_eps: float = 1e-5
+
+    def __post_init__(self) -> None:
+        if self.dim % self.n_heads != 0:
+            raise ValueError("dim must be divisible by n_heads")
+
+    @property
+    def head_dim(self) -> int:
+        return self.dim // self.n_heads
+
+
+def init_params(cfg: TinyConfig, rng: np.random.Generator) -> Params:
+    """Gaussian-initialised parameters, scaled 1/sqrt(fan_in), float32."""
+    def w(fan_in: int, *shape: int) -> np.ndarray:
+        return (rng.standard_normal(shape) / np.sqrt(fan_in)).astype(np.float32)
+
+    params: Params = {
+        "embed": w(cfg.dim, cfg.vocab, cfg.dim),
+        "head": w(cfg.dim, cfg.dim, cfg.vocab),
+        "final_norm": np.ones(cfg.dim, dtype=np.float32),
+    }
+    for i in range(cfg.n_layers):
+        params[f"l{i}.norm1"] = np.ones(cfg.dim, dtype=np.float32)
+        params[f"l{i}.norm2"] = np.ones(cfg.dim, dtype=np.float32)
+        for name in ("wq", "wk", "wv", "wo"):
+            params[f"l{i}.{name}"] = w(cfg.dim, cfg.dim, cfg.dim)
+        params[f"l{i}.wg"] = w(cfg.dim, cfg.dim, cfg.ffn_hidden)
+        params[f"l{i}.wu"] = w(cfg.dim, cfg.dim, cfg.ffn_hidden)
+        params[f"l{i}.wd"] = w(cfg.ffn_hidden, cfg.ffn_hidden, cfg.dim)
+    return params
+
+
+# ---------------------------------------------------------------------------
+# Primitive forward/backward pairs
+# ---------------------------------------------------------------------------
+
+def _rmsnorm_fwd(x: np.ndarray, g: np.ndarray, eps: float):
+    r = np.sqrt(np.mean(np.square(x), axis=-1, keepdims=True) + eps)
+    y = x / r * g
+    return y, (x, g, r)
+
+
+def _rmsnorm_bwd(dy: np.ndarray, ctx) -> Tuple[np.ndarray, np.ndarray]:
+    x, g, r = ctx
+    n = x.shape[-1]
+    dg = np.sum(dy * x / r, axis=tuple(range(dy.ndim - 1)))
+    dyg = dy * g
+    dx = dyg / r - x * np.sum(dyg * x, axis=-1, keepdims=True) / (n * r**3)
+    return dx, dg
+
+
+def _silu(z: np.ndarray) -> np.ndarray:
+    return z / (1.0 + np.exp(-z))
+
+
+def _silu_grad(z: np.ndarray) -> np.ndarray:
+    s = 1.0 / (1.0 + np.exp(-z))
+    return s * (1.0 + z * (1.0 - s))
+
+
+def _softmax_rows(scores: np.ndarray) -> np.ndarray:
+    m = np.max(scores, axis=-1, keepdims=True)
+    e = np.exp(scores - m)
+    return e / np.sum(e, axis=-1, keepdims=True)
+
+
+def _attention_fwd(
+    q: np.ndarray, k: np.ndarray, v: np.ndarray,
+    precision: PrecisionConfig,
+):
+    """Causal attention per head.  q, k, v: (seq, heads, head_dim)."""
+    seq, heads, hd = q.shape
+    scale = 1.0 / np.sqrt(hd)
+    mask = np.tril(np.ones((seq, seq), dtype=bool))
+    ctx_out = np.empty_like(q)
+    probs = np.empty((heads, seq, seq), dtype=np.float32)
+    for h in range(heads):
+        scores = matmul(q[:, h, :], k[:, h, :].T, precision) * scale
+        scores = np.where(mask, scores.astype(np.float32), -np.inf)
+        p = _softmax_rows(scores)
+        probs[h] = p
+        ctx_out[:, h, :] = matmul(p, v[:, h, :], precision)
+    return ctx_out, (q, k, v, probs, scale)
+
+
+def _attention_bwd(dctx: np.ndarray, ctx, precision: PrecisionConfig):
+    q, k, v, probs, scale = ctx
+    seq, heads, hd = q.shape
+    dq = np.empty_like(q)
+    dk = np.empty_like(k)
+    dv = np.empty_like(v)
+    for h in range(heads):
+        p = probs[h]
+        do = dctx[:, h, :]
+        dv[:, h, :] = matmul(p.T, do, precision)
+        dp = matmul(do, v[:, h, :].T, precision).astype(np.float32)
+        ds = p * (dp - np.sum(dp * p, axis=-1, keepdims=True))
+        dq[:, h, :] = matmul(ds, k[:, h, :], precision) * scale
+        dk[:, h, :] = matmul(ds.T, q[:, h, :], precision) * scale
+    return dq, dk, dv
+
+
+# ---------------------------------------------------------------------------
+# Per-module forward/backward (used standalone by the pipeline emulator)
+# ---------------------------------------------------------------------------
+
+def embed_forward(
+    params: Params, tokens: np.ndarray, precision: PrecisionConfig
+) -> np.ndarray:
+    """Token embedding lookup (the first pipeline stage's extra module)."""
+    return cast(params["embed"][tokens], precision.compute)
+
+
+def embed_backward(
+    params: Params, tokens: np.ndarray, dx: np.ndarray
+) -> np.ndarray:
+    """Embedding-table gradient from the residual-stream gradient."""
+    dembed = np.zeros_like(params["embed"])
+    np.add.at(dembed, tokens, dx.astype(dembed.dtype))
+    return dembed
+
+
+def layer_forward(
+    cfg: TinyConfig,
+    params: Params,
+    i: int,
+    x: np.ndarray,
+    precision: PrecisionConfig,
+) -> Tuple[np.ndarray, dict]:
+    """Forward of transformer layer ``i``; returns (output, cache).
+
+    The (x_out, cache) pair is exactly what crosses a pipeline-stage
+    boundary: the activation goes to the next stage over P2P, the cache
+    stays resident until this micro-batch's backward.
+    """
+    p = params
+    seq = x.shape[0]
+    cache: dict = {"x_in": x}
+    h1, cache["norm1"] = _rmsnorm_fwd(
+        x.astype(np.float32), p[f"l{i}.norm1"], cfg.norm_eps
+    )
+    h1 = cast(h1, precision.compute)
+    q = matmul(h1, p[f"l{i}.wq"], precision).reshape(
+        seq, cfg.n_heads, cfg.head_dim)
+    k = matmul(h1, p[f"l{i}.wk"], precision).reshape(
+        seq, cfg.n_heads, cfg.head_dim)
+    v = matmul(h1, p[f"l{i}.wv"], precision).reshape(
+        seq, cfg.n_heads, cfg.head_dim)
+    ctx_out, cache["attn"] = _attention_fwd(q, k, v, precision)
+    attn_flat = ctx_out.reshape(seq, cfg.dim)
+    attn_proj = matmul(attn_flat, p[f"l{i}.wo"], precision)
+    cache["h1"], cache["attn_flat"] = h1, attn_flat
+    x = x + attn_proj
+    h2, cache["norm2"] = _rmsnorm_fwd(
+        x.astype(np.float32), p[f"l{i}.norm2"], cfg.norm_eps
+    )
+    h2 = cast(h2, precision.compute)
+    zg = matmul(h2, p[f"l{i}.wg"], precision)
+    zu = matmul(h2, p[f"l{i}.wu"], precision)
+    act = _silu(zg.astype(np.float32))
+    ffn_in = cast(act * zu.astype(np.float32), precision.compute)
+    ffn_out = matmul(ffn_in, p[f"l{i}.wd"], precision)
+    cache.update(h2=h2, zg=zg, zu=zu, ffn_in=ffn_in)
+    return x + ffn_out, cache
+
+
+def layer_backward(
+    cfg: TinyConfig,
+    params: Params,
+    i: int,
+    dx: np.ndarray,
+    cache: dict,
+    precision: PrecisionConfig,
+) -> Tuple[np.ndarray, Params]:
+    """Backward of layer ``i``: upstream residual-stream gradient in,
+    (input gradient, weight gradients) out."""
+    p = params
+    seq = dx.shape[0]
+    grads: Params = {}
+    c = cache
+    # FFN block.
+    dffn_out = dx
+    grads[f"l{i}.wd"] = matmul(c["ffn_in"].T, dffn_out, precision)
+    dffn_in = matmul(dffn_out, p[f"l{i}.wd"].T, precision)
+    dffn_in = dffn_in.astype(np.float32)
+    act = _silu(c["zg"].astype(np.float32))
+    dzg = dffn_in * c["zu"].astype(np.float32) * _silu_grad(
+        c["zg"].astype(np.float32))
+    dzu = dffn_in * act
+    grads[f"l{i}.wg"] = matmul(c["h2"].T, cast(dzg, precision.compute),
+                               precision)
+    grads[f"l{i}.wu"] = matmul(c["h2"].T, cast(dzu, precision.compute),
+                               precision)
+    dh2 = (
+        matmul(cast(dzg, precision.compute), p[f"l{i}.wg"].T, precision)
+        + matmul(cast(dzu, precision.compute), p[f"l{i}.wu"].T, precision)
+    )
+    dx2, grads[f"l{i}.norm2"] = _rmsnorm_bwd(
+        dh2.astype(np.float32), c["norm2"]
+    )
+    dx = dx + dx2
+
+    # Attention block.
+    dattn_proj = dx
+    grads[f"l{i}.wo"] = matmul(c["attn_flat"].T, dattn_proj, precision)
+    dctx = matmul(dattn_proj, p[f"l{i}.wo"].T, precision).reshape(
+        seq, cfg.n_heads, cfg.head_dim)
+    dq, dk, dv = _attention_bwd(dctx, c["attn"], precision)
+    dq = dq.reshape(seq, cfg.dim)
+    dk = dk.reshape(seq, cfg.dim)
+    dv = dv.reshape(seq, cfg.dim)
+    h1 = c["h1"]
+    grads[f"l{i}.wq"] = matmul(h1.T, dq, precision)
+    grads[f"l{i}.wk"] = matmul(h1.T, dk, precision)
+    grads[f"l{i}.wv"] = matmul(h1.T, dv, precision)
+    dh1 = (
+        matmul(dq, p[f"l{i}.wq"].T, precision)
+        + matmul(dk, p[f"l{i}.wk"].T, precision)
+        + matmul(dv, p[f"l{i}.wv"].T, precision)
+    )
+    dx1, grads[f"l{i}.norm1"] = _rmsnorm_bwd(
+        dh1.astype(np.float32), c["norm1"]
+    )
+    return dx + dx1, grads
+
+
+def head_forward(
+    cfg: TinyConfig,
+    params: Params,
+    x: np.ndarray,
+    targets: np.ndarray,
+    precision: PrecisionConfig,
+) -> Tuple[float, dict]:
+    """Final norm + vocabulary head + cross-entropy (last stage)."""
+    seq = x.shape[0]
+    hf, norm_cache = _rmsnorm_fwd(
+        x.astype(np.float32), params["final_norm"], cfg.norm_eps
+    )
+    hf = cast(hf, precision.compute)
+    logits = matmul(hf, params["head"], precision).astype(np.float32)
+    probs = _softmax_rows(logits)
+    loss = float(-np.mean(np.log(probs[np.arange(seq), targets] + 1e-30)))
+    return loss, {"norm": norm_cache, "hf": hf, "probs": probs,
+                  "targets": targets, "seq": seq}
+
+
+def head_backward(
+    params: Params, cache: dict, precision: PrecisionConfig
+) -> Tuple[np.ndarray, Params]:
+    """Backward of the head: (residual-stream gradient, weight grads)."""
+    seq, targets = cache["seq"], cache["targets"]
+    grads: Params = {}
+    dlogits = cache["probs"].copy()
+    dlogits[np.arange(seq), targets] -= 1.0
+    dlogits /= seq
+    grads["head"] = matmul(cache["hf"].T, dlogits, precision)
+    dhf = matmul(dlogits, params["head"].T, precision)
+    dx, grads["final_norm"] = _rmsnorm_bwd(
+        dhf.astype(np.float32), cache["norm"]
+    )
+    return dx, grads
+
+
+# ---------------------------------------------------------------------------
+# Full model
+# ---------------------------------------------------------------------------
+
+class TinyTransformer:
+    """Numerics-testbed transformer with explicit forward/backward.
+
+    All methods are pure with respect to ``params``: gradients are
+    returned, never applied, so callers control the update and the
+    accumulation order.
+    """
+
+    def __init__(self, cfg: TinyConfig, params: Params) -> None:
+        self.cfg = cfg
+        self.params = params
+
+    @classmethod
+    def create(cls, cfg: TinyConfig, seed: int = 0) -> "TinyTransformer":
+        return cls(cfg, init_params(cfg, np.random.default_rng(seed)))
+
+    def forward(
+        self,
+        tokens: np.ndarray,
+        targets: np.ndarray,
+        precision: PrecisionConfig,
+    ) -> Tuple[float, dict]:
+        """Cross-entropy loss for one sequence, plus the backward cache.
+
+        Composed from the per-module primitives (:func:`embed_forward`,
+        :func:`layer_forward`, :func:`head_forward`) so monolithic and
+        pipeline-staged execution share every floating-point operation —
+        the bitwise-comparison baseline of Section 6.2.
+        """
+        cfg, p = self.cfg, self.params
+        if tokens.ndim != 1 or tokens.shape != targets.shape:
+            raise ValueError("tokens and targets must be equal-length 1-D")
+        x = embed_forward(p, tokens, precision)
+        layer_caches: List[dict] = []
+        for i in range(cfg.n_layers):
+            x, cache = layer_forward(cfg, p, i, x, precision)
+            layer_caches.append(cache)
+        loss, head_cache = head_forward(cfg, p, x, targets, precision)
+        cache_all = {
+            "tokens": tokens, "layers": layer_caches, "head": head_cache,
+        }
+        return loss, cache_all
+
+    def backward(self, cache: dict, precision: PrecisionConfig) -> Params:
+        """Gradients of the cached forward, keyed like ``params``."""
+        cfg, p = self.cfg, self.params
+        grads: Params = {}
+        dx, head_grads = head_backward(p, cache["head"], precision)
+        grads.update(head_grads)
+        for i in reversed(range(cfg.n_layers)):
+            dx, layer_grads = layer_backward(
+                cfg, p, i, dx, cache["layers"][i], precision)
+            grads.update(layer_grads)
+        grads["embed"] = embed_backward(p, cache["tokens"], dx)
+        return grads
+
+    def loss_and_grads(
+        self,
+        tokens: np.ndarray,
+        targets: np.ndarray,
+        precision: PrecisionConfig,
+    ) -> Tuple[float, Params]:
+        loss, cache = self.forward(tokens, targets, precision)
+        return loss, self.backward(cache, precision)
+
+    def apply_sgd(self, grads: Params, lr: float) -> None:
+        """In-place SGD update (FP32 master weights)."""
+        for name, g in grads.items():
+            self.params[name] = (
+                self.params[name].astype(np.float32)
+                - lr * g.astype(np.float32)
+            )

@@ -1,0 +1,53 @@
+"""4D parallelism: configuration, device mesh, planner, and memory model."""
+
+from repro.parallel.config import (
+    ParallelConfig,
+    JobConfig,
+    ZeroStage,
+    LLAMA3_405B_SHORT_CONTEXT,
+    LLAMA3_405B_LONG_CONTEXT,
+)
+from repro.parallel.mesh import DeviceMesh, MeshCoord, DIM_ORDER
+from repro.parallel.memory import RankMemory, estimate_rank_memory
+from repro.parallel.planner import (
+    Plan,
+    plan_parallelism,
+    arithmetic_intensity_2d,
+    hardware_flops_per_byte,
+    MEMORY_HEADROOM,
+)
+
+from repro.parallel.ordering import (
+    PAPER_ORDER,
+    DimTraffic,
+    OrderingScore,
+    dimension_traffic,
+    links_for_order,
+    score_ordering,
+    rank_orderings,
+)
+
+__all__ = [
+    "PAPER_ORDER",
+    "DimTraffic",
+    "OrderingScore",
+    "dimension_traffic",
+    "links_for_order",
+    "score_ordering",
+    "rank_orderings",
+    "ParallelConfig",
+    "JobConfig",
+    "ZeroStage",
+    "LLAMA3_405B_SHORT_CONTEXT",
+    "LLAMA3_405B_LONG_CONTEXT",
+    "DeviceMesh",
+    "MeshCoord",
+    "DIM_ORDER",
+    "RankMemory",
+    "estimate_rank_memory",
+    "Plan",
+    "plan_parallelism",
+    "arithmetic_intensity_2d",
+    "hardware_flops_per_byte",
+    "MEMORY_HEADROOM",
+]

@@ -1,0 +1,133 @@
+"""4D parallelism configuration and training-job hyperparameters.
+
+Terminology follows Table 1 of the paper exactly:
+
+========  ==================================================================
+``ngpu``  number of GPUs
+``seq``   sequence length
+``gbs``   global batch size (in sequences)
+``bs``    batch size per data-parallel group
+``mbs``   micro-batch size in pipeline stage execution
+``dp/tp/cp/pp``  GPUs in one data/tensor/context/pipeline parallel group
+``ndp``   number of data-parallel groups
+``v``     number of virtual stages on one PP rank
+``nc``    consecutive micro-batches per virtual stage per round
+``nmb``   micro-batches per virtual stage
+``tmb``   total micro-batches on one PP rank (= nmb * v)
+========  ==================================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class ZeroStage(Enum):
+    """FSDP sharding strategy, aligned with DeepSpeed's ZeRO definitions
+    (Section 2.1): what is sharded across the data-parallel group."""
+
+    ZERO_1 = 1  # optimizer states only
+    ZERO_2 = 2  # optimizer states + gradients
+    ZERO_3 = 3  # optimizer states + gradients + parameters
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Sizes of the four parallelism dimensions.
+
+    The product ``tp * cp * pp * dp`` must equal the world size; the order
+    of dimensions when mapping to physical ranks is fixed to
+    [TP, CP, PP, DP] inner -> outer (Section 5.2).
+    """
+
+    tp: int = 1
+    cp: int = 1
+    pp: int = 1
+    dp: int = 1
+    zero: ZeroStage = ZeroStage.ZERO_1
+
+    def __post_init__(self) -> None:
+        for name in ("tp", "cp", "pp", "dp"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+
+    @property
+    def world_size(self) -> int:
+        return self.tp * self.cp * self.pp * self.dp
+
+    @property
+    def model_parallel_size(self) -> int:
+        """GPUs holding one model replica's parameters (TP x PP)."""
+        return self.tp * self.pp
+
+    @property
+    def ndp(self) -> int:
+        """Number of data-parallel groups (= dp)."""
+        return self.dp
+
+    @property
+    def grad_shard_degree(self) -> int:
+        """Ranks sharing one gradient shard: CP extends the DP group when
+        communicating parameters and gradients (Section 4, Integration)."""
+        return self.dp * self.cp
+
+    def describe(self) -> str:
+        return (
+            f"tp={self.tp} cp={self.cp} pp={self.pp} dp={self.dp} "
+            f"({self.zero.name}, world={self.world_size})"
+        )
+
+
+@dataclass(frozen=True)
+class JobConfig:
+    """One training phase's hyperparameters.
+
+    Attributes:
+        seq: Sequence length in tokens.
+        gbs: Global batch size in sequences.
+        ngpu: Total GPUs used by the phase.
+        mbs: Micro-batch size in sequences (1 throughout Llama 3).
+    """
+
+    seq: int
+    gbs: int
+    ngpu: int
+    mbs: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("seq", "gbs", "ngpu", "mbs"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+
+    @property
+    def tokens_per_step(self) -> int:
+        """Global token budget per optimizer step (16M for Llama 3)."""
+        return self.seq * self.gbs
+
+    def batch_per_dp_group(self, parallel: ParallelConfig) -> int:
+        """``bs``: sequences each data-parallel group processes per step."""
+        if parallel.world_size != self.ngpu:
+            raise ValueError(
+                f"parallel config covers {parallel.world_size} GPUs, "
+                f"job uses {self.ngpu}"
+            )
+        if self.gbs % parallel.dp != 0:
+            raise ValueError(
+                f"gbs={self.gbs} not divisible by dp={parallel.dp}"
+            )
+        return self.gbs // parallel.dp
+
+    def micro_batches(self, parallel: ParallelConfig) -> int:
+        """Total micro-batches per pipeline per step (bs / mbs)."""
+        bs = self.batch_per_dp_group(parallel)
+        if bs % self.mbs != 0:
+            raise ValueError(f"bs={bs} not divisible by mbs={self.mbs}")
+        return bs // self.mbs
+
+
+#: Llama 3 405B short-context phase (Table 2, row 1).
+LLAMA3_405B_SHORT_CONTEXT = JobConfig(seq=8192, gbs=2048, ngpu=16384)
+
+#: Llama 3 405B long-context phase (Table 2, row 2).
+LLAMA3_405B_LONG_CONTEXT = JobConfig(seq=131072, gbs=128, ngpu=16384)

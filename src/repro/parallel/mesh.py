@@ -1,0 +1,131 @@
+"""Device mesh: mapping between global ranks and 4D parallel coordinates.
+
+The order of dimensions is the paper's [TP, CP, PP, DP], inner to outer
+(Section 5.2): TP ranks are adjacent global ranks (same NVLink domain when
+``tp <= gpus_per_node``), then CP, then PP, with DP outermost.  A global
+rank decomposes as::
+
+    rank = ((dp_idx * pp + pp_idx) * cp + cp_idx) * tp + tp_idx
+
+The mesh also constructs the process groups that both the simulator and the
+trace-analysis tools (Section 6.1's top-down slow-rank search) operate on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.parallel.config import ParallelConfig
+
+#: Dimension names, innermost first.
+DIM_ORDER = ("tp", "cp", "pp", "dp")
+
+
+@dataclass(frozen=True)
+class MeshCoord:
+    """4D coordinates of one rank."""
+
+    tp: int
+    cp: int
+    pp: int
+    dp: int
+
+    def replace_dim(self, dim: str, value: int) -> "MeshCoord":
+        parts = {"tp": self.tp, "cp": self.cp, "pp": self.pp, "dp": self.dp}
+        if dim not in parts:
+            raise ValueError(f"unknown dim {dim!r}")
+        parts[dim] = value
+        return MeshCoord(**parts)
+
+
+class DeviceMesh:
+    """Rank <-> coordinate mapping and process-group construction."""
+
+    def __init__(self, parallel: ParallelConfig) -> None:
+        self.parallel = parallel
+
+    @property
+    def world_size(self) -> int:
+        return self.parallel.world_size
+
+    def _sizes(self) -> Dict[str, int]:
+        p = self.parallel
+        return {"tp": p.tp, "cp": p.cp, "pp": p.pp, "dp": p.dp}
+
+    def coord_of(self, rank: int) -> MeshCoord:
+        """4D coordinates of a global rank."""
+        if not 0 <= rank < self.world_size:
+            raise ValueError(f"rank {rank} out of range [0, {self.world_size})")
+        p = self.parallel
+        tp_idx = rank % p.tp
+        cp_idx = (rank // p.tp) % p.cp
+        pp_idx = (rank // (p.tp * p.cp)) % p.pp
+        dp_idx = rank // (p.tp * p.cp * p.pp)
+        return MeshCoord(tp=tp_idx, cp=cp_idx, pp=pp_idx, dp=dp_idx)
+
+    def rank_of(self, coord: MeshCoord) -> int:
+        """Global rank of a 4D coordinate."""
+        p = self.parallel
+        for dim in DIM_ORDER:
+            idx, size = getattr(coord, dim), self._sizes()[dim]
+            if not 0 <= idx < size:
+                raise ValueError(f"{dim} index {idx} out of range [0, {size})")
+        return (
+            ((coord.dp * p.pp + coord.pp) * p.cp + coord.cp) * p.tp + coord.tp
+        )
+
+    def group_of(self, rank: int, dim: str) -> List[int]:
+        """Ranks in the same ``dim`` process group as ``rank``.
+
+        E.g. ``group_of(r, "tp")`` is the TP group: all ranks differing
+        from ``r`` only in their TP coordinate, in TP-index order.
+        """
+        coord = self.coord_of(rank)
+        size = self._sizes().get(dim)
+        if size is None:
+            raise ValueError(f"unknown dim {dim!r}; expected one of {DIM_ORDER}")
+        return [
+            self.rank_of(coord.replace_dim(dim, i)) for i in range(size)
+        ]
+
+    def all_groups(self, dim: str) -> List[List[int]]:
+        """Every ``dim`` process group, each as an ordered rank list."""
+        seen = set()
+        groups = []
+        for rank in range(self.world_size):
+            group = tuple(self.group_of(rank, dim))
+            if group not in seen:
+                seen.add(group)
+                groups.append(list(group))
+        return groups
+
+    def dp_cp_group_of(self, rank: int) -> List[int]:
+        """The combined DP x CP group used for parameter all-gather and
+        gradient reduce-scatter (Section 4: CP extends DP for parameter
+        communication)."""
+        coord = self.coord_of(rank)
+        p = self.parallel
+        ranks = []
+        for dp_idx in range(p.dp):
+            for cp_idx in range(p.cp):
+                c = MeshCoord(tp=coord.tp, cp=cp_idx, pp=coord.pp, dp=dp_idx)
+                ranks.append(self.rank_of(c))
+        return ranks
+
+    def pp_stage_ranks(self, pp_idx: int) -> List[int]:
+        """All global ranks at one pipeline stage."""
+        if not 0 <= pp_idx < self.parallel.pp:
+            raise ValueError(f"pp index {pp_idx} out of range")
+        return [
+            r for r in range(self.world_size) if self.coord_of(r).pp == pp_idx
+        ]
+
+    def pp_neighbor(self, rank: int, direction: int) -> int:
+        """Rank holding the next (+1) or previous (-1) pipeline stage for
+        the same (tp, cp, dp) coordinates, wrapping at the ends."""
+        if direction not in (1, -1):
+            raise ValueError("direction must be +1 or -1")
+        coord = self.coord_of(rank)
+        new_pp = (coord.pp + direction) % self.parallel.pp
+        return self.rank_of(coord.replace_dim("pp", new_pp))

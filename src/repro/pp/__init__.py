@@ -1,0 +1,42 @@
+"""Pipeline parallelism: flexible schedules, balancing, gradient memory,
+and multimodal sharding."""
+
+from repro.pp.analysis import (
+    ScheduleShape,
+    validate_schedule_params,
+    warmup_microbatches,
+    peak_in_flight_microbatches,
+    bubble_ratio,
+    extra_warmup_vs_interleaved,
+    default_nc,
+    degenerates_to_afab,
+)
+
+from repro.pp.autotune import TuneCandidate, autotune_schedule, best_schedule
+from repro.pp.render import render_program, render_timeline
+from repro.pp.multimodal_schedule import (
+    MultimodalPipelineResult,
+    stage_costs,
+    simulate_multimodal_pipeline,
+    compare_groupings_event_level,
+)
+
+__all__ = [
+    "render_program",
+    "MultimodalPipelineResult",
+    "stage_costs",
+    "simulate_multimodal_pipeline",
+    "compare_groupings_event_level",
+    "render_timeline",
+    "TuneCandidate",
+    "autotune_schedule",
+    "best_schedule",
+    "ScheduleShape",
+    "validate_schedule_params",
+    "warmup_microbatches",
+    "peak_in_flight_microbatches",
+    "bubble_ratio",
+    "extra_warmup_vs_interleaved",
+    "default_nc",
+    "degenerates_to_afab",
+]

@@ -1,0 +1,139 @@
+"""Closed-form pipeline-schedule math (Section 3.1.1).
+
+These formulas are deliberately free of dependencies on the rest of the
+library so both the Section 5 planner and the exact schedule generator can
+use them; tests cross-check them against event-level simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def validate_schedule_params(pp: int, v: int, nc: int, nmb: int) -> None:
+    """Raise ValueError unless (pp, v, nc, nmb) describe a valid schedule."""
+    if pp < 1:
+        raise ValueError("pp must be >= 1")
+    if v < 1:
+        raise ValueError("v (virtual stages per rank) must be >= 1")
+    if nmb < 1:
+        raise ValueError("nmb (micro-batches per virtual stage) must be >= 1")
+    if not 1 <= nc <= nmb:
+        raise ValueError(f"nc must be in [1, nmb]; got nc={nc}, nmb={nmb}")
+    if nmb % nc != 0:
+        raise ValueError(
+            f"nmb ({nmb}) must be a multiple of nc ({nc}) so rounds are equal"
+        )
+
+
+def warmup_microbatches(pp: int, ppr: int, v: int, nc: int) -> int:
+    """Warm-up micro-batch forwards before a rank's first backward.
+
+    The paper's formula (Section 3.1.1): ``(v - 1) * nc + 2 * (pp - ppr - 1)``.
+    Earlier ranks warm up deeper — the root of the PP memory imbalance that
+    Section 3.1.2 addresses by removing a layer from the first stage.
+    """
+    if not 0 <= ppr < pp:
+        raise ValueError(f"ppr must be in [0, pp); got ppr={ppr}, pp={pp}")
+    if v < 1 or nc < 1:
+        raise ValueError("v and nc must be >= 1")
+    return (v - 1) * nc + 2 * (pp - ppr - 1)
+
+
+def peak_in_flight_microbatches(
+    pp: int, ppr: int, v: int, nc: int, nmb: int, all_forward_all_backward: bool = False
+) -> int:
+    """Peak simultaneous micro-batches with live forward activations.
+
+    For 1F1B-style schedules this is the warm-up depth plus the one
+    micro-batch in steady state, capped at the total; for
+    all-forward-all-backward every micro-batch of every virtual stage is
+    in flight at once (Figure 4b).  ``nc < pp`` implies AFAB because the
+    flexible schedule degenerates there (Section 3.1.1).
+    """
+    validate_schedule_params(pp, v, nc, nmb)
+    tmb = nmb * v
+    if all_forward_all_backward or degenerates_to_afab(pp, nc):
+        return tmb
+    return min(warmup_microbatches(pp, ppr, v, nc) + 1, tmb)
+
+
+def bubble_ratio(pp: int, nmb: int, v: int) -> float:
+    """Ideal PP bubble ratio (idle / compute) = (pp - 1) / (nmb * v).
+
+    This is the Section 3.1.1 formula; it ignores exposed P2P and workload
+    imbalance, which the event-level simulator adds back.
+    """
+    if pp < 1 or nmb < 1 or v < 1:
+        raise ValueError("pp, nmb, v must be >= 1")
+    return (pp - 1) / float(nmb * v)
+
+
+def extra_warmup_vs_interleaved(pp: int, v: int, nc: int) -> int:
+    """Extra in-flight warm-up micro-batches of flexible PP over the
+    original interleaved 1F1B (which fixes nc = pp).
+
+    When ``nc > pp`` the flexible schedule inserts ``nc - pp`` extra
+    micro-batches per virtual stage into warm-up to hide P2P (Figure 3),
+    costing ``(nc - pp) * (v - 1)`` additional in-flight micro-batches
+    (Section 3.1.1).  When ``nc <= pp`` there is no extra memory.
+    """
+    if pp < 1 or v < 1 or nc < 1:
+        raise ValueError("pp, v, nc must be >= 1")
+    return max(nc - pp, 0) * (v - 1)
+
+
+def default_nc(pp: int, nmb: int) -> int:
+    """Largest valid ``nc`` (divisor of nmb) not exceeding ``pp``.
+
+    The original interleaved 1F1B fixes ``nc = pp``; when nmb is not a
+    multiple of pp, flexible PP picks the largest round size that still
+    divides nmb evenly.
+    """
+    if pp < 1 or nmb < 1:
+        raise ValueError("pp and nmb must be >= 1")
+    for candidate in range(min(pp, nmb), 0, -1):
+        if nmb % candidate == 0:
+            return candidate
+    return 1
+
+
+def degenerates_to_afab(pp: int, nc: int) -> bool:
+    """Whether nc < pp, which degenerates flexible PP into
+    all-forward-all-backward (Section 3.1.1)."""
+    return nc < pp
+
+
+@dataclass(frozen=True)
+class ScheduleShape:
+    """Static description of a flexible-PP run: sizes only, no timing."""
+
+    pp: int
+    v: int
+    nc: int
+    nmb: int
+
+    def __post_init__(self) -> None:
+        validate_schedule_params(self.pp, self.v, self.nc, self.nmb)
+
+    @property
+    def tmb(self) -> int:
+        """Total micro-batch executions per rank (= nmb * v)."""
+        return self.nmb * self.v
+
+    @property
+    def rounds(self) -> int:
+        """Rounds of nc consecutive micro-batches per virtual stage."""
+        return self.nmb // self.nc
+
+    @property
+    def ideal_bubble_ratio(self) -> float:
+        return bubble_ratio(self.pp, self.nmb, self.v)
+
+    def warmup(self, ppr: int) -> int:
+        return warmup_microbatches(self.pp, ppr, self.v, self.nc)
+
+    def peak_in_flight(self, ppr: int, all_forward_all_backward: bool = False) -> int:
+        return peak_in_flight_microbatches(
+            self.pp, ppr, self.v, self.nc, self.nmb, all_forward_all_backward
+        )

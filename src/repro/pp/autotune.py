@@ -1,0 +1,132 @@
+"""Schedule auto-tuning: search (schedule kind, nc, v) under a memory
+budget.
+
+The paper tunes these by hand per phase (Sections 3.1 and 7.1); this
+module automates the search the way a framework would: enumerate valid
+round sizes ``nc`` (divisors of nmb), virtual-stage counts ``v``, and
+schedule kinds, simulate each, drop configurations that exceed the memory
+budget, and rank the rest by achieved TFLOPs.  The ablation benchmark uses
+it to show the design space around the paper's choices.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+from repro.hardware.cluster import ClusterSpec
+from repro.model.config import TextModelConfig
+
+if TYPE_CHECKING:  # imported lazily to avoid a package import cycle
+    from repro.parallel.config import JobConfig, ParallelConfig
+
+
+@dataclass(frozen=True)
+class TuneCandidate:
+    """One evaluated schedule configuration."""
+
+    schedule_kind: str
+    nc: int
+    v: int
+    tflops_per_gpu: float
+    max_memory_gb: float
+    bubble_ratio: float
+    fits: bool
+
+    def describe(self) -> str:
+        tag = "" if self.fits else "  [over budget]"
+        return (
+            f"{self.schedule_kind:8s} nc={self.nc:<3d} v={self.v:<2d} "
+            f"{self.tflops_per_gpu:5.0f} TFLOPs  "
+            f"{self.max_memory_gb:5.1f} GiB  "
+            f"bubble {self.bubble_ratio:.3f}{tag}"
+        )
+
+
+def _divisors(n: int) -> List[int]:
+    return [d for d in range(1, n + 1) if n % d == 0]
+
+
+def autotune_schedule(
+    model: TextModelConfig,
+    parallel: "ParallelConfig",
+    job: "JobConfig",
+    cluster: ClusterSpec,
+    memory_budget_gb: float = 72.0,
+    v_candidates: Optional[Sequence[int]] = None,
+    nc_candidates: Optional[Sequence[int]] = None,
+    recompute: bool = False,
+    congestion: float = 1.0,
+) -> List[TuneCandidate]:
+    """Evaluate the schedule design space; best feasible first.
+
+    Returns every evaluated candidate (feasible ones sorted to the front
+    by TFLOPs, then infeasible ones), so benchmarks can show the whole
+    trade-off surface rather than just the winner.
+    """
+    from repro.train.step import simulate_step
+
+    nmb = job.micro_batches(parallel)
+    layers_per_rank = max(math.ceil(model.n_layers / parallel.pp), 1)
+    if v_candidates is None:
+        v_candidates = sorted({
+            v for v in (1, 2, layers_per_rank // 2, layers_per_rank)
+            if v >= 1
+        })
+    if nc_candidates is None:
+        nc_candidates = _divisors(nmb)
+
+    seen = set()
+    candidates: List[TuneCandidate] = []
+    for v in v_candidates:
+        for kind in ("flexible", "afab"):
+            for nc in nc_candidates:
+                key = (kind, nc, v)
+                if key in seen:
+                    continue
+                seen.add(key)
+                try:
+                    rep = simulate_step(
+                        model, parallel, job, cluster,
+                        schedule_kind=kind, nc=nc, v=v,
+                        recompute=recompute, congestion=congestion,
+                    )
+                except (ValueError, RuntimeError):
+                    continue
+                candidates.append(
+                    TuneCandidate(
+                        schedule_kind=kind,
+                        nc=nc,
+                        v=v,
+                        tflops_per_gpu=rep.tflops_per_gpu,
+                        max_memory_gb=rep.max_peak_memory_gb,
+                        bubble_ratio=rep.mean_bubble_ratio,
+                        fits=rep.max_peak_memory_gb <= memory_budget_gb,
+                    )
+                )
+    return sorted(
+        candidates,
+        key=lambda c: (not c.fits, -c.tflops_per_gpu),
+    )
+
+
+def best_schedule(
+    model: TextModelConfig,
+    parallel: "ParallelConfig",
+    job: "JobConfig",
+    cluster: ClusterSpec,
+    memory_budget_gb: float = 72.0,
+    **kwargs,
+) -> TuneCandidate:
+    """The best feasible configuration, or raise if nothing fits."""
+    results = autotune_schedule(
+        model, parallel, job, cluster, memory_budget_gb, **kwargs
+    )
+    feasible = [c for c in results if c.fits]
+    if not feasible:
+        raise ValueError(
+            f"no schedule fits in {memory_budget_gb} GiB; best infeasible: "
+            f"{results[0].describe() if results else 'none evaluated'}"
+        )
+    return feasible[0]

@@ -1,0 +1,196 @@
+"""Gradient and activation memory lifetime under PP x FSDP ZeRO modes.
+
+Reproduces the mechanics behind Figure 4:
+
+* Interleaved schedules alternate virtual stages, so gradients must be
+  **accumulated across executions of the same virtual stage** — a gradient
+  buffer is born at a stage's first backward.
+* **ZeRO-1** keeps the unsharded buffer until the end of the step and
+  launches the reduce-scatter only on the last micro-batch (Figure 4a):
+  more memory, minimal communication.
+* **ZeRO-2** reduce-scatters at the end of each run of consecutive
+  micro-batches of a virtual stage (Figure 4c), shrinking the buffer to
+  its DP-sharded size in between: less memory, ``rounds``-times the
+  reduce-scatter traffic — the congestion source Section 3.1.3 warns about.
+
+The tracker walks one rank's program op by op and emits a step-function
+timeline of gradient and activation bytes, so the Figure 4 benchmark can
+print the curves and the planner's closed-form peak can be cross-checked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.parallel.config import ZeroStage
+from repro.pp.schedule import OpKind, PipelineSchedule
+
+
+@dataclass(frozen=True)
+class MemorySample:
+    """Memory state after one schedule op on one rank."""
+
+    op_index: int
+    op_label: str
+    grad_bytes: float
+    activation_bytes: float
+    reduce_scatter_launched: bool
+
+    @property
+    def total(self) -> float:
+        return self.grad_bytes + self.activation_bytes
+
+
+@dataclass(frozen=True)
+class MemoryTimeline:
+    """Full per-op memory trajectory for one rank."""
+
+    ppr: int
+    zero: ZeroStage
+    samples: Tuple[MemorySample, ...]
+    reduce_scatter_count: int
+
+    @property
+    def peak_grad_bytes(self) -> float:
+        return max((s.grad_bytes for s in self.samples), default=0.0)
+
+    @property
+    def peak_activation_bytes(self) -> float:
+        return max((s.activation_bytes for s in self.samples), default=0.0)
+
+    @property
+    def peak_total_bytes(self) -> float:
+        return max((s.total for s in self.samples), default=0.0)
+
+
+def track_memory(
+    schedule: PipelineSchedule,
+    ppr: int,
+    zero: ZeroStage,
+    grad_bytes_per_stage: float = 1.0,
+    act_bytes_per_microbatch: float = 1.0,
+    shard_degree: int = 8,
+    stage_weights: Optional[Dict[int, float]] = None,
+) -> MemoryTimeline:
+    """Walk one rank's program and record the memory trajectory.
+
+    Args:
+        schedule: Any pipeline schedule.
+        ppr: The rank to track.
+        zero: FSDP sharding mode (ZeRO-1 or ZeRO-2; ZeRO-3's gradient
+            behaviour matches ZeRO-2).
+        grad_bytes_per_stage: Unsharded gradient-buffer bytes of one
+            virtual stage (scaled per stage by ``stage_weights``).
+        act_bytes_per_microbatch: Activation bytes saved by one forward of
+            one virtual stage (scaled per stage by ``stage_weights``).
+        shard_degree: DP x CP group size; the resharded buffer is
+            ``1/shard_degree`` of the unsharded one.
+        stage_weights: Optional per-virtual-stage multiplier (e.g. layer
+            counts from a :class:`~repro.pp.layout.PipelineLayout`),
+            keyed by local virtual-stage index.
+    """
+    if shard_degree < 1:
+        raise ValueError("shard_degree must be >= 1")
+    shape = schedule.shape
+    program = schedule.program(ppr)
+    weights = stage_weights or {}
+
+    # Precompute, per virtual stage, the index within the program of the
+    # backward that ends each consecutive run of micro-batches (ZeRO-2's
+    # reduce-scatter points) and of the final backward (ZeRO-1's single
+    # reduce-scatter point).
+    bwd_positions: Dict[int, List[int]] = {vs: [] for vs in range(shape.v)}
+    for idx, op in enumerate(program):
+        if op.kind is OpKind.BACKWARD:
+            bwd_positions[op.virtual_stage].append(idx)
+    rs_points: Dict[int, set] = {vs: set() for vs in range(shape.v)}
+    for vs, positions in bwd_positions.items():
+        if not positions:
+            continue
+        if zero is ZeroStage.ZERO_1:
+            rs_points[vs].add(positions[-1])
+        else:
+            # End of each run of backwards of this stage uninterrupted by
+            # another backward of the same stage: runs are delimited by
+            # other ops in between only if a *different* stage's backward
+            # intervenes.  Detect runs over the backward subsequence.
+            bwd_seq = [i for i, op in enumerate(program)
+                       if op.kind is OpKind.BACKWARD]
+            stage_of = {i: program[i].virtual_stage for i in bwd_seq}
+            for j, idx in enumerate(bwd_seq):
+                if stage_of[idx] != vs:
+                    continue
+                is_last_of_run = (
+                    j + 1 >= len(bwd_seq) or stage_of[bwd_seq[j + 1]] != vs
+                )
+                if is_last_of_run:
+                    rs_points[vs].add(idx)
+
+    grad_state: Dict[int, str] = {}  # vs -> "unsharded" | "sharded"
+    act_in_flight: Dict[int, int] = {vs: 0 for vs in range(shape.v)}
+    samples: List[MemorySample] = []
+    rs_count = 0
+
+    def stage_scale(vs: int) -> float:
+        return weights.get(vs, 1.0)
+
+    def grad_total() -> float:
+        total = 0.0
+        for vs, state in grad_state.items():
+            size = grad_bytes_per_stage * stage_scale(vs)
+            total += size if state == "unsharded" else size / shard_degree
+        return total
+
+    def act_total() -> float:
+        return sum(
+            act_bytes_per_microbatch * stage_scale(vs) * count
+            for vs, count in act_in_flight.items()
+        )
+
+    for idx, op in enumerate(program):
+        launched_rs = False
+        if op.kind is OpKind.FORWARD:
+            act_in_flight[op.virtual_stage] += 1
+        else:
+            act_in_flight[op.virtual_stage] -= 1
+            if act_in_flight[op.virtual_stage] < 0:
+                raise ValueError(
+                    f"rank {ppr}: backward without live forward at op {idx}"
+                )
+            if grad_state.get(op.virtual_stage) != "unsharded":
+                grad_state[op.virtual_stage] = "unsharded"
+            if idx in rs_points[op.virtual_stage]:
+                launched_rs = True
+                rs_count += 1
+                if zero is not ZeroStage.ZERO_1:
+                    grad_state[op.virtual_stage] = "sharded"
+        samples.append(
+            MemorySample(
+                op_index=idx,
+                op_label=op.label(shape.pp),
+                grad_bytes=grad_total(),
+                activation_bytes=act_total(),
+                reduce_scatter_launched=launched_rs,
+            )
+        )
+
+    return MemoryTimeline(
+        ppr=ppr, zero=zero, samples=tuple(samples),
+        reduce_scatter_count=rs_count,
+    )
+
+
+def peak_in_flight_from_schedule(schedule: PipelineSchedule, ppr: int) -> int:
+    """Peak simultaneous live forwards on one rank, counted exactly from
+    the program — the event-level counterpart of
+    :func:`repro.pp.analysis.peak_in_flight_microbatches`."""
+    live = 0
+    peak = 0
+    for op in schedule.program(ppr):
+        if op.kind is OpKind.FORWARD:
+            live += 1
+            peak = max(peak, live)
+        else:
+            live -= 1
+    return peak

@@ -1,0 +1,179 @@
+"""Analytical cost models for NCCL-style collectives.
+
+All models are ring-algorithm based, the NCCL default at these group sizes:
+
+* **all-gather** of a total output of ``S`` bytes over ``n`` ranks performs
+  ``n - 1`` steps, each moving an ``S / n``-byte shard to the neighbour, so
+  ``t = (n - 1) * (alpha + (S / n) / bw_eff)``.
+* **reduce-scatter** is symmetric to all-gather.
+* **all-reduce** is a reduce-scatter followed by an all-gather.
+* **broadcast** uses a binomial tree: ``ceil(log2 n)`` hops of the full
+  payload.
+
+``bw_eff`` is the message-size-dependent effective bandwidth of the slowest
+link in the group (Section 5.2: a collective runs at the speed of its
+slowest hop).  A ``congestion`` factor > 1 divides the available bandwidth,
+modelling the FSDP/PP traffic interference of Section 3.1.3.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.hardware.cluster import ClusterSpec
+from repro.hardware.network import LinkSpec, effective_bandwidth, transfer_time
+
+
+@dataclass(frozen=True)
+class CollectiveCost:
+    """Result of a collective cost query.
+
+    Attributes:
+        seconds: Predicted wall-clock time of the collective.
+        bytes_on_wire: Bytes each rank sends over the network.
+        algorithm_bandwidth: Collective "bus bandwidth" in bytes/s —
+            total payload divided by time, the metric Figure 12 plots.
+    """
+
+    seconds: float
+    bytes_on_wire: float
+    algorithm_bandwidth: float
+
+
+def _group_link(cluster: ClusterSpec, ranks: Sequence[int]) -> LinkSpec:
+    return cluster.group_link(ranks)
+
+
+def _ring_steps_time(
+    link: LinkSpec, shard_bytes: float, steps: int, congestion: float
+) -> float:
+    if steps == 0:
+        return 0.0
+    bw = effective_bandwidth(link, max(shard_bytes, 1.0)) / congestion
+    return steps * (link.latency + shard_bytes / bw)
+
+
+def all_gather_time(
+    cluster: ClusterSpec,
+    ranks: Sequence[int],
+    total_bytes: float,
+    congestion: float = 1.0,
+) -> CollectiveCost:
+    """Ring all-gather producing ``total_bytes`` of output on every rank."""
+    _validate(ranks, total_bytes, congestion)
+    n = len(ranks)
+    if n == 1:
+        return CollectiveCost(seconds=0.0, bytes_on_wire=0.0,
+                              algorithm_bandwidth=float("inf"))
+    link = _group_link(cluster, ranks)
+    shard = total_bytes / n
+    seconds = _ring_steps_time(link, shard, n - 1, congestion)
+    wire = shard * (n - 1)
+    return CollectiveCost(
+        seconds=seconds,
+        bytes_on_wire=wire,
+        algorithm_bandwidth=total_bytes / seconds,
+    )
+
+
+def reduce_scatter_time(
+    cluster: ClusterSpec,
+    ranks: Sequence[int],
+    total_bytes: float,
+    congestion: float = 1.0,
+) -> CollectiveCost:
+    """Ring reduce-scatter over an input of ``total_bytes`` per rank."""
+    # Symmetric to all-gather in the ring model.
+    return all_gather_time(cluster, ranks, total_bytes, congestion)
+
+
+def all_reduce_time(
+    cluster: ClusterSpec,
+    ranks: Sequence[int],
+    total_bytes: float,
+    congestion: float = 1.0,
+) -> CollectiveCost:
+    """Ring all-reduce: reduce-scatter then all-gather."""
+    _validate(ranks, total_bytes, congestion)
+    n = len(ranks)
+    if n == 1:
+        return CollectiveCost(0.0, 0.0, float("inf"))
+    link = _group_link(cluster, ranks)
+    shard = total_bytes / n
+    seconds = _ring_steps_time(link, shard, 2 * (n - 1), congestion)
+    return CollectiveCost(
+        seconds=seconds,
+        bytes_on_wire=2 * shard * (n - 1),
+        algorithm_bandwidth=total_bytes / seconds,
+    )
+
+
+def broadcast_time(
+    cluster: ClusterSpec,
+    ranks: Sequence[int],
+    total_bytes: float,
+    congestion: float = 1.0,
+) -> CollectiveCost:
+    """Binomial-tree broadcast of ``total_bytes`` from the first rank."""
+    _validate(ranks, total_bytes, congestion)
+    n = len(ranks)
+    if n == 1:
+        return CollectiveCost(0.0, 0.0, float("inf"))
+    link = _group_link(cluster, ranks)
+    hops = math.ceil(math.log2(n))
+    bw = effective_bandwidth(link, total_bytes) / congestion
+    seconds = hops * (link.latency + total_bytes / bw)
+    return CollectiveCost(
+        seconds=seconds,
+        bytes_on_wire=total_bytes,
+        algorithm_bandwidth=total_bytes / seconds,
+    )
+
+
+def p2p_time(
+    cluster: ClusterSpec,
+    src: int,
+    dst: int,
+    message_bytes: float,
+    congestion: float = 1.0,
+) -> float:
+    """Seconds for one point-to-point send (PP stage boundary traffic)."""
+    if congestion < 1.0:
+        raise ValueError("congestion factor must be >= 1.0")
+    link = cluster.link_between(src, dst)
+    base = transfer_time(link, message_bytes)
+    if message_bytes <= 0:
+        return base
+    serialisation = message_bytes / (link.bandwidth / congestion)
+    return link.latency + serialisation
+
+
+def achieved_all_gather_bandwidth(
+    cluster: ClusterSpec,
+    ranks: Sequence[int],
+    total_bytes: float,
+    congestion: float = 1.0,
+) -> float:
+    """Achieved all-gather bus bandwidth in GB/s — the Figure 12 metric.
+
+    NCCL reports ``busbw = (n - 1) / n * S / t`` for all-gather; we follow
+    the same convention so the numbers are comparable with the paper.
+    """
+    n = len(ranks)
+    if n == 1:
+        return 0.0
+    cost = all_gather_time(cluster, ranks, total_bytes, congestion)
+    return (n - 1) / n * total_bytes / cost.seconds / 1e9
+
+
+def _validate(ranks: Sequence[int], total_bytes: float, congestion: float) -> None:
+    if not ranks:
+        raise ValueError("collective needs at least one rank")
+    if len(set(ranks)) != len(ranks):
+        raise ValueError("duplicate ranks in collective group")
+    if total_bytes < 0:
+        raise ValueError("total_bytes must be non-negative")
+    if congestion < 1.0:
+        raise ValueError("congestion factor must be >= 1.0")

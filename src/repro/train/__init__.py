@@ -1,0 +1,27 @@
+"""End-to-end training-step simulation on the event timeline."""
+
+from repro.train.cost import CostModel, StageCost
+from repro.train.executor import PipelineRun, execute_pipeline
+from repro.train.step import StepReport, simulate_step
+
+from repro.train.phases import (
+    TrainingPhase,
+    PhaseReport,
+    LLAMA3_405B_PHASES,
+    plan_pretraining,
+    describe_pretraining,
+)
+
+__all__ = [
+    "TrainingPhase",
+    "PhaseReport",
+    "LLAMA3_405B_PHASES",
+    "plan_pretraining",
+    "describe_pretraining",
+    "CostModel",
+    "StageCost",
+    "PipelineRun",
+    "execute_pipeline",
+    "StepReport",
+    "simulate_step",
+]

@@ -1,0 +1,289 @@
+"""Per-operation cost model for one GPU rank under 4D parallelism.
+
+Times one pipeline-stage forward/backward for one micro-batch, composing:
+
+* TP-sharded GEMMs (QKV/out projections, SwiGLU FFN) via the roofline GEMM
+  model — column-parallel layers shard the output dim, row-parallel layers
+  the inner dim, as in Megatron-LM;
+* the flash-attention kernel (heads sharded by TP, sequence sharded by CP,
+  full key range after the CP all-gather);
+* TP collectives — with sequence parallelism, an all-gather and a
+  reduce-scatter around each of the attention and FFN blocks, *fully
+  exposed* (Section 5.2);
+* CP collectives — the KV all-gather in forward and KV-gradient
+  reduce-scatter in backward, once per layer, exposed;
+* embedding and vocabulary-head work on the first/last stages — the
+  128K-vocab modules that motivate balanced PP (Section 7.1.2).
+
+Backward is 2x the forward GEMM/attention compute (weight + input grads),
+plus one extra forward when activation recomputation is on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cp.perf import AttentionShape, attention_kernel_time
+from repro.hardware.cluster import ClusterSpec
+from repro.hardware.gpu import gemm_time
+from repro.model.config import TextModelConfig
+from repro.parallel.config import JobConfig, ParallelConfig
+from repro.pp.layout import StageAssignment
+from repro.sim.collectives import (
+    all_gather_time,
+    p2p_time,
+    reduce_scatter_time,
+)
+
+
+@dataclass(frozen=True)
+class StageCost:
+    """Timing of one stage's work for one micro-batch."""
+
+    compute_seconds: float
+    tp_comm_seconds: float
+    cp_comm_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.compute_seconds + self.tp_comm_seconds + self.cp_comm_seconds
+
+
+class CostModel:
+    """Times pipeline ops for a (model, parallel, job, cluster) tuple."""
+
+    def __init__(
+        self,
+        model: TextModelConfig,
+        parallel: ParallelConfig,
+        job: JobConfig,
+        cluster: ClusterSpec,
+        recompute: bool = False,
+        congestion: float = 1.0,
+        attention_straggler: float = 1.0,
+        mask_fraction: float = 0.5,
+    ) -> None:
+        if parallel.tp > cluster.gpus_per_node:
+            raise ValueError("tp beyond the node size puts TP on the slow fabric")
+        if attention_straggler < 1.0:
+            raise ValueError("attention_straggler must be >= 1.0")
+        self.model = model
+        self.parallel = parallel
+        self.job = job
+        self.cluster = cluster
+        self.recompute = recompute
+        self.congestion = congestion
+        #: Slowest-over-mean attention-time ratio across the CP/DP fleet;
+        #: document masks make this > 1 (1.44x measured in Section 7.3.2),
+        #: and synchronous training runs at the slowest rank's pace.
+        self.attention_straggler = attention_straggler
+        if not 0.0 < mask_fraction <= 1.0:
+            raise ValueError("mask_fraction must be in (0, 1]")
+        #: Attention mask density: 0.5 for causal, less for document masks.
+        self.mask_fraction = mask_fraction
+        #: Tokens processed per rank per micro-batch (CP shards the sequence).
+        self.tokens = job.seq * job.mbs // parallel.cp
+        self._tp_group = list(range(parallel.tp))
+        # A representative CP group: ranks at stride tp.
+        self._cp_group = [i * parallel.tp for i in range(parallel.cp)]
+
+    # ------------------------------------------------------------------
+    # Layer-level pieces
+    # ------------------------------------------------------------------
+
+    def layer_gemm_seconds(self) -> float:
+        """TP-sharded GEMM time of one transformer layer's forward."""
+        m = self.tokens
+        d, f = self.model.dim, self.model.ffn_hidden
+        tp = self.parallel.tp
+        gpu = self.cluster.gpu
+        qkv = gemm_time(gpu, m, (d + 2 * self.model.kv_dim) // tp, d)
+        out = gemm_time(gpu, m, d, d // tp)
+        gate_up = 2 * gemm_time(gpu, m, f // tp, d)
+        down = gemm_time(gpu, m, d, f // tp)
+        return qkv + out + gate_up + down
+
+    def layer_elementwise_seconds(self) -> float:
+        """Memory-bound elementwise work per layer: RMSNorms, RoPE,
+        residual adds, SiLU and the gated product — roughly 20 full passes
+        over the token activations plus 4 over the FFN hidden.  These ops
+        never reach tensor cores, so they cap sustained TFLOPs well below
+        GEMM peak (the Section 8.1 "lightweight kernels" concern)."""
+        d = self.model.dim
+        f = self.model.ffn_hidden
+        tp = self.parallel.tp
+        act_passes = 20.0 * self.tokens * d / tp
+        ffn_passes = 4.0 * self.tokens * f / tp
+        bytes_moved = 2.0 * (act_passes + ffn_passes)
+        launches = 10 * self.cluster.gpu.kernel_launch_us * 1e-6
+        return bytes_moved / self.cluster.gpu.hbm_bandwidth + launches
+
+    def attention_shape(self) -> AttentionShape:
+        tp = self.parallel.tp
+        return AttentionShape(
+            heads=max(self.model.n_heads // tp, 1),
+            kv_heads=max(self.model.n_kv_heads // tp, 1),
+            head_dim=self.model.head_dim,
+        )
+
+    def layer_attention_seconds(self, mask_fraction: Optional[float] = None) -> float:
+        """Flash-attention kernel time for one layer, one micro-batch.
+
+        The rank computes its ``tokens`` query rows against the full
+        ``seq``-length key range (post CP all-gather), at the causal (or
+        document-averaged) mask density.
+        """
+        if mask_fraction is None:
+            mask_fraction = self.mask_fraction
+        rows = self.tokens * 1  # per micro-batch
+        full_seq = self.job.seq * self.job.mbs
+        area = int(mask_fraction * rows * full_seq)
+        base = attention_kernel_time(
+            self.cluster.gpu, rows, max(area, 1), self.attention_shape(),
+            kv_len=full_seq,
+        )
+        return base * self.attention_straggler
+
+    def layer_tp_comm_seconds(self) -> float:
+        """Per-layer exposed TP communication: AG + RS around attention and
+        the same around the FFN (4 collectives, Section 5.2)."""
+        if self.parallel.tp == 1:
+            return 0.0
+        act_bytes = 2.0 * self.tokens * self.model.dim
+        ag = all_gather_time(self.cluster, self._tp_group, act_bytes,
+                             self.congestion)
+        rs = reduce_scatter_time(self.cluster, self._tp_group, act_bytes,
+                                 self.congestion)
+        return 2 * (ag.seconds + rs.seconds)
+
+    def layer_cp_comm_seconds(self) -> float:
+        """Per-layer exposed CP communication: the KV all-gather (forward)
+        or KV-grad reduce-scatter (backward) — same ring cost."""
+        if self.parallel.cp == 1:
+            return 0.0
+        kv_bytes = (
+            2.0 * self.job.seq * self.job.mbs
+            * max(self.model.kv_dim // self.parallel.tp, self.model.head_dim)
+            * 2
+        )
+        return all_gather_time(
+            self.cluster, self._cp_group, kv_bytes, self.congestion
+        ).seconds
+
+    # ------------------------------------------------------------------
+    # Stage-level costs
+    # ------------------------------------------------------------------
+
+    def _embedding_seconds(self) -> float:
+        """Embedding lookup: memory-bound gather of token vectors."""
+        bytes_moved = 2.0 * self.tokens * self.model.dim * 2
+        return bytes_moved / self.cluster.gpu.hbm_bandwidth \
+            + self.cluster.gpu.kernel_launch_us * 1e-6
+
+    def _head_seconds(self) -> float:
+        """Vocabulary projection GEMM (column-parallel over TP)."""
+        return gemm_time(
+            self.cluster.gpu, self.tokens,
+            self.model.vocab_size // self.parallel.tp, self.model.dim,
+        )
+
+    def forward_seconds(self, stage: StageAssignment) -> StageCost:
+        """Forward of one stage for one micro-batch."""
+        n = stage.n_layers
+        compute = n * (self.layer_gemm_seconds()
+                       + self.layer_attention_seconds()
+                       + self.layer_elementwise_seconds())
+        if stage.has_embedding:
+            compute += self._embedding_seconds()
+        if stage.has_output_head:
+            compute += self._head_seconds()
+        return StageCost(
+            compute_seconds=compute,
+            tp_comm_seconds=n * self.layer_tp_comm_seconds()
+            + (self.layer_tp_comm_seconds() / 2 if stage.has_output_head else 0.0),
+            cp_comm_seconds=n * self.layer_cp_comm_seconds(),
+        )
+
+    def backward_seconds(self, stage: StageAssignment) -> StageCost:
+        """Backward of one stage for one micro-batch: 2x forward compute,
+        plus a recomputed forward when activation checkpointing is on.
+
+        ``recompute`` accepts True (full recomputation: +1 forward),
+        ``"selective"`` (recompute only the attention and SwiGLU
+        activations — roughly the attention kernel plus the elementwise
+        work, the production-style middle ground), or False.
+        """
+        fwd = self.forward_seconds(stage)
+        if self.recompute == "selective":
+            extra = stage.n_layers * (
+                self.layer_attention_seconds()
+                + self.layer_elementwise_seconds()
+            )
+            return StageCost(
+                compute_seconds=2.0 * fwd.compute_seconds + extra,
+                tp_comm_seconds=fwd.tp_comm_seconds,
+                cp_comm_seconds=fwd.cp_comm_seconds,
+            )
+        factor = 3.0 if self.recompute else 2.0
+        return StageCost(
+            compute_seconds=factor * fwd.compute_seconds,
+            tp_comm_seconds=(factor - 1.0) * fwd.tp_comm_seconds,
+            cp_comm_seconds=fwd.cp_comm_seconds,
+        )
+
+    # ------------------------------------------------------------------
+    # Inter-stage and step-level communication
+    # ------------------------------------------------------------------
+
+    def p2p_seconds(self) -> float:
+        """Activation hand-off between consecutive PP stages.
+
+        With sequence parallelism the activation is sequence-sharded
+        across TP ranks, so each rank sends only its ``1 / tp`` slice.
+        PP ranks sit at stride ``tp * cp`` in the rank order, so
+        consecutive stages are on different nodes whenever
+        ``tp * cp >= gpus_per_node`` — the common case, making PP traffic
+        inter-node (RoCE).
+        """
+        stride = self.parallel.tp * self.parallel.cp
+        dst = min(stride, self.cluster.num_gpus - 1)
+        act_bytes = 2.0 * self.tokens * self.model.dim / self.parallel.tp
+        return p2p_time(self.cluster, 0, dst, act_bytes, self.congestion)
+
+    def fsdp_allgather_seconds(self, params_on_rank: float) -> float:
+        """One FSDP parameter all-gather for this rank's shard (only the
+        first is exposed; the rest overlap with compute, Section 7.3.1)."""
+        group = self._dp_cp_group()
+        if len(group) == 1:
+            return 0.0
+        bytes_total = 2.0 * params_on_rank
+        return all_gather_time(self.cluster, group, bytes_total,
+                               self.congestion).seconds
+
+    def fsdp_reduce_scatter_seconds(self, params_on_rank: float) -> float:
+        """One gradient reduce-scatter (FP32 wire, Section 6.2)."""
+        group = self._dp_cp_group()
+        if len(group) == 1:
+            return 0.0
+        bytes_total = 4.0 * params_on_rank
+        return reduce_scatter_time(self.cluster, group, bytes_total,
+                                   self.congestion).seconds
+
+    def optimizer_seconds(self, params_on_rank: float) -> float:
+        """Sharded Adam step: memory-bound over master + moments."""
+        shard = params_on_rank / self.parallel.grad_shard_degree
+        bytes_moved = shard * (4 * 4 + 2 * 4)  # read m, v, master, grad; write
+        return bytes_moved / self.cluster.gpu.hbm_bandwidth
+
+    def _dp_cp_group(self) -> list:
+        """The DP x CP process group of global rank 0 under the
+        [TP, CP, PP, DP] mesh ordering — the group FSDP parameter/gradient
+        collectives run over (Section 4, Integration)."""
+        tp, cp, pp, dp = (self.parallel.tp, self.parallel.cp,
+                          self.parallel.pp, self.parallel.dp)
+        dp_stride = tp * cp * pp
+        ranks = sorted(
+            d * dp_stride + c * tp for d in range(dp) for c in range(cp)
+        )
+        return ranks if len(ranks) > 1 else [0]

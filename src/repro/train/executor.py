@@ -1,0 +1,171 @@
+"""Event-level execution of a pipeline schedule on the simulator.
+
+Walks every rank's program in order, releasing each op when its cross-rank
+dependency has arrived: a forward needs the previous stage's forward output
+(plus P2P transfer time), a backward needs the next stage's input gradient.
+P2P sends are asynchronous and do not occupy the receiver's compute stream,
+so exposed P2P shows up exactly as the Figure 3 bubbles: idle gaps on the
+compute stream while the rank waits for data.
+
+The executor doubles as a deadlock detector — an invalid schedule (one
+whose per-rank op order creates a circular wait) raises instead of hanging,
+which is how the property-based schedule tests certify the flexible-PP
+generator for arbitrary (pp, v, nc, nmb).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.pp.layout import PipelineLayout, StageAssignment
+from repro.pp.schedule import OpKind, PipelineSchedule
+from repro.sim.engine import Simulator
+from repro.train.cost import StageCost
+
+CostFn = Callable[[StageAssignment], StageCost]
+
+
+@dataclass(frozen=True)
+class PipelineRun:
+    """Result of executing one schedule."""
+
+    schedule: PipelineSchedule
+    sim: Simulator
+    makespan: float
+    per_rank_busy: Tuple[float, ...]
+
+    @property
+    def pp(self) -> int:
+        return self.schedule.pp
+
+    @property
+    def per_rank_idle(self) -> Tuple[float, ...]:
+        return tuple(self.makespan - b for b in self.per_rank_busy)
+
+    @property
+    def bubble_ratios(self) -> Tuple[float, ...]:
+        """Per-rank idle over compute — the paper's PP bubble metric."""
+        return tuple(
+            idle / busy if busy > 0 else 0.0
+            for idle, busy in zip(self.per_rank_idle, self.per_rank_busy)
+        )
+
+    @property
+    def mean_bubble_ratio(self) -> float:
+        ratios = self.bubble_ratios
+        return sum(ratios) / len(ratios)
+
+
+def execute_pipeline(
+    schedule: PipelineSchedule,
+    layout: PipelineLayout,
+    forward_cost: CostFn,
+    backward_cost: CostFn,
+    p2p_seconds: float,
+    sim: Optional[Simulator] = None,
+    start_times: Optional[Dict[int, float]] = None,
+    rank_compute_scale: Optional[Dict[int, float]] = None,
+) -> PipelineRun:
+    """Execute a schedule and return its timeline.
+
+    Args:
+        schedule: The per-rank programs.
+        layout: Layer placement (supplies each op's stage contents).
+        forward_cost: Stage -> forward cost for one micro-batch.
+        backward_cost: Stage -> backward cost for one micro-batch.
+        p2p_seconds: Inter-stage activation/gradient transfer time.
+        sim: Simulator to record into (a fresh one by default).
+        start_times: Optional per-rank earliest start (models the exposed
+            first FSDP all-gather).
+        rank_compute_scale: Per-rank compute-time multipliers (>= 1 for a
+            throttled GPU) — fault injection for the Section 8.1
+            performance-variation experiments.
+    """
+    if layout.pp != schedule.pp or layout.v != schedule.shape.v:
+        raise ValueError("layout and schedule disagree on pp or v")
+    if rank_compute_scale and any(
+        s <= 0 for s in rank_compute_scale.values()
+    ):
+        raise ValueError("rank_compute_scale factors must be positive")
+    sim = sim or Simulator()
+    start_times = start_times or {}
+    rank_compute_scale = rank_compute_scale or {}
+    pp = schedule.pp
+    last_stage = layout.num_stages - 1
+
+    # Memoised per-stage costs.
+    fwd_cost: Dict[int, StageCost] = {}
+    bwd_cost: Dict[int, StageCost] = {}
+    for s in range(layout.num_stages):
+        fwd_cost[s] = forward_cost(layout.stage(s))
+        bwd_cost[s] = backward_cost(layout.stage(s))
+
+    # ready[(kind, global_stage, mb)] = time the op's output is available
+    # at the producer (before P2P).
+    ready: Dict[Tuple[OpKind, int, int], float] = {}
+    pointers = [0] * pp
+    programs = [schedule.program(r) for r in range(pp)]
+    busy = [0.0] * pp
+
+    def dep_time(kind: OpKind, stage: int, mb: int) -> Optional[float]:
+        """Arrival time of the op's cross-rank input, or None if missing.
+        0.0 when the op has no dependency."""
+        if kind is OpKind.FORWARD:
+            if stage == 0:
+                return 0.0
+            t = ready.get((OpKind.FORWARD, stage - 1, mb))
+        else:
+            if stage == last_stage:
+                # Loss is local to the last stage; its own forward ordering
+                # is guaranteed by program order on the same rank.
+                return 0.0
+            t = ready.get((OpKind.BACKWARD, stage + 1, mb))
+        if t is None:
+            return None
+        return t + p2p_seconds
+
+    total_ops = sum(len(p) for p in programs)
+    executed = 0
+    while executed < total_ops:
+        progressed = False
+        for ppr in range(pp):
+            while pointers[ppr] < len(programs[ppr]):
+                op = programs[ppr][pointers[ppr]]
+                stage = op.global_stage(pp)
+                arrival = dep_time(op.kind, stage, op.microbatch)
+                if arrival is None:
+                    break
+                cost = (fwd_cost if op.kind is OpKind.FORWARD
+                        else bwd_cost)[stage]
+                scale = rank_compute_scale.get(ppr, 1.0)
+                duration = (cost.compute_seconds * scale
+                            + cost.tp_comm_seconds + cost.cp_comm_seconds)
+                event = sim.run(
+                    rank=ppr,
+                    stream="compute",
+                    duration=duration,
+                    name=op.label(pp),
+                    kind="compute",
+                    not_before=max(arrival, start_times.get(ppr, 0.0)),
+                )
+                busy[ppr] += event.duration
+                ready[(op.kind, stage, op.microbatch)] = event.end
+                pointers[ppr] += 1
+                executed += 1
+                progressed = True
+        if not progressed:
+            blocked = [
+                (ppr, programs[ppr][pointers[ppr]].label(pp))
+                for ppr in range(pp) if pointers[ppr] < len(programs[ppr])
+            ]
+            raise RuntimeError(
+                f"pipeline schedule deadlocked; blocked ops: {blocked}"
+            )
+
+    return PipelineRun(
+        schedule=schedule,
+        sim=sim,
+        makespan=sim.makespan(),
+        per_rank_busy=tuple(busy),
+    )

@@ -1,0 +1,148 @@
+"""Tests for attention backward and the distributed CP backward."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.attention.backward import attention_backward_reference
+from repro.attention.masks import causal_mask, document_mask
+from repro.attention.reference import attention_reference
+from repro.cp.backward import (
+    allgather_cp_attention_backward,
+    emulated_order_backward,
+    rank_partials,
+)
+from repro.data.documents import DocumentBatch, make_batch
+
+
+def _setup(seq=32, heads=4, kv_heads=2, hd=8, seed=0):
+    rng = np.random.default_rng(seed)
+    q = rng.standard_normal((seq, heads, hd))
+    k = rng.standard_normal((seq, kv_heads, hd))
+    v = rng.standard_normal((seq, kv_heads, hd))
+    dout = rng.standard_normal((seq, heads, hd))
+    return q, k, v, dout
+
+
+class TestBackwardReference:
+    def _numeric_grad(self, q, k, v, mask, dout, which, idx, eps=1e-6):
+        """Central-difference gradient of <out, dout> wrt one element."""
+        tensors = {"q": q, "k": k, "v": v}
+        t = tensors[which]
+        orig = t[idx]
+        t[idx] = orig + eps
+        plus = np.sum(attention_reference(q, k, v, mask).out * dout)
+        t[idx] = orig - eps
+        minus = np.sum(attention_reference(q, k, v, mask).out * dout)
+        t[idx] = orig
+        return (plus - minus) / (2 * eps)
+
+    @pytest.mark.parametrize("which", ["q", "k", "v"])
+    def test_gradcheck(self, which):
+        q, k, v, dout = _setup(seq=12, heads=2, kv_heads=1, hd=4)
+        mask = causal_mask(12)
+        dq, dk, dv = attention_backward_reference(q, k, v, mask, dout)
+        grads = {"q": dq, "k": dk, "v": dv}
+        rng = np.random.default_rng(1)
+        arr = {"q": q, "k": k, "v": v}[which]
+        for _ in range(5):
+            idx = tuple(rng.integers(0, s) for s in arr.shape)
+            fd = self._numeric_grad(q, k, v, mask, dout, which, idx)
+            an = grads[which][idx]
+            assert an == pytest.approx(fd, rel=1e-4, abs=1e-7)
+
+    def test_document_mask_gradcheck(self):
+        q, k, v, dout = _setup(seq=12, heads=2, kv_heads=1, hd=4, seed=3)
+        batch = DocumentBatch(seq=12, doc_lens=(5, 7))
+        mask = document_mask(batch.doc_ids)
+        dq, dk, dv = attention_backward_reference(q, k, v, mask, dout)
+        fd = self._numeric_grad(q, k, v, mask, dout, "q", (7, 1, 2))
+        assert dq[7, 1, 2] == pytest.approx(fd, rel=1e-4, abs=1e-7)
+
+    def test_masked_out_keys_get_zero_grad(self):
+        """Keys after the last query row under a strict mask receive no
+        gradient."""
+        q, k, v, dout = _setup(seq=8, heads=2, kv_heads=2, hd=4)
+        mask = causal_mask(8)
+        mask[:, 5:] = False  # nobody attends keys 5..7
+        _, dk, dv = attention_backward_reference(q, k, v, mask, dout)
+        assert np.all(dk[5:] == 0)
+        assert np.all(dv[5:] == 0)
+
+    def test_shape_validation(self):
+        q, k, v, dout = _setup()
+        with pytest.raises(ValueError):
+            attention_backward_reference(q, k, v, causal_mask(16), dout)
+        with pytest.raises(ValueError):
+            attention_backward_reference(q, k, v, causal_mask(32),
+                                         dout[:16])
+
+
+class TestCpBackward:
+    def test_dq_bitwise_exact(self):
+        """dq needs no cross-rank reduction: bitwise equal to the
+        single-device backward."""
+        q, k, v, dout = _setup(seq=64)
+        ref_dq, _, _ = attention_backward_reference(
+            q, k, v, causal_mask(64), dout)
+        out = allgather_cp_attention_backward(q, k, v, dout, cp=4)
+        assert np.array_equal(out.dq, ref_dq)
+
+    def test_dkdv_match_to_tolerance(self):
+        q, k, v, dout = _setup(seq=64)
+        _, ref_dk, ref_dv = attention_backward_reference(
+            q, k, v, causal_mask(64), dout)
+        out = allgather_cp_attention_backward(q, k, v, dout, cp=4)
+        np.testing.assert_allclose(out.dk, ref_dk, atol=1e-12)
+        np.testing.assert_allclose(out.dv, ref_dv, atol=1e-12)
+
+    def test_document_mask_cp_backward(self):
+        q, k, v, dout = _setup(seq=64, seed=5)
+        batch = make_batch(64, mean_doc_len=20.0,
+                           rng=np.random.default_rng(5))
+        mask = document_mask(batch.doc_ids)
+        ref_dq, ref_dk, ref_dv = attention_backward_reference(
+            q, k, v, mask, dout)
+        out = allgather_cp_attention_backward(q, k, v, dout, cp=4,
+                                              batch=batch)
+        assert np.array_equal(out.dq, ref_dq)
+        np.testing.assert_allclose(out.dk, ref_dk, atol=1e-12)
+
+    def test_emulated_order_bitwise(self):
+        q, k, v, dout = _setup(seq=48, seed=7)
+        out = allgather_cp_attention_backward(q, k, v, dout, cp=3)
+        dq, dk, dv = emulated_order_backward(q, k, v, dout, cp=3)
+        assert np.array_equal(out.dq, dq)
+        assert np.array_equal(out.dk, dk)
+        assert np.array_equal(out.dv, dv)
+
+    def test_reduce_scatter_bytes(self):
+        q, k, v, dout = _setup(seq=64)
+        out = allgather_cp_attention_backward(q, k, v, dout, cp=4)
+        kv_bytes = 2 * 64 * 2 * 8 * 2
+        assert out.reduce_scatter_bytes_per_rank == pytest.approx(
+            kv_bytes * 3 / 4)
+
+    def test_partials_cover_all_rows(self):
+        q, k, v, dout = _setup(seq=64)
+        partials = rank_partials(q, k, v, dout, cp=4)
+        rows = np.concatenate([p[0] for p in partials])
+        assert sorted(rows.tolist()) == list(range(64))
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        cp=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=30),
+    )
+    def test_cp_backward_property(self, cp, seed):
+        q, k, v, dout = _setup(seq=48, seed=seed)
+        batch = make_batch(48, mean_doc_len=18.0,
+                           rng=np.random.default_rng(seed))
+        mask = document_mask(batch.doc_ids)
+        ref_dq, ref_dk, ref_dv = attention_backward_reference(
+            q, k, v, mask, dout)
+        out = allgather_cp_attention_backward(q, k, v, dout, cp=cp,
+                                              batch=batch)
+        assert np.array_equal(out.dq, ref_dq)
+        np.testing.assert_allclose(out.dk, ref_dk, atol=1e-11)
+        np.testing.assert_allclose(out.dv, ref_dv, atol=1e-11)

@@ -1,0 +1,142 @@
+"""Tests for the exact numpy attention kernels: reference, flash, masks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.attention.flash import flash_attention
+from repro.attention.masks import (
+    allowed_ranges,
+    causal_mask,
+    document_mask,
+    mask_area,
+    rows_mask,
+)
+from repro.attention.reference import attention_reference, expand_kv
+from repro.data.documents import doc_ids_from_lengths
+
+
+def _qkv(seq, heads, kv_heads, hd, seed=0):
+    rng = np.random.default_rng(seed)
+    return (
+        rng.standard_normal((seq, heads, hd)),
+        rng.standard_normal((seq, kv_heads, hd)),
+        rng.standard_normal((seq, kv_heads, hd)),
+    )
+
+
+class TestMasks:
+    def test_causal_shape_and_area(self):
+        m = causal_mask(8)
+        assert m.shape == (8, 8)
+        assert mask_area(m) == 36
+
+    def test_document_mask_blocks(self):
+        ids = doc_ids_from_lengths([2, 3])
+        m = document_mask(ids)
+        assert not m[2, 1]    # second doc cannot see first
+        assert m[3, 2]        # within second doc, causal
+        assert not m[2, 3]    # still causal within doc
+
+    def test_allowed_ranges_contiguous(self):
+        ids = doc_ids_from_lengths([3, 2])
+        r = allowed_ranges(ids)
+        assert r[0].tolist() == [0, 1]
+        assert r[2].tolist() == [0, 3]
+        assert r[3].tolist() == [3, 4]
+        assert r[4].tolist() == [3, 5]
+
+    def test_rows_mask(self):
+        m = causal_mask(6)
+        sub = rows_mask(m, [1, 4])
+        assert sub.shape == (2, 6)
+        assert sub[0].sum() == 2 and sub[1].sum() == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            causal_mask(0)
+        with pytest.raises(ValueError):
+            document_mask(np.array([]))
+
+
+class TestReference:
+    def test_rows_are_convex_combinations(self):
+        q, k, v = _qkv(16, 4, 2, 8)
+        res = attention_reference(q, k, v, causal_mask(16))
+        vmax = expand_kv(v, 4).max()
+        vmin = expand_kv(v, 4).min()
+        assert res.out.max() <= vmax + 1e-9
+        assert res.out.min() >= vmin - 1e-9
+
+    def test_first_token_attends_only_itself(self):
+        q, k, v = _qkv(8, 2, 2, 4)
+        res = attention_reference(q, k, v, causal_mask(8))
+        np.testing.assert_allclose(res.out[0], v[0], atol=1e-12)
+
+    def test_fully_masked_row_zero_output(self):
+        q, k, v = _qkv(4, 2, 2, 4)
+        mask = causal_mask(4)
+        mask[2, :] = False
+        res = attention_reference(q, k, v, mask)
+        assert np.all(res.out[2] == 0)
+        assert np.all(np.isneginf(res.lse[2]))
+
+    def test_gqa_equals_repeated_kv(self):
+        q, k, v = _qkv(12, 4, 2, 8)
+        gqa = attention_reference(q, k, v, causal_mask(12))
+        mha = attention_reference(q, expand_kv(k, 4), expand_kv(v, 4),
+                                  causal_mask(12))
+        np.testing.assert_allclose(gqa.out, mha.out, atol=1e-12)
+
+    def test_lse_is_logsumexp_of_scores(self):
+        q, k, v = _qkv(6, 1, 1, 4)
+        mask = causal_mask(6)
+        res = attention_reference(q, k, v, mask)
+        scale = 1 / np.sqrt(4)
+        scores = (q[:, 0, :] @ k[:, 0, :].T) * scale
+        scores[~mask] = -np.inf
+        expected = np.log(np.sum(np.exp(scores), axis=1))
+        np.testing.assert_allclose(res.lse[:, 0], expected, atol=1e-10)
+
+    def test_shape_validation(self):
+        q, k, v = _qkv(8, 2, 2, 4)
+        with pytest.raises(ValueError):
+            attention_reference(q, k, v, causal_mask(7))
+        with pytest.raises(ValueError):
+            attention_reference(q[:, 0, :], k, v, causal_mask(8))
+
+
+class TestFlash:
+    def test_matches_reference_causal(self):
+        q, k, v = _qkv(33, 4, 2, 8)
+        ref = attention_reference(q, k, v, causal_mask(33))
+        fl, stats = flash_attention(q, k, v, causal_mask(33), block_k=8)
+        np.testing.assert_allclose(fl.out, ref.out, atol=1e-12)
+        np.testing.assert_allclose(fl.lse, ref.lse, atol=1e-12)
+        assert stats.num_tiles == 5
+
+    def test_skips_fully_masked_tiles(self):
+        ids = doc_ids_from_lengths([8, 8])
+        q, k, v = _qkv(16, 2, 1, 4)
+        _, stats = flash_attention(q, k, v, document_mask(ids), block_k=8)
+        # Tile (doc0 rows x doc1 keys) is skipped; the upper-left and
+        # lower-right tiles both run.
+        assert stats.num_tiles == 2
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seq=st.integers(min_value=2, max_value=48),
+        block=st.integers(min_value=1, max_value=64),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    def test_matches_reference_property(self, seq, block, seed):
+        q, k, v = _qkv(seq, 2, 1, 4, seed=seed)
+        mask = causal_mask(seq)
+        ref = attention_reference(q, k, v, mask)
+        fl, _ = flash_attention(q, k, v, mask, block_k=block)
+        np.testing.assert_allclose(fl.out, ref.out, atol=1e-10)
+
+    def test_validation(self):
+        q, k, v = _qkv(8, 2, 2, 4)
+        with pytest.raises(ValueError):
+            flash_attention(q, k, v, causal_mask(8), block_k=0)

@@ -1,0 +1,66 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestPlan:
+    def test_table2_short_context(self, capsys):
+        assert main(["plan", "--model", "405b", "--seq", "8192",
+                     "--gbs", "2048", "--ngpu", "16384"]) == 0
+        out = capsys.readouterr().out
+        assert "tp=8 cp=1 pp=16 dp=128" in out
+
+    def test_table2_long_context(self, capsys):
+        assert main(["plan", "--model", "405b", "--seq", "131072",
+                     "--gbs", "128", "--ngpu", "16384"]) == 0
+        out = capsys.readouterr().out
+        assert "tp=8 cp=16 pp=16 dp=8" in out
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["plan", "--model", "bogus"])
+
+
+class TestStep:
+    def test_default_405b_step(self, capsys):
+        assert main(["step"]) == 0
+        out = capsys.readouterr().out
+        assert "TFLOPs/GPU" in out
+        assert "peak memory" in out
+
+    def test_world_size_mismatch_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["step", "--ngpu", "64", "--tp", "8", "--pp", "2",
+                  "--dp", "2"])
+
+
+class TestPhases:
+    def test_lists_all_phases(self, capsys):
+        assert main(["phases"]) == 0
+        out = capsys.readouterr().out
+        assert "short-context ramp-up" in out
+        assert "long-context" in out
+        assert "cp16" in out
+
+
+class TestOrdering:
+    def test_paper_order_marked(self, capsys):
+        assert main(["ordering"]) == 0
+        out = capsys.readouterr().out
+        first_line = out.splitlines()[0]
+        assert "TP-CP-PP-DP" in first_line
+        assert "<- paper" in first_line
+
+
+class TestImbalance:
+    def test_reports_statistics(self, capsys):
+        assert main(["imbalance", "--dp", "4", "--steps", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "slowest/fastest" in out
+        assert "overlap-CP headroom" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

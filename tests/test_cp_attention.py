@@ -1,0 +1,153 @@
+"""Tests for the distributed CP attention implementations: the all-gather
+solution must match the reference *bitwise*, the ring baseline to rounding
+tolerance — the paper's own correctness bar (Sections 4 and 6.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.attention.masks import causal_mask, document_mask
+from repro.attention.reference import attention_reference
+from repro.cp.allgather import (
+    allgather_cp_attention,
+    local_kv_to_allgathered,
+)
+from repro.cp.ring import ring_cp_attention
+from repro.cp.sharding import rank_row_indices
+from repro.data.documents import DocumentBatch, make_batch
+
+
+def _qkv(seq, heads=4, kv_heads=2, hd=8, seed=0):
+    rng = np.random.default_rng(seed)
+    return (
+        rng.standard_normal((seq, heads, hd)),
+        rng.standard_normal((seq, kv_heads, hd)),
+        rng.standard_normal((seq, kv_heads, hd)),
+    )
+
+
+class TestAllGatherCP:
+    def test_bitwise_exact_causal(self):
+        q, k, v = _qkv(64)
+        ref = attention_reference(q, k, v, causal_mask(64))
+        out = allgather_cp_attention(q, k, v, cp=4)
+        assert np.array_equal(out.out, ref.out)
+        assert np.array_equal(out.lse, ref.lse)
+
+    def test_bitwise_exact_document_mask(self):
+        """The headline flexibility claim: document masks crossing chunk
+        boundaries are handled exactly."""
+        q, k, v = _qkv(64)
+        batch = DocumentBatch(seq=64, doc_lens=(12, 12, 32, 8))
+        ref = attention_reference(q, k, v, document_mask(batch.doc_ids))
+        out = allgather_cp_attention(q, k, v, cp=4, batch=batch)
+        assert np.array_equal(out.out, ref.out)
+
+    def test_paper_example_cross_boundary_doc(self):
+        """Figure 7's example: 16 tokens, documents [3, 3, 8, 2]; the
+        first tokens of chunk 1 attend into chunk 0."""
+        q, k, v = _qkv(16, heads=2, kv_heads=1, hd=4)
+        batch = DocumentBatch(seq=16, doc_lens=(3, 3, 8, 2))
+        ref = attention_reference(q, k, v, document_mask(batch.doc_ids))
+        out = allgather_cp_attention(q, k, v, cp=2, batch=batch)
+        assert np.array_equal(out.out, ref.out)
+
+    def test_stats_accounting(self):
+        q, k, v = _qkv(64)
+        out = allgather_cp_attention(q, k, v, cp=4)
+        areas = [s.score_area for s in out.per_rank]
+        assert sum(areas) == 64 * 65 // 2
+        assert len(set(areas)) == 1  # causal is balanced
+        kv_bytes = 2 * 64 * 2 * 8 * 2
+        assert out.per_rank[0].allgather_bytes == pytest.approx(
+            kv_bytes * 3 / 4
+        )
+
+    def test_cp1_degenerates_to_reference(self):
+        q, k, v = _qkv(32)
+        out = allgather_cp_attention(q, k, v, cp=1)
+        ref = attention_reference(q, k, v, causal_mask(32))
+        assert np.array_equal(out.out, ref.out)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        cp=st.integers(min_value=1, max_value=8),
+        mean=st.floats(min_value=20.0, max_value=60.0),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    def test_bitwise_property(self, cp, mean, seed):
+        seq = 64
+        q, k, v = _qkv(seq, seed=seed)
+        batch = make_batch(seq, mean_doc_len=mean,
+                           rng=np.random.default_rng(seed))
+        ref = attention_reference(q, k, v, document_mask(batch.doc_ids))
+        out = allgather_cp_attention(q, k, v, cp=cp, batch=batch)
+        assert np.array_equal(out.out, ref.out)
+
+    def test_kv_reassembly(self):
+        seq, cp = 32, 4
+        _, k, _ = _qkv(seq)
+        shards = [k[rank_row_indices(seq, cp, r)] for r in range(cp)]
+        full = local_kv_to_allgathered(shards, seq, cp)
+        assert np.array_equal(full, k)
+
+    def test_kv_reassembly_validation(self):
+        seq, cp = 32, 4
+        _, k, _ = _qkv(seq)
+        with pytest.raises(ValueError):
+            local_kv_to_allgathered([k[:8]] * 3, seq, cp)
+        with pytest.raises(ValueError):
+            local_kv_to_allgathered([k[:7]] * 4, seq, cp)
+
+
+class TestRingCP:
+    def test_matches_reference_to_tolerance_not_bitwise(self):
+        """Ring attention merges partials with LSE rescaling: close to the
+        reference but (generically) not bitwise — the exact Section 6.2
+        distinction between numerics and bugs."""
+        q, k, v = _qkv(64)
+        ref = attention_reference(q, k, v, causal_mask(64))
+        out, _ = ring_cp_attention(q, k, v, cp=4)
+        np.testing.assert_allclose(out.out, ref.out, atol=1e-12)
+        assert not np.array_equal(out.out, ref.out)
+
+    def test_document_mask_correct(self):
+        q, k, v = _qkv(64)
+        batch = DocumentBatch(seq=64, doc_lens=(20, 30, 14))
+        ref = attention_reference(q, k, v, document_mask(batch.doc_ids))
+        out, _ = ring_cp_attention(q, k, v, cp=4, batch=batch)
+        np.testing.assert_allclose(out.out, ref.out, atol=1e-12)
+
+    def test_kernel_fragmentation_scales_with_cp(self):
+        """The Figure 13 mechanism: O(cp) partial kernels per rank."""
+        q, k, v = _qkv(64)
+        _, s2 = ring_cp_attention(q, k, v, cp=2)
+        _, s4 = ring_cp_attention(q, k, v, cp=4)
+        assert s4.kernels_launched > s2.kernels_launched
+
+    def test_causal_skips_empty_tiles(self):
+        q, k, v = _qkv(64)
+        _, stats = ring_cp_attention(q, k, v, cp=4)
+        # Head chunks never attend to later chunks: fewer kernels than
+        # the dense cp * 2cp upper bound.
+        assert stats.kernels_launched < 4 * 8
+
+    def test_lse_matches_reference(self):
+        q, k, v = _qkv(48)
+        ref = attention_reference(q, k, v, causal_mask(48))
+        out, _ = ring_cp_attention(q, k, v, cp=3)
+        np.testing.assert_allclose(out.lse, ref.lse, atol=1e-10)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        cp=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=30),
+    )
+    def test_ring_equals_allgather_numerically(self, cp, seed):
+        seq = 48
+        q, k, v = _qkv(seq, seed=seed)
+        batch = make_batch(seq, mean_doc_len=18.0,
+                           rng=np.random.default_rng(seed))
+        ag = allgather_cp_attention(q, k, v, cp=cp, batch=batch)
+        ring, _ = ring_cp_attention(q, k, v, cp=cp, batch=batch)
+        np.testing.assert_allclose(ring.out, ag.out, atol=1e-11)

@@ -1,0 +1,137 @@
+"""Tests for the CP performance model (Figures 11-13 shapes)."""
+
+import numpy as np
+import pytest
+
+from repro.cp.perf import (
+    AttentionShape,
+    allgather_cp_perf,
+    attention_kernel_time,
+    cp_allgather_bandwidth_gbps,
+    ring_cp_perf,
+    single_gpu_attention_time,
+)
+from repro.data.documents import make_batch
+from repro.hardware.cluster import grand_teton
+from repro.hardware.gpu import H100_HBM2E, H100_HBM3
+
+HBM3 = grand_teton(8, H100_HBM3)
+HBM2E = grand_teton(8, H100_HBM2E)
+SHAPE = AttentionShape()
+SEQS = (4096, 8192, 16384, 32768, 65536, 131072)
+
+
+def _doc_batch(seq, seed=0):
+    return make_batch(seq, mean_doc_len=1024.0,
+                      rng=np.random.default_rng(seed))
+
+
+class TestKernelModel:
+    def test_quadratic_growth_at_long_seq(self):
+        t1 = single_gpu_attention_time(H100_HBM3, 32768)
+        t2 = single_gpu_attention_time(H100_HBM3, 65536)
+        assert 3.0 < t2 / t1 < 4.5
+
+    def test_doc_mask_cheaper_than_causal(self):
+        causal = single_gpu_attention_time(H100_HBM3, 32768)
+        doc = single_gpu_attention_time(H100_HBM3, 32768,
+                                        batch=_doc_batch(32768))
+        assert doc < causal
+
+    def test_empty_kernel_costs_launch(self):
+        t = attention_kernel_time(H100_HBM3, 0, 0, SHAPE, kv_len=0)
+        assert t == pytest.approx(H100_HBM3.kernel_launch_us * 1e-6)
+
+
+class TestFigure11:
+    """Relative HFU of all-gather CP vs single-GPU flash (HBM2e)."""
+
+    def test_rises_with_sequence_length(self):
+        hfus = [allgather_cp_perf(HBM2E, s, 4, SHAPE).relative_hfu
+                for s in SEQS]
+        assert all(b > a for a, b in zip(hfus, hfus[1:]))
+
+    def test_reaches_95_percent_at_128k(self):
+        r = allgather_cp_perf(HBM2E, 131072, 4, SHAPE)
+        assert r.relative_hfu > 0.95
+
+    def test_cp2_above_cp4(self):
+        for s in SEQS[:3]:
+            assert allgather_cp_perf(HBM2E, s, 2, SHAPE).relative_hfu > \
+                allgather_cp_perf(HBM2E, s, 4, SHAPE).relative_hfu
+
+    def test_block_causal_below_causal(self):
+        """The document-mask imbalance lowers relative HFU (Figure 11's
+        second observation)."""
+        for s in (16384, 65536):
+            causal = allgather_cp_perf(HBM2E, s, 4, SHAPE).relative_hfu
+            doc = allgather_cp_perf(HBM2E, s, 4, SHAPE,
+                                    batch=_doc_batch(s)).relative_hfu
+            assert doc < causal
+
+    def test_cp1_is_exactly_single_gpu(self):
+        r = allgather_cp_perf(HBM3, 8192, 1, SHAPE)
+        assert r.relative_hfu == pytest.approx(1.0)
+        assert r.comm_seconds == 0.0
+
+
+class TestFigure12:
+    def test_bandwidth_grows_with_seq(self):
+        bws = [cp_allgather_bandwidth_gbps(HBM3, s, 4) for s in SEQS]
+        assert all(b > a for a, b in zip(bws, bws[1:]))
+
+    def test_bandwidth_below_nvlink_peak(self):
+        for s in SEQS:
+            assert cp_allgather_bandwidth_gbps(HBM3, s, 4) < 450.0
+
+    def test_mask_independent(self):
+        """Figure 12's point: the payload (and thus achieved bandwidth)
+        does not depend on the mask."""
+        assert cp_allgather_bandwidth_gbps(HBM3, 32768, 4) == \
+            cp_allgather_bandwidth_gbps(HBM3, 32768, 4)
+
+
+class TestFigure13:
+    """All-gather CP vs ring/TE attention (HBM3, causal)."""
+
+    def test_both_above_95_beyond_64k(self):
+        for s in (65536, 131072):
+            for cp in (2, 4):
+                assert allgather_cp_perf(HBM3, s, cp, SHAPE).relative_hfu \
+                    > 0.95
+                assert ring_cp_perf(HBM3, s, cp, SHAPE).relative_hfu > 0.94
+
+    def test_cp_beats_ring_at_cp4_short_seq(self):
+        """The paper's headline: up to ~13.5% better relative HFU at
+        cp=4 and seq 4K-8K."""
+        gaps = []
+        for s in (4096, 8192):
+            cp_hfu = allgather_cp_perf(HBM3, s, 4, SHAPE).relative_hfu
+            te_hfu = ring_cp_perf(HBM3, s, 4, SHAPE).relative_hfu
+            gaps.append(cp_hfu - te_hfu)
+        assert max(gaps) > 0.08
+        assert max(gaps) < 0.25
+
+    def test_gap_shrinks_with_sequence_length(self):
+        gap_short = (allgather_cp_perf(HBM3, 4096, 4, SHAPE).relative_hfu
+                     - ring_cp_perf(HBM3, 4096, 4, SHAPE).relative_hfu)
+        gap_long = (allgather_cp_perf(HBM3, 131072, 4, SHAPE).relative_hfu
+                    - ring_cp_perf(HBM3, 131072, 4, SHAPE).relative_hfu)
+        assert gap_long < gap_short / 3
+
+    def test_ring_merge_cost_positive(self):
+        r = ring_cp_perf(HBM3, 8192, 4, SHAPE)
+        assert r.merge_seconds > 0
+
+
+class TestScalingClaim:
+    def test_389x_speedup_on_4_gpus(self):
+        """Section 1: 3.89x attention latency reduction on 4 GPUs."""
+        r = allgather_cp_perf(HBM3, 131072, 4, SHAPE)
+        assert 3.7 < r.speedup < 4.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            allgather_cp_perf(HBM3, 8192, 0, SHAPE)
+        with pytest.raises(ValueError):
+            ring_cp_perf(HBM3, 8192, 0, SHAPE)

@@ -1,0 +1,101 @@
+"""Tests for CP head/tail sequence sharding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cp.sharding import (
+    chunk_bounds,
+    chunks_of_rank,
+    naive_contiguous_workloads,
+    rank_row_indices,
+    rank_workloads,
+    workload_imbalance,
+)
+from repro.data.documents import DocumentBatch, make_batch
+
+
+class TestChunking:
+    def test_bounds_partition_sequence(self):
+        bounds = chunk_bounds(100, 4)
+        assert len(bounds) == 8
+        assert bounds[0][0] == 0 and bounds[-1][1] == 100
+        for (s1, e1), (s2, e2) in zip(bounds, bounds[1:]):
+            assert e1 == s2
+
+    def test_head_tail_pairing(self):
+        # Rank i gets chunks i and 2*cp - i - 1 (Section 4).
+        assert chunks_of_rank(4, 0) == (0, 7)
+        assert chunks_of_rank(4, 3) == (3, 4)
+
+    def test_rows_cover_sequence(self):
+        seq, cp = 64, 4
+        all_rows = np.concatenate([
+            rank_row_indices(seq, cp, r) for r in range(cp)
+        ])
+        assert sorted(all_rows.tolist()) == list(range(seq))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chunk_bounds(4, 4)  # seq < 2*cp
+        with pytest.raises(ValueError):
+            chunks_of_rank(4, 4)
+
+    @given(
+        seq=st.integers(min_value=16, max_value=512),
+        cp=st.integers(min_value=1, max_value=8),
+    )
+    def test_rows_partition_property(self, seq, cp):
+        if seq < 2 * cp:
+            return
+        all_rows = np.concatenate([
+            rank_row_indices(seq, cp, r) for r in range(cp)
+        ])
+        assert len(all_rows) == seq
+        assert len(set(all_rows.tolist())) == seq
+
+
+class TestWorkloads:
+    def test_causal_perfectly_balanced(self):
+        """The head/tail pairing balances the causal mask exactly when
+        2*cp divides seq (Figure 7a)."""
+        w = rank_workloads(64, 4)
+        assert len(set(w)) == 1
+
+    def test_causal_beats_naive_contiguous(self):
+        balanced = workload_imbalance(rank_workloads(128, 4))
+        naive = workload_imbalance(naive_contiguous_workloads(128, 4))
+        assert balanced < naive
+        assert naive > 1.5  # last contiguous slice is far heavier
+
+    def test_total_area_preserved(self):
+        seq = 96
+        assert sum(rank_workloads(seq, 4)) == seq * (seq + 1) // 2
+
+    def test_document_mask_breaks_balance(self):
+        batch = make_batch(256, mean_doc_len=40.0,
+                           rng=np.random.default_rng(3))
+        w = rank_workloads(256, 4, batch)
+        assert workload_imbalance(w) > 1.01
+
+    def test_single_doc_matches_causal(self):
+        batch = DocumentBatch(seq=64, doc_lens=(64,))
+        assert rank_workloads(64, 4, batch) == rank_workloads(64, 4)
+
+    def test_imbalance_validation(self):
+        with pytest.raises(ValueError):
+            workload_imbalance([])
+        assert workload_imbalance([0, 0]) == 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        cp=st.integers(min_value=1, max_value=8),
+        mean=st.floats(min_value=20.0, max_value=100.0),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_workloads_sum_to_mask_area(self, cp, mean, seed):
+        seq = 256
+        batch = make_batch(seq, mean_doc_len=mean,
+                           rng=np.random.default_rng(seed))
+        w = rank_workloads(seq, cp, batch)
+        assert sum(w) == int(batch.attended_per_row().sum())

@@ -1,0 +1,85 @@
+"""Tests for onset/changepoint detection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.debug.inflection import (
+    detect_changepoint,
+    detect_fleet_regressions,
+    synth_step_durations,
+)
+
+
+class TestDetectChangepoint:
+    def test_clean_onset_found_exactly(self):
+        x = synth_step_durations(200, noise=0.005, fault_step=120,
+                                 fault_slowdown=0.2,
+                                 rng=np.random.default_rng(1))
+        cp = detect_changepoint(x)
+        assert cp is not None
+        assert abs(cp.step - 120) <= 2
+        assert cp.slowdown == pytest.approx(0.2, abs=0.05)
+
+    def test_no_fault_no_detection(self):
+        x = synth_step_durations(300, noise=0.01,
+                                 rng=np.random.default_rng(2))
+        assert detect_changepoint(x) is None
+
+    def test_small_series_rejected(self):
+        assert detect_changepoint([1.0] * 5) is None
+
+    def test_subtle_fault_needs_enough_data(self):
+        rng = np.random.default_rng(3)
+        short = synth_step_durations(30, noise=0.02, fault_step=15,
+                                     fault_slowdown=0.03, rng=rng)
+        long = synth_step_durations(2000, noise=0.02, fault_step=1000,
+                                    fault_slowdown=0.03,
+                                    rng=np.random.default_rng(3))
+        assert detect_changepoint(long) is not None
+        # The short series may or may not clear threshold; it must never
+        # report a wildly wrong location when it does.
+        cp = detect_changepoint(short)
+        if cp is not None:
+            assert 10 <= cp.step <= 20
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        fault_step=st.integers(min_value=40, max_value=160),
+        slowdown=st.floats(min_value=0.1, max_value=0.5),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_onset_localised_property(self, fault_step, slowdown, seed):
+        x = synth_step_durations(200, noise=0.005, fault_step=fault_step,
+                                 fault_slowdown=slowdown,
+                                 rng=np.random.default_rng(seed))
+        cp = detect_changepoint(x)
+        assert cp is not None
+        assert abs(cp.step - fault_step) <= 3
+
+
+class TestFleetScan:
+    def test_faulty_rank_ranked_first(self):
+        rng = np.random.default_rng(4)
+        series = {
+            r: synth_step_durations(150, noise=0.01, rng=rng)
+            for r in range(8)
+        }
+        series[5] = synth_step_durations(150, noise=0.01, fault_step=60,
+                                         fault_slowdown=0.15, rng=rng)
+        series[2] = synth_step_durations(150, noise=0.01, fault_step=100,
+                                         fault_slowdown=0.05, rng=rng)
+        found = detect_fleet_regressions(series)
+        assert [c.rank for c in found][:2] == [5, 2]
+        assert found[0].slowdown > found[1].slowdown
+
+    def test_recoveries_not_reported(self):
+        rng = np.random.default_rng(5)
+        x = synth_step_durations(150, noise=0.01, fault_step=60,
+                                 fault_slowdown=-0.2, rng=rng)
+        found = detect_fleet_regressions({0: x})
+        assert found == []
+
+    def test_fault_step_validated(self):
+        with pytest.raises(ValueError):
+            synth_step_durations(10, fault_step=10)

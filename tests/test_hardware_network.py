@@ -1,0 +1,67 @@
+"""Tests for link specs and the effective-bandwidth model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hardware.network import (
+    NVLINK_H100,
+    ROCE_400G,
+    LinkSpec,
+    effective_bandwidth,
+    transfer_time,
+)
+
+
+class TestLinkSpecs:
+    def test_nvlink_much_faster_than_roce(self):
+        assert NVLINK_H100.bandwidth_gbps / ROCE_400G.bandwidth_gbps >= 5
+
+    def test_roce_matches_paper_50gbps(self):
+        # Section 5.1 quotes 50 GB/s RoCE per rank.
+        assert ROCE_400G.bandwidth_gbps == 50.0
+
+    def test_half_bandwidth_size(self):
+        link = LinkSpec("t", bandwidth_gbps=100.0, latency_us=10.0)
+        assert link.half_bandwidth_size == pytest.approx(100e9 * 10e-6)
+
+
+class TestEffectiveBandwidth:
+    def test_half_at_half_size(self):
+        s = NVLINK_H100.half_bandwidth_size
+        assert effective_bandwidth(NVLINK_H100, s) == pytest.approx(
+            NVLINK_H100.bandwidth / 2
+        )
+
+    def test_approaches_peak_for_large_messages(self):
+        bw = effective_bandwidth(ROCE_400G, 10e9)
+        assert bw > 0.99 * ROCE_400G.bandwidth
+
+    def test_small_messages_are_latency_bound(self):
+        bw = effective_bandwidth(ROCE_400G, 1024)
+        assert bw < 0.01 * ROCE_400G.bandwidth
+
+    @given(st.floats(min_value=1.0, max_value=1e12))
+    def test_monotone_in_size(self, size):
+        assert effective_bandwidth(NVLINK_H100, size * 2) > \
+            effective_bandwidth(NVLINK_H100, size)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            effective_bandwidth(NVLINK_H100, 0)
+
+
+class TestTransferTime:
+    def test_zero_bytes_costs_latency(self):
+        assert transfer_time(ROCE_400G, 0) == ROCE_400G.latency
+
+    def test_includes_latency_and_serialisation(self):
+        t = transfer_time(ROCE_400G, 50e9)
+        assert t == pytest.approx(ROCE_400G.latency + 1.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            transfer_time(ROCE_400G, -1)
+
+    @given(st.floats(min_value=0, max_value=1e12))
+    def test_at_least_latency(self, nbytes):
+        assert transfer_time(NVLINK_H100, nbytes) >= NVLINK_H100.latency

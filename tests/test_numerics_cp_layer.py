@@ -1,0 +1,123 @@
+"""Tests for the context-parallel transformer layer with real numerics."""
+
+import numpy as np
+import pytest
+
+from repro.data.documents import DocumentBatch, make_batch
+from repro.numerics.cp_layer import cp_layer_backward, cp_layer_forward
+from repro.numerics.precision import ALL_BF16, ALL_FP32
+from repro.numerics.transformer import (
+    TinyConfig,
+    TinyTransformer,
+    layer_backward,
+    layer_forward,
+)
+
+CFG = TinyConfig()
+MODEL = TinyTransformer.create(CFG, seed=1)
+RNG = np.random.default_rng(8)
+SEQ = 32
+X = RNG.standard_normal((SEQ, CFG.dim)).astype(np.float32)
+DX = RNG.standard_normal((SEQ, CFG.dim)).astype(np.float32)
+
+
+def _mono(precision=ALL_FP32):
+    out, cache = layer_forward(CFG, MODEL.params, 0, X, precision)
+    dx, grads = layer_backward(CFG, MODEL.params, 0, DX, cache, precision)
+    return out, dx, grads
+
+
+def _cp(cp, precision=ALL_FP32, batch=None):
+    out, caches = cp_layer_forward(CFG, MODEL.params, 0, X, cp, precision,
+                                   batch=batch)
+    dx, grads = cp_layer_backward(CFG, MODEL.params, 0, DX, caches, cp,
+                                  precision)
+    return out, dx, grads
+
+
+class TestForward:
+    @pytest.mark.parametrize("cp", [1, 2, 4])
+    @pytest.mark.parametrize("precision", [ALL_FP32, ALL_BF16],
+                             ids=["fp32", "bf16"])
+    def test_forward_bitwise_vs_monolithic(self, cp, precision):
+        """All per-token work is reduction-free and the K/V all-gather is
+        an exact row assembly: CP layer forward == monolithic bitwise."""
+        mono_out, _ = layer_forward(CFG, MODEL.params, 0, X, precision)[0], None
+        cp_out, _ = cp_layer_forward(CFG, MODEL.params, 0, X, cp, precision)
+        assert np.array_equal(mono_out, cp_out)
+
+    def test_document_mask_forward(self):
+        batch = make_batch(SEQ, mean_doc_len=17.0,
+                           rng=np.random.default_rng(3))
+        from repro.attention.masks import document_mask
+        # Monolithic layer uses a causal mask internally, so compare CP
+        # degrees against each other under the doc mask.
+        a, _ = cp_layer_forward(CFG, MODEL.params, 0, X, 1, ALL_FP32,
+                                batch=batch)
+        b, _ = cp_layer_forward(CFG, MODEL.params, 0, X, 4, ALL_FP32,
+                                batch=batch)
+        assert np.array_equal(a, b)
+
+
+class TestBackward:
+    def test_dx_bitwise_vs_cp1(self):
+        """dx rows involve no cross-rank reduction before the K/V reduce;
+        after identical reduced dK/dV... dx still passes through the
+        reduced tensors, so compare CP degrees: cp=1 vs cp=4 differ only
+        in the dK/dV reduction order."""
+        _, dx1, _ = _cp(1)
+        _, dx4, _ = _cp(4)
+        np.testing.assert_allclose(dx4, dx1, rtol=1e-4, atol=1e-6)
+
+    def test_cp1_matches_monolithic_grads(self):
+        """With one rank there is no reduction: cp=1 must agree with the
+        monolithic backward tightly."""
+        _, mono_dx, mono_g = _mono()
+        _, cp_dx, cp_g = _cp(1)
+        np.testing.assert_allclose(cp_dx, mono_dx, rtol=1e-5, atol=1e-7)
+        for name in mono_g:
+            np.testing.assert_allclose(cp_g[name], mono_g[name],
+                                       rtol=1e-4, atol=1e-6)
+
+    def test_cp4_weight_grads_close_to_monolithic(self):
+        _, _, mono_g = _mono()
+        _, _, cp_g = _cp(4)
+        for name in mono_g:
+            np.testing.assert_allclose(cp_g[name], mono_g[name],
+                                       rtol=1e-3, atol=1e-5), name
+
+    def test_deterministic(self):
+        a = _cp(4, ALL_BF16)
+        b = _cp(4, ALL_BF16)
+        assert np.array_equal(a[1], b[1])
+        for k in a[2]:
+            assert np.array_equal(a[2][k], b[2][k])
+
+    def test_gradcheck_through_cp_layer(self):
+        """Finite-difference check of the CP backward at cp=2 (fp32)."""
+        cp = 2
+        loss_grad = np.ones((SEQ, CFG.dim), dtype=np.float32) / X.size
+
+        def loss():
+            out, _ = cp_layer_forward(CFG, MODEL.params, 0, X, cp,
+                                      ALL_FP32)
+            return float(np.sum(out) / X.size)
+
+        _, caches = cp_layer_forward(CFG, MODEL.params, 0, X, cp, ALL_FP32)
+        _, grads = cp_layer_backward(CFG, MODEL.params, 0, loss_grad,
+                                     caches, cp, ALL_FP32)
+        rng = np.random.default_rng(11)
+        for name in ("l0.wk", "l0.wv", "l0.wo"):
+            flat = MODEL.params[name].reshape(-1)
+            idx = int(rng.integers(0, flat.size))
+            eps = 2e-3
+            orig = flat[idx]
+            flat[idx] = orig + eps
+            lp = loss()
+            flat[idx] = orig - eps
+            lm = loss()
+            flat[idx] = orig
+            fd = (lp - lm) / (2 * eps)
+            an = grads[name].reshape(-1)[idx]
+            if abs(fd) > 1e-6:
+                assert an == pytest.approx(fd, rel=0.05, abs=1e-5), name

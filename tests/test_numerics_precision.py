@@ -1,0 +1,95 @@
+"""Tests for BF16 emulation and precision configs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.numerics.precision import (
+    ALL_BF16,
+    ALL_FP32,
+    PRODUCTION,
+    accumulate,
+    cast,
+    is_bf16_representable,
+    matmul,
+    to_bf16,
+)
+
+
+class TestToBf16:
+    def test_representable_values_unchanged(self):
+        vals = np.array([0.0, 1.0, -2.0, 0.5, 256.0], dtype=np.float32)
+        np.testing.assert_array_equal(to_bf16(vals), vals)
+
+    def test_low_mantissa_bits_cleared(self):
+        x = to_bf16(np.array([1.000001, 3.14159, -7.77], dtype=np.float32))
+        assert np.all(is_bf16_representable(x))
+
+    def test_round_to_nearest_even(self):
+        # 1 + 2^-8 is exactly halfway between two BF16 values (1 and
+        # 1 + 2^-7); ties round to even mantissa -> 1.0.
+        halfway = np.float32(1.0 + 2.0**-8)
+        assert to_bf16(halfway) == np.float32(1.0)
+        # Just above halfway rounds up.
+        assert to_bf16(np.float32(1.0 + 2.0**-8 + 2.0**-12)) == \
+            np.float32(1.0 + 2.0**-7)
+
+    def test_relative_error_bounded(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(1000).astype(np.float32) * 100
+        rel = np.abs(to_bf16(x) - x) / np.abs(x)
+        assert rel.max() <= 2.0**-8  # half ULP of an 8-bit mantissa
+
+    def test_nan_preserved(self):
+        assert np.isnan(to_bf16(np.array([np.nan]))).all()
+
+    def test_idempotent(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal(100).astype(np.float32)
+        once = to_bf16(x)
+        np.testing.assert_array_equal(to_bf16(once), once)
+
+    @given(st.floats(allow_nan=False, allow_infinity=False, width=32))
+    def test_monotone(self, x):
+        y = np.nextafter(np.float32(x), np.float32(np.inf))
+        assert to_bf16(np.float32(x)) <= to_bf16(y)
+
+
+class TestMatmulAndAccumulate:
+    def test_bf16_matmul_rounds_output(self):
+        rng = np.random.default_rng(2)
+        a = rng.standard_normal((8, 8)).astype(np.float32)
+        b = rng.standard_normal((8, 8)).astype(np.float32)
+        out = matmul(a, b, ALL_BF16)
+        assert np.all(is_bf16_representable(out))
+
+    def test_fp32_matmul_exact(self):
+        a = np.eye(4, dtype=np.float32)
+        b = np.full((4, 4), 1.2345678, dtype=np.float32)
+        np.testing.assert_array_equal(matmul(a, b, ALL_FP32), b)
+
+    def test_bf16_accumulation_swallows_small_updates(self):
+        """The drift mechanism Section 6.2's FP32 accumulation removes:
+        a BF16 running total absorbs updates below its ULP."""
+        total = np.array([256.0], dtype=np.float32)
+        update = np.array([0.5], dtype=np.float32)  # < ULP of 256 in BF16
+        out = accumulate(total, update, "bf16")
+        assert out[0] == 256.0
+        out32 = accumulate(total, update, "fp32")
+        assert out32[0] == 256.5
+
+    def test_fp32_accumulation_order_insensitive_here(self):
+        a = np.array([1e8], dtype=np.float32)
+        b = np.array([1.0], dtype=np.float32)
+        left = accumulate(accumulate(a, b, "fp32"), b, "fp32")
+        right = accumulate(a, accumulate(b, b, "fp32"), "fp32")
+        assert left == right
+
+    def test_cast_validation(self):
+        with pytest.raises(ValueError):
+            cast(np.zeros(3), "fp16")
+
+    def test_production_config(self):
+        assert PRODUCTION.compute == "bf16"
+        assert PRODUCTION.grad_accum == "fp32"
+        assert PRODUCTION.grad_reduce == "fp32"

@@ -1,0 +1,91 @@
+"""Tests for the real-numerics Megatron-style TP layer."""
+
+import numpy as np
+import pytest
+
+from repro.numerics.precision import ALL_BF16, ALL_FP32, matmul
+from repro.numerics.tp_emul import (
+    attention_heads_bitwise_partitionable,
+    column_parallel_linear,
+    row_parallel_linear,
+    tp_layer_forward,
+    tp_layer_forward_emulated_order,
+)
+from repro.numerics.transformer import TinyConfig, TinyTransformer
+
+CFG = TinyConfig()
+MODEL = TinyTransformer.create(CFG, seed=1)
+RNG = np.random.default_rng(4)
+X = RNG.standard_normal((16, CFG.dim)).astype(np.float32)
+
+
+class TestColumnParallel:
+    def test_bitwise_equal_to_fused(self):
+        """Output-dim splitting performs no reduction: every element is
+        computed identically on exactly one rank."""
+        w = RNG.standard_normal((CFG.dim, CFG.ffn_hidden)).astype(np.float32)
+        for precision in (ALL_FP32, ALL_BF16):
+            fused = matmul(X, w, precision)
+            split = column_parallel_linear(X, w, 4, precision)
+            assert np.array_equal(fused, split)
+
+    def test_divisibility(self):
+        w = np.zeros((CFG.dim, 30), dtype=np.float32)
+        with pytest.raises(ValueError):
+            column_parallel_linear(X, w, 4, ALL_FP32)
+
+
+class TestRowParallel:
+    def test_differs_from_fused_in_bf16(self):
+        w = RNG.standard_normal((CFG.dim, CFG.dim)).astype(np.float32)
+        fused = matmul(X, w, ALL_BF16)
+        split = row_parallel_linear(X, w, 4, ALL_BF16)
+        assert not np.array_equal(fused, split)
+        np.testing.assert_allclose(split, fused, atol=0.3, rtol=0.1)
+
+    def test_close_in_fp32(self):
+        w = RNG.standard_normal((CFG.dim, CFG.dim)).astype(np.float32)
+        fused = matmul(X, w, ALL_FP32)
+        split = row_parallel_linear(X, w, 4, ALL_FP32)
+        np.testing.assert_allclose(split, fused, rtol=1e-4, atol=1e-6)
+
+    def test_divisibility(self):
+        w = np.zeros((30, CFG.dim), dtype=np.float32)
+        with pytest.raises(ValueError):
+            row_parallel_linear(X[:, :30], w, 4, ALL_FP32)
+
+
+class TestHeadPartitioning:
+    def test_attention_bitwise_across_tp(self):
+        q = RNG.standard_normal((16, CFG.n_heads, CFG.head_dim))
+        k = RNG.standard_normal((16, CFG.n_heads, CFG.head_dim))
+        v = RNG.standard_normal((16, CFG.n_heads, CFG.head_dim))
+        fused, split = attention_heads_bitwise_partitionable(
+            CFG, q, k, v, tp=4, precision=ALL_BF16)
+        assert np.array_equal(fused, split)
+
+
+class TestFullLayer:
+    def test_tp_layer_matches_emulated_order_bitwise(self):
+        for tp in (1, 2, 4):
+            a = tp_layer_forward(CFG, MODEL.params, 0, X, tp, ALL_BF16)
+            b = tp_layer_forward_emulated_order(
+                CFG, MODEL.params, 0, X, tp, ALL_BF16)
+            assert np.array_equal(a, b)
+
+    def test_tp_degrees_differ_bitwise_in_bf16(self):
+        """Different TP degrees are different reduction orders — the
+        per-degree divergence Section 6.2 treats as numerics, not bugs."""
+        a = tp_layer_forward(CFG, MODEL.params, 0, X, 1, ALL_BF16)
+        b = tp_layer_forward(CFG, MODEL.params, 0, X, 4, ALL_BF16)
+        assert not np.array_equal(a, b)
+        np.testing.assert_allclose(a, b, atol=0.2, rtol=0.2)
+
+    def test_tp_layer_close_to_unsharded_fp32(self):
+        a = tp_layer_forward(CFG, MODEL.params, 0, X, 1, ALL_FP32)
+        b = tp_layer_forward(CFG, MODEL.params, 0, X, 4, ALL_FP32)
+        np.testing.assert_allclose(a, b, rtol=1e-4, atol=1e-5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tp_layer_forward(CFG, MODEL.params, 0, X, 3, ALL_FP32)

@@ -1,0 +1,104 @@
+"""Tests for 4D config and device mesh."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.parallel.config import JobConfig, ParallelConfig, ZeroStage
+from repro.parallel.mesh import DeviceMesh, MeshCoord
+
+
+class TestParallelConfig:
+    def test_world_size(self):
+        p = ParallelConfig(tp=8, cp=16, pp=16, dp=8)
+        assert p.world_size == 16384
+        assert p.model_parallel_size == 128
+        assert p.grad_shard_degree == 128
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParallelConfig(tp=0)
+
+    def test_describe(self):
+        s = ParallelConfig(tp=8, pp=2).describe()
+        assert "tp=8" in s and "pp=2" in s
+
+
+class TestJobConfig:
+    def test_token_budget_16m(self):
+        short = JobConfig(seq=8192, gbs=2048, ngpu=16384)
+        long = JobConfig(seq=131072, gbs=128, ngpu=16384)
+        assert short.tokens_per_step == long.tokens_per_step == 16 * 2**20
+
+    def test_batch_per_dp_group(self):
+        job = JobConfig(seq=8192, gbs=2048, ngpu=16384)
+        p = ParallelConfig(tp=8, cp=1, pp=16, dp=128)
+        assert job.batch_per_dp_group(p) == 16
+        assert job.micro_batches(p) == 16
+
+    def test_mismatched_world_size_rejected(self):
+        job = JobConfig(seq=8192, gbs=2048, ngpu=16384)
+        with pytest.raises(ValueError):
+            job.batch_per_dp_group(ParallelConfig(tp=8))
+
+    def test_indivisible_gbs_rejected(self):
+        job = JobConfig(seq=128, gbs=10, ngpu=8)
+        with pytest.raises(ValueError):
+            job.batch_per_dp_group(ParallelConfig(tp=1, cp=1, pp=2, dp=4))
+
+
+class TestDeviceMesh:
+    MESH = DeviceMesh(ParallelConfig(tp=4, cp=2, pp=2, dp=2))
+
+    def test_tp_is_innermost(self):
+        """[TP, CP, PP, DP] ordering: adjacent ranks differ in TP only
+        (Section 5.2 places chatty TP on NVLink)."""
+        c0, c1 = self.MESH.coord_of(0), self.MESH.coord_of(1)
+        assert (c0.cp, c0.pp, c0.dp) == (c1.cp, c1.pp, c1.dp)
+        assert c1.tp == c0.tp + 1
+
+    def test_round_trip(self):
+        for rank in range(self.MESH.world_size):
+            assert self.MESH.rank_of(self.MESH.coord_of(rank)) == rank
+
+    def test_tp_group_contiguous(self):
+        assert self.MESH.group_of(0, "tp") == [0, 1, 2, 3]
+        assert self.MESH.group_of(5, "tp") == [4, 5, 6, 7]
+
+    def test_cp_group_stride_tp(self):
+        assert self.MESH.group_of(0, "cp") == [0, 4]
+
+    def test_dp_group_outermost_stride(self):
+        assert self.MESH.group_of(0, "dp") == [0, 16]
+
+    def test_all_groups_partition_world(self):
+        for dim in ("tp", "cp", "pp", "dp"):
+            groups = self.MESH.all_groups(dim)
+            flat = [r for g in groups for r in g]
+            assert sorted(flat) == list(range(self.MESH.world_size))
+
+    def test_dp_cp_group(self):
+        group = self.MESH.dp_cp_group_of(0)
+        assert len(group) == 4  # dp * cp
+        coords = [self.MESH.coord_of(r) for r in group]
+        assert all((c.tp, c.pp) == (0, 0) for c in coords)
+
+    def test_pp_neighbor(self):
+        rank = 0
+        nxt = self.MESH.pp_neighbor(rank, +1)
+        assert self.MESH.coord_of(nxt).pp == 1
+        assert self.MESH.pp_neighbor(nxt, -1) == rank
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            self.MESH.coord_of(self.MESH.world_size)
+        with pytest.raises(ValueError):
+            self.MESH.group_of(0, "xx")
+        with pytest.raises(ValueError):
+            self.MESH.rank_of(MeshCoord(tp=9, cp=0, pp=0, dp=0))
+        with pytest.raises(ValueError):
+            self.MESH.pp_neighbor(0, 2)
+
+    @given(st.integers(min_value=0, max_value=31))
+    def test_group_membership_reflexive(self, rank):
+        for dim in ("tp", "cp", "pp", "dp"):
+            assert rank in self.MESH.group_of(rank, dim)

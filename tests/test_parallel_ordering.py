@@ -1,0 +1,87 @@
+"""Tests for the Section 5.2 dimension-ordering analysis."""
+
+import pytest
+
+from repro.hardware.cluster import GRAND_TETON_16K
+from repro.model.config import LLAMA3_405B
+from repro.parallel.config import JobConfig, ParallelConfig, ZeroStage
+from repro.parallel.ordering import (
+    PAPER_ORDER,
+    dimension_traffic,
+    links_for_order,
+    rank_orderings,
+    score_ordering,
+)
+
+PAR = ParallelConfig(tp=8, cp=16, pp=16, dp=8, zero=ZeroStage.ZERO_2)
+JOB = JobConfig(seq=131072, gbs=128, ngpu=16384)
+
+
+class TestTraffic:
+    def test_tp_most_frequent(self):
+        """TP communicates four times per layer — the most frequent
+        dimension by far (Section 5.2)."""
+        t = dimension_traffic(LLAMA3_405B, PAR, JOB)
+        assert t["tp"].events_per_step > t["cp"].events_per_step
+        assert t["cp"].events_per_step > t["dp"].events_per_step
+
+    def test_only_dp_hideable(self):
+        t = dimension_traffic(LLAMA3_405B, PAR, JOB)
+        assert t["dp"].hideable
+        assert not t["tp"].hideable
+        assert not t["cp"].hideable
+        assert not t["pp"].hideable
+
+    def test_pp_is_p2p_not_collective(self):
+        t = dimension_traffic(LLAMA3_405B, PAR, JOB)
+        assert not t["pp"].collective
+        assert t["tp"].collective and t["cp"].collective
+
+
+class TestLinkAssignment:
+    def test_paper_order_puts_tp_on_nvlink(self):
+        links = links_for_order(PAPER_ORDER, PAR, GRAND_TETON_16K)
+        assert links["tp"] is GRAND_TETON_16K.intra_node_link
+        assert links["cp"] is GRAND_TETON_16K.inter_node_link
+
+    def test_tp_outermost_forces_roce(self):
+        links = links_for_order(("dp", "pp", "cp", "tp"), PAR,
+                                GRAND_TETON_16K)
+        assert links["tp"] is GRAND_TETON_16K.inter_node_link
+
+    def test_size1_dims_trivially_intra_node(self):
+        par = ParallelConfig(tp=8, cp=1, pp=16, dp=128)
+        links = links_for_order(("cp", "tp", "pp", "dp"), par,
+                                GRAND_TETON_16K)
+        assert links["cp"] is GRAND_TETON_16K.intra_node_link
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValueError):
+            links_for_order(("tp", "tp", "pp", "dp"), PAR, GRAND_TETON_16K)
+
+
+class TestScoring:
+    def test_paper_order_is_optimal(self):
+        scores = rank_orderings(LLAMA3_405B, PAR, JOB, GRAND_TETON_16K)
+        best = scores[0].exposed_seconds
+        paper = next(s for s in scores if s.order == PAPER_ORDER)
+        assert paper.exposed_seconds == pytest.approx(best)
+
+    def test_tp_outer_much_worse(self):
+        inner = score_ordering(PAPER_ORDER, LLAMA3_405B, PAR, JOB,
+                               GRAND_TETON_16K)
+        outer = score_ordering(("dp", "pp", "cp", "tp"), LLAMA3_405B, PAR,
+                               JOB, GRAND_TETON_16K)
+        assert outer.exposed_seconds > 2 * inner.exposed_seconds
+
+    def test_all_24_permutations_scored(self):
+        scores = rank_orderings(LLAMA3_405B, PAR, JOB, GRAND_TETON_16K)
+        assert len(scores) == 24
+        assert len({s.order for s in scores}) == 24
+
+    def test_dp_contribution_small(self):
+        """DP's overlap makes its exposed share tiny despite the largest
+        payload — why it sits outermost."""
+        s = score_ordering(PAPER_ORDER, LLAMA3_405B, PAR, JOB,
+                           GRAND_TETON_16K)
+        assert s.per_dim_seconds["dp"] < 0.05 * s.exposed_seconds

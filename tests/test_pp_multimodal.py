@@ -1,0 +1,93 @@
+"""Tests for multimodal encoder sharding and layer grouping (Section 3.2)."""
+
+import pytest
+
+from repro.hardware.cluster import grand_teton
+from repro.model.config import (
+    LLAMA3_MULTIMODAL_448,
+    LLAMA3_MULTIMODAL_672,
+)
+from repro.pp.multimodal import (
+    EncoderSharding,
+    LayerGrouping,
+    compare_layer_grouping,
+    evaluate_encoder_sharding,
+)
+
+CLUSTER = grand_teton(64)
+MM_448 = LLAMA3_MULTIMODAL_448
+MM_672 = LLAMA3_MULTIMODAL_672
+
+
+def _ratio(mm, option, bs=16, pp=8):
+    return evaluate_encoder_sharding(mm, option, bs=bs, pp=pp,
+                                     cluster=CLUSTER).encoder_ratio
+
+
+class TestEncoderSharding:
+    def test_replication_beats_serial_options(self):
+        """Option 3's whole point: encoder runs bs/pp per rank in
+        parallel."""
+        serial = _ratio(MM_672, EncoderSharding.ENCODER_AS_PREPROCESS)
+        replicated = _ratio(MM_672, EncoderSharding.ENCODER_REPLICATED)
+        assert replicated < serial
+
+    def test_paper_magnitudes_672px(self):
+        """Section 3.2.1: at 672 px the serial encoder hits ~33% of step
+        latency; replication brings it to ~8%."""
+        serial = _ratio(MM_672, EncoderSharding.ENCODER_AS_PREPROCESS)
+        replicated = _ratio(MM_672, EncoderSharding.ENCODER_REPLICATED)
+        assert 0.20 < serial < 0.45
+        assert 0.03 < replicated < 0.12
+
+    def test_resolution_change_worsens_serial_options(self):
+        """The 448 -> 672 px change is what broke Option 2."""
+        assert _ratio(MM_672, EncoderSharding.ENCODER_AS_PREPROCESS) > \
+            _ratio(MM_448, EncoderSharding.ENCODER_AS_PREPROCESS)
+
+    def test_option1_no_better_than_option2_on_encoder_time(self):
+        o1 = evaluate_encoder_sharding(
+            MM_672, EncoderSharding.WHOLE_MODEL_PP, bs=16, pp=8,
+            cluster=CLUSTER)
+        o2 = evaluate_encoder_sharding(
+            MM_672, EncoderSharding.ENCODER_AS_PREPROCESS, bs=16, pp=8,
+            cluster=CLUSTER)
+        assert o1.encoder_seconds == pytest.approx(o2.encoder_seconds)
+
+    def test_step_decomposition_sums(self):
+        r = evaluate_encoder_sharding(
+            MM_448, EncoderSharding.ENCODER_REPLICATED, bs=8, pp=4,
+            cluster=CLUSTER)
+        assert r.step_seconds == pytest.approx(
+            r.encoder_seconds + r.text_seconds + r.comm_seconds
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            evaluate_encoder_sharding(MM_448, EncoderSharding.ENCODER_REPLICATED,
+                                      bs=0, pp=4, cluster=CLUSTER)
+
+
+class TestLayerGrouping:
+    def test_wrapped_is_balanced_separate_is_not(self):
+        wrapped, separate = compare_layer_grouping(MM_448, pp=4, nmb=16)
+        assert wrapped.grouping is LayerGrouping.WRAPPED
+        assert wrapped.imbalance == pytest.approx(1.0)
+        assert separate.imbalance > 1.3
+
+    def test_separate_has_more_stages_smaller_ideal_bubble(self):
+        wrapped, separate = compare_layer_grouping(MM_448, pp=4, nmb=16)
+        assert separate.num_stages == 2 * wrapped.num_stages
+        assert separate.ideal_bubble < wrapped.ideal_bubble
+
+    def test_wrapped_wins_effective_cost(self):
+        """The paper's conclusion: balance beats stage count — WRAPPED's
+        effective step cost is lower despite the bigger ideal bubble."""
+        wrapped, separate = compare_layer_grouping(MM_448, pp=4, nmb=16)
+        assert wrapped.effective_step_cost < separate.effective_step_cost
+
+    def test_stage_costs_cover_all_layers(self):
+        wrapped, separate = compare_layer_grouping(MM_448, pp=4, nmb=16)
+        assert sum(wrapped.stage_costs) == pytest.approx(
+            sum(separate.stage_costs)
+        )

@@ -1,0 +1,154 @@
+"""Tests for pipeline-schedule generation, including property-based
+certification that flexible schedules execute deadlock-free for arbitrary
+(pp, v, nc, nmb) — the paper's Section 3.1.1 flexibility claim."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pp.analysis import ScheduleShape
+from repro.pp.grad_memory import peak_in_flight_from_schedule
+from repro.pp.layout import build_layout
+from repro.pp.schedule import (
+    OpKind,
+    build_afab_schedule,
+    build_flexible_schedule,
+    build_interleaved_1f1b,
+    build_schedule,
+)
+from repro.train.cost import StageCost
+from repro.train.executor import execute_pipeline
+
+
+def _execute(schedule, fwd=1.0, bwd=2.0, p2p=0.0):
+    shape = schedule.shape
+    layout = build_layout(shape.pp * shape.v, shape.pp, shape.v)
+    return execute_pipeline(
+        schedule, layout,
+        lambda s: StageCost(fwd * max(s.n_layers, 0.0), 0.0, 0.0),
+        lambda s: StageCost(bwd * max(s.n_layers, 0.0), 0.0, 0.0),
+        p2p_seconds=p2p,
+    )
+
+
+class TestFigure2:
+    """The paper's worked example: 6 layers, 3 PP ranks, v=2, 6
+    micro-batches in 2 rounds of nc=3."""
+
+    SHAPE = ScheduleShape(pp=3, v=2, nc=3, nmb=6)
+
+    def test_layer_interleaving(self):
+        sched = build_flexible_schedule(self.SHAPE)
+        # Rank 0 hosts global stages 0 and 3 (layers 0 and 3 in Figure 2).
+        stages = {op.global_stage(3) for op in sched.program(0)}
+        assert stages == {0, 3}
+
+    def test_warmup_counts(self):
+        sched = build_flexible_schedule(self.SHAPE)
+        # Rank 0: (v-1)*nc + 2*(pp-1) + 1 = 3 + 4 + 1 = 8 warm-up fwds.
+        prog = sched.program(0)
+        first_bwd = next(i for i, op in enumerate(prog)
+                         if op.kind is OpKind.BACKWARD)
+        assert first_bwd == 8
+
+    def test_executes_without_deadlock(self):
+        run = _execute(build_flexible_schedule(self.SHAPE))
+        assert run.makespan > 0
+
+
+class TestValidation:
+    def test_programs_have_all_ops(self):
+        sched = build_flexible_schedule(ScheduleShape(pp=4, v=2, nc=4, nmb=8))
+        sched.validate()  # does not raise
+        for ppr in range(4):
+            assert len(sched.program(ppr)) == 2 * 16
+
+    def test_interleaved_requires_multiple_of_pp(self):
+        with pytest.raises(ValueError):
+            build_interleaved_1f1b(pp=4, v=2, nmb=6)
+
+    def test_flexible_accepts_non_multiple(self):
+        # The constraint the paper removes (Section 3.1.1).
+        sched = build_flexible_schedule(ScheduleShape(pp=4, v=2, nc=3, nmb=6))
+        run = _execute(sched)
+        assert run.makespan > 0
+
+    def test_build_schedule_dispatch(self):
+        shape = ScheduleShape(pp=2, v=1, nc=2, nmb=4)
+        assert build_schedule(shape, "afab").name == "afab"
+        assert build_schedule(shape, "1f1b").name == "1f1b-interleaved"
+        with pytest.raises(ValueError):
+            build_schedule(shape, "nope")
+
+
+class TestMemoryOrdering:
+    def test_afab_holds_all_microbatches(self):
+        shape = ScheduleShape(pp=4, v=2, nc=4, nmb=8)
+        afab = build_afab_schedule(shape)
+        assert peak_in_flight_from_schedule(afab, 0) == shape.tmb
+
+    def test_1f1b_holds_fewer_than_afab(self):
+        shape = ScheduleShape(pp=4, v=2, nc=4, nmb=16)
+        afab = build_afab_schedule(shape)
+        f1b = build_flexible_schedule(shape)
+        assert peak_in_flight_from_schedule(f1b, 0) < \
+            peak_in_flight_from_schedule(afab, 0)
+
+    def test_in_flight_matches_closed_form(self):
+        shape = ScheduleShape(pp=4, v=2, nc=4, nmb=16)
+        sched = build_flexible_schedule(shape)
+        for ppr in range(4):
+            assert peak_in_flight_from_schedule(sched, ppr) == \
+                shape.peak_in_flight(ppr)
+
+    def test_nc_above_pp_costs_memory(self):
+        """Figure 3's trade-off: hiding P2P with extra warm-up
+        micro-batches raises peak in-flight count."""
+        small = build_flexible_schedule(ScheduleShape(pp=2, v=3, nc=2, nmb=8))
+        big = build_flexible_schedule(ScheduleShape(pp=2, v=3, nc=4, nmb=8))
+        assert peak_in_flight_from_schedule(big, 0) > \
+            peak_in_flight_from_schedule(small, 0)
+
+
+shapes = st.builds(
+    lambda pp, v, rounds, nc: ScheduleShape(pp=pp, v=v, nc=nc,
+                                            nmb=nc * rounds),
+    pp=st.integers(min_value=1, max_value=6),
+    v=st.integers(min_value=1, max_value=4),
+    rounds=st.integers(min_value=1, max_value=3),
+    nc=st.integers(min_value=1, max_value=8),
+)
+
+
+class TestScheduleProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(shape=shapes)
+    def test_flexible_schedules_valid_and_deadlock_free(self, shape):
+        sched = build_flexible_schedule(shape)
+        sched.validate()
+        run = _execute(sched, p2p=0.1)
+        # All work executed exactly once.
+        total_compute = sum(run.per_rank_busy)
+        expected = shape.pp * shape.tmb * (1.0 + 2.0)
+        assert total_compute == pytest.approx(expected)
+
+    @settings(max_examples=40, deadline=None)
+    @given(shape=shapes)
+    def test_afab_schedules_valid_and_deadlock_free(self, shape):
+        sched = build_afab_schedule(shape)
+        sched.validate()
+        _execute(sched, p2p=0.05)
+
+    @settings(max_examples=40, deadline=None)
+    @given(shape=shapes)
+    def test_in_flight_never_exceeds_closed_form(self, shape):
+        sched = build_flexible_schedule(shape)
+        for ppr in range(shape.pp):
+            assert peak_in_flight_from_schedule(sched, ppr) <= \
+                shape.peak_in_flight(ppr)
+
+    @settings(max_examples=30, deadline=None)
+    @given(shape=shapes)
+    def test_makespan_at_least_critical_path(self, shape):
+        """Makespan can never beat one rank's serial work."""
+        run = _execute(build_flexible_schedule(shape))
+        assert run.makespan >= shape.tmb * 3.0 - 1e-9

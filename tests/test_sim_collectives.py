@@ -1,0 +1,95 @@
+"""Tests for collective cost models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hardware.cluster import grand_teton
+from repro.sim.collectives import (
+    achieved_all_gather_bandwidth,
+    all_gather_time,
+    all_reduce_time,
+    broadcast_time,
+    p2p_time,
+    reduce_scatter_time,
+)
+
+CLUSTER = grand_teton(64)
+
+
+class TestAllGather:
+    def test_single_rank_is_free(self):
+        c = all_gather_time(CLUSTER, [0], 1e9)
+        assert c.seconds == 0.0
+
+    def test_ring_wire_bytes(self):
+        c = all_gather_time(CLUSTER, [0, 1, 2, 3], 4e6)
+        assert c.bytes_on_wire == pytest.approx(3e6)
+
+    def test_intra_node_faster_than_inter_node(self):
+        intra = all_gather_time(CLUSTER, [0, 1, 2, 3], 1e8)
+        inter = all_gather_time(CLUSTER, [0, 8, 16, 24], 1e8)
+        assert intra.seconds < inter.seconds
+
+    def test_congestion_slows(self):
+        clean = all_gather_time(CLUSTER, [0, 8], 1e8)
+        congested = all_gather_time(CLUSTER, [0, 8], 1e8, congestion=2.0)
+        assert congested.seconds > clean.seconds
+
+    def test_reduce_scatter_symmetric(self):
+        ag = all_gather_time(CLUSTER, [0, 1, 2, 3], 1e8)
+        rs = reduce_scatter_time(CLUSTER, [0, 1, 2, 3], 1e8)
+        assert ag.seconds == rs.seconds
+
+    @given(st.integers(min_value=2, max_value=8))
+    def test_large_payload_bandwidth_near_link_rate(self, n):
+        ranks = list(range(n))  # intra-node
+        bw = achieved_all_gather_bandwidth(CLUSTER, ranks, 10e9)
+        link = CLUSTER.intra_node_link.bandwidth_gbps
+        assert 0.7 * link < bw <= link
+
+    def test_bandwidth_grows_with_message_size(self):
+        small = achieved_all_gather_bandwidth(CLUSTER, [0, 1], 1e5)
+        big = achieved_all_gather_bandwidth(CLUSTER, [0, 1], 1e9)
+        assert big > small
+
+
+class TestAllReduce:
+    def test_twice_the_steps_of_all_gather(self):
+        ag = all_gather_time(CLUSTER, [0, 1, 2, 3], 1e8)
+        ar = all_reduce_time(CLUSTER, [0, 1, 2, 3], 1e8)
+        assert ar.seconds == pytest.approx(2 * ag.seconds)
+
+    def test_single_rank_free(self):
+        assert all_reduce_time(CLUSTER, [5], 1e9).seconds == 0.0
+
+
+class TestBroadcast:
+    def test_log_hops(self):
+        b2 = broadcast_time(CLUSTER, [0, 1], 1e6)
+        b8 = broadcast_time(CLUSTER, list(range(8)), 1e6)
+        assert b8.seconds == pytest.approx(3 * b2.seconds)
+
+    def test_validations(self):
+        with pytest.raises(ValueError):
+            broadcast_time(CLUSTER, [], 1e6)
+        with pytest.raises(ValueError):
+            broadcast_time(CLUSTER, [0, 0], 1e6)
+        with pytest.raises(ValueError):
+            broadcast_time(CLUSTER, [0, 1], -5)
+        with pytest.raises(ValueError):
+            broadcast_time(CLUSTER, [0, 1], 1e6, congestion=0.5)
+
+
+class TestP2P:
+    def test_intra_vs_inter_node(self):
+        intra = p2p_time(CLUSTER, 0, 1, 1e8)
+        inter = p2p_time(CLUSTER, 0, 8, 1e8)
+        assert inter > intra
+
+    def test_congestion(self):
+        assert p2p_time(CLUSTER, 0, 8, 1e8, congestion=2.0) > \
+            p2p_time(CLUSTER, 0, 8, 1e8)
+
+    def test_zero_bytes_is_latency(self):
+        assert p2p_time(CLUSTER, 0, 8, 0) == \
+            CLUSTER.inter_node_link.latency

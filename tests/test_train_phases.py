@@ -1,0 +1,61 @@
+"""Tests for the multi-phase pre-training planner."""
+
+import pytest
+
+from repro.hardware.cluster import GRAND_TETON_16K
+from repro.model.config import LLAMA3_405B
+from repro.parallel.config import JobConfig
+from repro.train.phases import (
+    LLAMA3_405B_PHASES,
+    TrainingPhase,
+    describe_pretraining,
+    plan_pretraining,
+)
+
+
+@pytest.fixture(scope="module")
+def reports():
+    return plan_pretraining(LLAMA3_405B, GRAND_TETON_16K)
+
+
+class TestProductionPhases:
+    def test_three_phases_in_order(self, reports):
+        assert [r.phase.name for r in reports] == [
+            "short-context ramp-up", "short-context main", "long-context",
+        ]
+
+    def test_cp_appears_only_in_long_context(self, reports):
+        assert reports[0].plan.parallel.cp == 1
+        assert reports[1].plan.parallel.cp == 1
+        assert reports[2].plan.parallel.cp == 16
+
+    def test_token_budget_constant_in_main_phases(self):
+        main, long_ctx = LLAMA3_405B_PHASES[1], LLAMA3_405B_PHASES[2]
+        assert main.job.tokens_per_step == long_ctx.job.tokens_per_step
+
+    def test_model_parallel_sizes_stable_across_phases(self, reports):
+        """The flexibility claim: phases change dp/cp, never tp/pp — the
+        model sharding survives every hyperparameter change."""
+        tps = {r.plan.parallel.tp for r in reports}
+        pps = {r.plan.parallel.pp for r in reports}
+        assert tps == {8} and pps == {16}
+
+    def test_all_phases_fit_memory_and_train_fast(self, reports):
+        for r in reports:
+            assert r.max_memory_gb < 80
+            assert r.tflops_per_gpu > 350
+
+    def test_describe_contains_each_phase(self, reports):
+        text = describe_pretraining(reports)
+        for r in reports:
+            assert r.phase.name in text
+
+
+class TestCustomPhases:
+    def test_custom_progression(self):
+        phases = (
+            TrainingPhase("tiny", JobConfig(seq=8192, gbs=256, ngpu=2048)),
+        )
+        reports = plan_pretraining(LLAMA3_405B, GRAND_TETON_16K, phases)
+        assert len(reports) == 1
+        assert reports[0].plan.parallel.world_size == 2048

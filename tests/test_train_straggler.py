@@ -1,0 +1,73 @@
+"""Tests for straggler injection in the pipeline executor: the Section 8.1
+claim that one slow accelerator sets the whole pipeline's pace."""
+
+import pytest
+
+from repro.pp.analysis import ScheduleShape
+from repro.pp.layout import build_layout
+from repro.pp.schedule import build_flexible_schedule
+from repro.train.cost import StageCost
+from repro.train.executor import execute_pipeline
+
+SHAPE = ScheduleShape(pp=4, v=2, nc=4, nmb=16)
+
+
+def _run(scale=None):
+    sched = build_flexible_schedule(SHAPE)
+    layout = build_layout(SHAPE.pp * SHAPE.v, SHAPE.pp, SHAPE.v)
+    return execute_pipeline(
+        sched, layout,
+        lambda s: StageCost(1.0 * s.n_layers, 0, 0),
+        lambda s: StageCost(2.0 * s.n_layers, 0, 0),
+        p2p_seconds=0.0,
+        rank_compute_scale=scale,
+    )
+
+
+class TestStragglerInjection:
+    def test_one_slow_rank_slows_the_pipeline(self):
+        base = _run()
+        slow = _run({2: 1.2})
+        assert slow.makespan > base.makespan
+
+    def test_pipeline_pays_nearly_the_full_slowdown(self):
+        """Fine-grain synchronisation: a 20% slower rank costs close to
+        20% of end-to-end time, not 20%/pp (Section 8.1)."""
+        base = _run()
+        slow = _run({1: 1.2})
+        inflation = slow.makespan / base.makespan - 1
+        assert inflation > 0.12
+
+    def test_uniform_slowdown_scales_exactly(self):
+        base = _run()
+        slow = _run({r: 1.5 for r in range(SHAPE.pp)})
+        assert slow.makespan == pytest.approx(1.5 * base.makespan)
+
+    def test_speedup_on_non_critical_rank_bounded(self):
+        """Making one rank faster cannot speed the pipeline beyond the
+        other ranks' critical path."""
+        base = _run()
+        fast = _run({0: 0.9})
+        assert fast.makespan <= base.makespan
+        assert fast.makespan > 0.8 * base.makespan
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _run({0: 0.0})
+
+    def test_only_compute_scaled_not_comm(self):
+        """The multiplier models a throttled GPU: communication terms in
+        the stage cost are unaffected."""
+        sched = build_flexible_schedule(SHAPE)
+        layout = build_layout(SHAPE.pp * SHAPE.v, SHAPE.pp, SHAPE.v)
+
+        def run(scale):
+            return execute_pipeline(
+                sched, layout,
+                lambda s: StageCost(0.0, 1.0 * s.n_layers, 0),
+                lambda s: StageCost(0.0, 2.0 * s.n_layers, 0),
+                p2p_seconds=0.0,
+                rank_compute_scale=scale,
+            ).makespan
+
+        assert run({1: 2.0}) == pytest.approx(run(None))
