@@ -12,7 +12,6 @@ from repro.parallel.ordering import (
     PAPER_ORDER,
     dimension_traffic,
     rank_orderings,
-    score_ordering,
 )
 
 PAR = ParallelConfig(tp=8, cp=16, pp=16, dp=8, zero=ZeroStage.ZERO_2)

@@ -7,13 +7,23 @@ Commands:
 * ``phases``    — plan the full production pre-training progression.
 * ``ordering``  — score all parallelism-dimension orderings (Section 5.2).
 * ``imbalance`` — run the Figure 14 fleet-imbalance simulation.
+* ``trace``     — run a simulation and export its Perfetto timeline.
+
+Observability surface (see ``docs/observability.md``):
+
+* ``--json`` on ``plan``/``step``/``phases``/``imbalance`` emits the
+  stable-schema reports from :mod:`repro.obs.report` instead of text;
+* ``--trace PATH`` on ``step``/``phases`` writes the simulated timeline
+  as Chrome ``trace_event`` JSON, openable in ``ui.perfetto.dev``;
+* usage errors (unknown model or phase, inconsistent sizes) exit with
+  code 2 and a one-line message on stderr.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import List, NoReturn, Optional
 
 import numpy as np
 
@@ -33,13 +43,33 @@ MODELS = {
 }
 
 
+def _fail(message: str) -> NoReturn:
+    """One-line usage error on stderr, exit code 2 (argparse convention)."""
+    print(f"repro: error: {message}", file=sys.stderr)
+    raise SystemExit(2)
+
+
 def _model(name: str) -> TextModelConfig:
     try:
         return MODELS[name]
     except KeyError:
-        raise SystemExit(
-            f"unknown model {name!r}; choose from {sorted(MODELS)}"
+        _fail(f"unknown model {name!r}; choose from {sorted(MODELS)}")
+
+
+def _print_json(report: dict) -> None:
+    from repro.obs.report import render_json
+
+    print(render_json(report))
+
+
+def _step_parallel(args: argparse.Namespace) -> ParallelConfig:
+    if args.tp * args.cp * args.pp * args.dp != args.ngpu:
+        _fail(
+            f"tp*cp*pp*dp = {args.tp * args.cp * args.pp * args.dp} "
+            f"must equal ngpu = {args.ngpu}"
         )
+    return ParallelConfig(tp=args.tp, cp=args.cp, pp=args.pp, dp=args.dp,
+                          zero=ZeroStage(args.zero))
 
 
 def _add_job_args(p: argparse.ArgumentParser) -> None:
@@ -50,40 +80,100 @@ def _add_job_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--ngpu", type=int, default=16384, help="GPU count")
 
 
+def _add_step_parallel_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--tp", type=int, default=8)
+    p.add_argument("--cp", type=int, default=1)
+    p.add_argument("--pp", type=int, default=16)
+    p.add_argument("--dp", type=int, default=128)
+    p.add_argument("--zero", type=int, default=2, choices=(1, 2, 3))
+    p.add_argument("--schedule", default="flexible",
+                   choices=("flexible", "1f1b", "afab"))
+
+
 def cmd_plan(args: argparse.Namespace) -> int:
     cluster = grand_teton(args.ngpu)
     job = JobConfig(seq=args.seq, gbs=args.gbs, ngpu=args.ngpu)
     plan = plan_parallelism(_model(args.model), job, cluster)
+    if args.json:
+        from repro.obs.report import plan_report
+
+        _print_json(plan_report(plan))
+        return 0
     print(plan.describe())
     return 0
 
 
 def cmd_step(args: argparse.Namespace) -> int:
+    from repro.obs.metrics import MetricsRegistry
     from repro.train.step import simulate_step
 
     cluster = grand_teton(args.ngpu)
     job = JobConfig(seq=args.seq, gbs=args.gbs, ngpu=args.ngpu)
     model = _model(args.model)
-    if args.tp * args.cp * args.pp * args.dp != args.ngpu:
-        raise SystemExit("tp*cp*pp*dp must equal ngpu")
-    par = ParallelConfig(tp=args.tp, cp=args.cp, pp=args.pp, dp=args.dp,
-                         zero=ZeroStage(args.zero))
+    par = _step_parallel(args)
+    metrics = MetricsRegistry()
     rep = simulate_step(model, par, job, cluster,
-                        schedule_kind=args.schedule)
+                        schedule_kind=args.schedule, metrics=metrics)
+    if args.trace:
+        _export_step_trace(rep, par, args.trace)
+    if args.json:
+        from repro.obs.report import step_report
+
+        _print_json(step_report(rep, par, job, metrics))
+        return 0
     print(f"step time:      {rep.step_seconds:.3f} s")
     print(f"throughput:     {rep.tflops_per_gpu:.0f} TFLOPs/GPU")
     print(f"bubble ratio:   {rep.mean_bubble_ratio:.3f}")
     print(f"peak memory:    {rep.max_peak_memory_gb:.1f} GiB "
           f"(worst rank of {par.pp})")
+    if args.trace:
+        print(f"trace written:  {args.trace} (open in ui.perfetto.dev)")
     return 0
 
 
+def _export_step_trace(rep, par: ParallelConfig, path: str) -> None:
+    from repro.obs.metrics import pp_rank_map
+    from repro.obs.trace import export_chrome_trace, remap_ranks
+    from repro.parallel.mesh import DeviceMesh
+
+    sim = remap_ranks(rep.run.sim, pp_rank_map(par))
+    export_chrome_trace(
+        sim, path, mesh=DeviceMesh(par),
+        extra_metadata={"parallel": par.describe()},
+    )
+
+
 def cmd_phases(args: argparse.Namespace) -> int:
-    from repro.train.phases import describe_pretraining, plan_pretraining
+    from repro.train.phases import (
+        LLAMA3_405B_PHASES,
+        describe_pretraining,
+        phases_by_name,
+        plan_pretraining,
+    )
 
     cluster = grand_teton(args.ngpu)
-    reports = plan_pretraining(_model(args.model), cluster)
+    phases = LLAMA3_405B_PHASES
+    if args.phase:
+        try:
+            phases = phases_by_name(args.phase)
+        except KeyError as err:
+            _fail(str(err.args[0]))
+    reports = plan_pretraining(_model(args.model), cluster, phases=phases)
+    if args.trace:
+        from repro.obs.trace import export_chrome_trace, merge_timelines
+
+        merged = merge_timelines(
+            (r.phase.name, r.step.run.sim) for r in reports
+        )
+        export_chrome_trace(merged, args.trace)
+    if args.json:
+        from repro.obs.report import phases_report
+
+        _print_json(phases_report(reports))
+        return 0
     print(describe_pretraining(reports))
+    if args.trace:
+        print(f"trace written: {args.trace} (open in ui.perfetto.dev)")
     return 0
 
 
@@ -109,12 +199,57 @@ def cmd_imbalance(args: argparse.Namespace) -> int:
         steps=args.steps, mean_doc_len=args.mean_doc,
         rng=np.random.default_rng(args.seed),
     )
+    if args.json:
+        from repro.obs.report import imbalance_report
+
+        _print_json(imbalance_report(rep))
+        return 0
     print(f"slowest/fastest compute:  "
           f"{rep.slowest_over_fastest_compute:.2f}x")
     print(f"CP exposed latency share: {rep.cp_exposed_fraction:.2%}")
     print(f"waiting share of exposed: "
           f"{rep.waiting_fraction_of_exposed:.2%}")
     print(f"overlap-CP headroom:      {rep.overlap_headroom:.2%}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run one simulation and export its timeline (``--cmd`` selects
+    which): a training step, the phase progression, or the Figure 8
+    synthetic 4D workload with an optional injected straggler."""
+    if args.cmd == "step":
+        args.trace, args.json = args.out, False
+        return cmd_step(args)
+    if args.cmd == "phases":
+        args.trace, args.json, args.phase = args.out, False, None
+        return cmd_phases(args)
+
+    # --cmd workload: Section 6.1 end to end — run, export, localise.
+    from repro.debug.trace_analysis import identify_slow_rank
+    from repro.debug.workload import WorkloadSpec, run_synthetic_workload
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.trace import export_chrome_trace
+    from repro.parallel.mesh import DeviceMesh
+
+    world = args.tp * args.cp * args.pp * args.dp
+    if world > 512:
+        _fail(f"workload traces every rank; keep tp*cp*pp*dp <= 512 "
+              f"(got {world}) — e.g. --tp 4 --cp 2 --pp 1 --dp 1")
+    mesh = DeviceMesh(ParallelConfig(tp=args.tp, cp=args.cp, pp=args.pp,
+                                     dp=args.dp))
+    slowdown = {}
+    if args.slow_rank is not None:
+        if not 0 <= args.slow_rank < mesh.world_size:
+            _fail(f"--slow-rank {args.slow_rank} outside world "
+                  f"[0, {mesh.world_size})")
+        slowdown[args.slow_rank] = args.slowdown
+    sim = run_synthetic_workload(mesh, WorkloadSpec(steps=args.steps),
+                                 slowdown=slowdown)
+    export_chrome_trace(sim, args.out, mesh=mesh)
+    metrics = MetricsRegistry()
+    report = identify_slow_rank(sim, mesh, metrics=metrics)
+    print(report.describe())
+    print(f"trace written: {args.out} (open in ui.perfetto.dev)")
     return 0
 
 
@@ -128,22 +263,29 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("plan", help="derive 4D parallelism (Section 5)")
     _add_job_args(p)
+    p.add_argument("--json", action="store_true",
+                   help="emit the stable-schema JSON report")
     p.set_defaults(func=cmd_plan)
 
     p = sub.add_parser("step", help="simulate one training step")
     _add_job_args(p)
-    p.add_argument("--tp", type=int, default=8)
-    p.add_argument("--cp", type=int, default=1)
-    p.add_argument("--pp", type=int, default=16)
-    p.add_argument("--dp", type=int, default=128)
-    p.add_argument("--zero", type=int, default=2, choices=(1, 2, 3))
-    p.add_argument("--schedule", default="flexible",
-                   choices=("flexible", "1f1b", "afab"))
+    _add_step_parallel_args(p)
+    p.add_argument("--json", action="store_true",
+                   help="emit the stable-schema JSON report")
+    p.add_argument("--trace", metavar="PATH",
+                   help="write the timeline as Perfetto trace_event JSON")
     p.set_defaults(func=cmd_step)
 
     p = sub.add_parser("phases", help="plan the pre-training phases")
     p.add_argument("--model", default="405b")
     p.add_argument("--ngpu", type=int, default=16384)
+    p.add_argument("--phase", action="append", metavar="NAME",
+                   help="run only the named phase (repeatable)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the stable-schema JSON report")
+    p.add_argument("--trace", metavar="PATH",
+                   help="write the merged per-phase timeline as "
+                        "Perfetto trace_event JSON")
     p.set_defaults(func=cmd_phases)
 
     p = sub.add_parser("ordering",
@@ -165,14 +307,45 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--steps", type=int, default=5)
     p.add_argument("--mean-doc", type=float, default=32768.0)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true",
+                   help="emit the stable-schema JSON report")
     p.set_defaults(func=cmd_imbalance)
+
+    p = sub.add_parser(
+        "trace",
+        help="run a simulation and export its Perfetto timeline")
+    p.add_argument("--cmd", default="step",
+                   choices=("step", "phases", "workload"),
+                   help="which simulation to trace")
+    p.add_argument("--out", required=True, metavar="PATH",
+                   help="output trace_event JSON path")
+    _add_job_args(p)
+    _add_step_parallel_args(p)
+    p.add_argument("--steps", type=int, default=3,
+                   help="workload: training steps to simulate")
+    p.add_argument("--slow-rank", type=int, default=None,
+                   help="workload: rank to slow down (fault injection)")
+    p.add_argument("--slowdown", type=float, default=0.5,
+                   help="workload: extra seconds per compute op")
+    p.set_defaults(func=cmd_trace)
 
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `| head`) closed the pipe: not an error.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    except OSError as err:
+        # Unwritable --trace/--out path and the like: usage error, not a bug.
+        print(f"repro: error: {err}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -25,6 +25,7 @@ from repro.attention.masks import causal_mask, document_mask
 from repro.attention.reference import attention_reference
 from repro.cp.sharding import rank_row_indices
 from repro.data.documents import DocumentBatch
+from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -61,6 +62,7 @@ def allgather_cp_attention(
     cp: int,
     batch: Optional[DocumentBatch] = None,
     dtype_bytes: int = 2,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> CpAttentionOutput:
     """Run attention as ``cp`` ranks would, and reassemble the output.
 
@@ -71,6 +73,8 @@ def allgather_cp_attention(
         cp: Context-parallel degree.
         batch: Document structure; None means a full causal mask.
         dtype_bytes: Wire element size for the communication accounting.
+        metrics: Registry to report per-rank all-gather counts, received
+            bytes, and computed score area into.
 
     The result is **bitwise identical** to single-device attention on the
     same rows: each rank computes exact softmax over its full allowed key
@@ -99,6 +103,20 @@ def allgather_cp_attention(
                 allgather_bytes=kv_bytes_total * (cp - 1) / cp,
             )
         )
+    if metrics is not None:
+        ag_count = metrics.counter(
+            "cp.allgather.count", unit="collectives",
+            description="KV all-gathers performed, per CP rank")
+        ag_bytes = metrics.counter(
+            "cp.allgather.bytes", unit="B",
+            description="KV bytes received over all-gather, per CP rank")
+        area = metrics.counter(
+            "cp.score_area", unit="pairs",
+            description="allowed (q, k) pairs computed, per CP rank")
+        for s in stats:
+            ag_count.inc(1, rank=s.rank)
+            ag_bytes.inc(s.allgather_bytes, rank=s.rank)
+            area.inc(s.score_area, rank=s.rank)
     return CpAttentionOutput(out=out, lse=lse, per_rank=tuple(stats))
 
 

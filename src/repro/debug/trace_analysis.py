@@ -18,8 +18,9 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from repro.obs.metrics import MetricsRegistry
 from repro.parallel.mesh import DeviceMesh
 from repro.sim.engine import Simulator, TraceEvent
 
@@ -95,13 +96,20 @@ def _collective_blame(
 
 
 def identify_slow_rank(
-    sim: Simulator, mesh: DeviceMesh
+    sim: Simulator, mesh: DeviceMesh,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> SlowRankReport:
     """Run the Section 6.1 top-down search over a recorded trace.
 
     Collective events must be named ``"<dim>:..."`` (e.g. ``"tp:ag"``),
     which is how the synthetic workload and the training executor tag
     them.  Raises if the trace contains no collectives at any level.
+
+    When ``metrics`` is given, every narrowing decision is appended to the
+    registry's structured-event log (``slow_rank.decision``, then a final
+    ``slow_rank.located``) and the per-level blame lands in the
+    ``slow_rank.blame_seconds`` gauge — the machine-readable form of the
+    Figure 8 walk.
     """
     candidates = set(range(mesh.world_size))
     decisions: List[LevelDecision] = []
@@ -125,15 +133,27 @@ def identify_slow_rank(
             r for r in candidates
             if getattr(mesh.coord_of(r), dim) == chosen_index
         }
-        decisions.append(
-            LevelDecision(
+        decision = LevelDecision(
+            dim=dim,
+            chosen_index=chosen_index,
+            blame_seconds=blame[worst_rank],
+            candidates_before=before,
+            candidates_after=len(candidates),
+        )
+        decisions.append(decision)
+        if metrics is not None:
+            metrics.event(
+                "slow_rank.decision",
                 dim=dim,
                 chosen_index=chosen_index,
-                blame_seconds=blame[worst_rank],
+                blame_seconds=decision.blame_seconds,
                 candidates_before=before,
                 candidates_after=len(candidates),
             )
-        )
+            metrics.gauge(
+                "slow_rank.blame_seconds", unit="s",
+                description="straggler blame at the chosen group, per level",
+            ).set(decision.blame_seconds, dim=dim)
 
     def compute_time(rank: int) -> float:
         return sum(
@@ -155,6 +175,13 @@ def identify_slow_rank(
     excess = compute_time(slow_rank) - median
     attribution = "compute" if excess > 0.05 * max(median, 1e-12) else \
         "communication"
+    if metrics is not None:
+        metrics.event(
+            "slow_rank.located",
+            rank=slow_rank,
+            attribution=attribution,
+            compute_excess_seconds=excess,
+        )
     return SlowRankReport(
         slow_rank=slow_rank,
         decisions=tuple(decisions),

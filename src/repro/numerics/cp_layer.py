@@ -165,7 +165,6 @@ def cp_layer_backward(
     reduced across ranks in ring order (the reduce-scatter)."""
     p = {k.removeprefix(f"l{layer}."): v
          for k, v in params.items() if k.startswith(f"l{layer}.")}
-    seq = dx.shape[0]
     dx_out = np.empty_like(dx)
 
     per_rank_wgrads: List[Params] = []

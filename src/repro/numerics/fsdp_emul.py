@@ -24,12 +24,13 @@ with the same reduction order bitwise.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.numerics.precision import PrecisionConfig, accumulate
 from repro.numerics.transformer import Params, TinyTransformer
+from repro.obs.metrics import MetricsRegistry
 from repro.parallel.config import ZeroStage
 
 
@@ -53,6 +54,8 @@ class FsdpEmulator:
     dp: int
     zero: ZeroStage
     precision: PrecisionConfig
+    #: Optional observability sink: collective counts and resident bytes.
+    metrics: Optional[MetricsRegistry] = None
 
     def __post_init__(self) -> None:
         if self.dp < 1:
@@ -147,6 +150,22 @@ class FsdpEmulator:
 
         # Propagate updated masters to the working parameters.
         self.model.params = self._all_gather_params()
+
+        if self.metrics is not None:
+            zero = self.zero.name.lower()
+            self.metrics.counter(
+                "fsdp.param_allgathers", unit="collectives",
+                description="parameter all-gathers per training step",
+            ).inc(2, zero=zero)  # before compute + after optimizer
+            self.metrics.counter(
+                "fsdp.grad_reduce_scatters", unit="collectives",
+                description="gradient reduce-scatters per training step",
+            ).inc(1, zero=zero)
+            resident = self.metrics.gauge(
+                "fsdp.resident_bytes", unit="B",
+                description="persistent bytes held per emulated rank")
+            for component, nbytes in self.resident_bytes_per_rank().items():
+                resident.set(nbytes, zero=zero, component=component)
         return float(np.mean(losses))
 
     def train(self, tokens: np.ndarray, targets: np.ndarray, steps: int,

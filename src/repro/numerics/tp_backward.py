@@ -20,7 +20,7 @@ The tests certify each contract against
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -1,0 +1,209 @@
+"""Machine-readable run reports with a stable schema.
+
+Every builder returns a plain JSON-able dict whose first key is
+``"schema"`` — a ``repro.<what>/v<N>`` tag that only changes when a field
+is renamed or removed (adding fields is backwards-compatible).  These are
+the payloads behind the CLI ``--json`` flags and the format future
+regression tracking in ``benchmarks/`` diffs against.
+
+The step report folds in the metrics-registry view: per-rank busy/idle/
+exposed-comm seconds and bubble ratios, rolled up per (dp, pp, cp, tp)
+group index through the :class:`repro.parallel.mesh.DeviceMesh` — the
+pipeline executor's ranks are PP ranks, mapped onto the mesh's pp axis at
+(tp, cp, dp) = 0.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.cp.imbalance import FleetImbalanceReport
+from repro.debug.trace_analysis import SlowRankReport
+from repro.obs.metrics import (
+    MetricsRegistry,
+    pp_rank_map,
+    record_simulator_metrics,
+)
+from repro.parallel.config import JobConfig, ParallelConfig
+from repro.parallel.mesh import DIM_ORDER, DeviceMesh
+from repro.parallel.planner import Plan
+from repro.train.phases import PhaseReport
+from repro.train.step import StepReport
+
+#: Bumped when any report's existing fields change shape or meaning.
+SCHEMA_VERSION = 1
+
+
+def _schema(name: str) -> str:
+    return f"repro.{name}/v{SCHEMA_VERSION}"
+
+
+def _parallel_dict(parallel: ParallelConfig) -> dict:
+    return {
+        "tp": parallel.tp,
+        "cp": parallel.cp,
+        "pp": parallel.pp,
+        "dp": parallel.dp,
+        "zero": parallel.zero.value,
+        "world_size": parallel.world_size,
+    }
+
+
+def _job_dict(job: JobConfig) -> dict:
+    return {
+        "seq": job.seq,
+        "gbs": job.gbs,
+        "ngpu": job.ngpu,
+        "mbs": job.mbs,
+        "tokens_per_step": job.tokens_per_step,
+    }
+
+
+def plan_report(plan: Plan) -> dict:
+    """The Section 5 planner outcome plus its reasoning trail."""
+    return {
+        "schema": _schema("plan"),
+        "parallel": _parallel_dict(plan.parallel),
+        "job": _job_dict(plan.job),
+        "bs": plan.bs,
+        "virtual_stages": plan.virtual_stages,
+        "schedule": plan.schedule,
+        "estimated_rank0_memory_gb": plan.estimated_rank0_memory_gb,
+        "rationale": list(plan.rationale),
+    }
+
+
+def step_group_metrics(
+    rep: StepReport,
+    parallel: ParallelConfig,
+    registry: Optional[MetricsRegistry] = None,
+) -> dict:
+    """Per-(dp, pp, cp, tp)-group aggregates of a simulated step.
+
+    Records the step's pipeline timeline into a registry (unless an
+    already-populated one is handed in) and rolls busy/idle/exposed-comm
+    seconds (sum) and bubble ratio (mean) up each mesh dimension.
+    """
+    if registry is None or "sim.busy_seconds" not in registry:
+        registry = record_simulator_metrics(
+            rep.run.sim, registry, rank_map=pp_rank_map(parallel))
+    mesh = DeviceMesh(parallel)
+    out: dict = {}
+    for name, reduce in (
+        ("sim.busy_seconds", "sum"),
+        ("sim.idle_seconds", "sum"),
+        ("sim.exposed_comm_seconds", "sum"),
+        ("sim.bubble_ratio", "mean"),
+    ):
+        short = name.removeprefix("sim.")
+        out[short] = {
+            dim: {str(i): v for i, v in
+                  registry.aggregate_by_coord(name, mesh, dim, reduce).items()}
+            for dim in DIM_ORDER
+        }
+    return out
+
+
+def step_report(
+    rep: StepReport,
+    parallel: ParallelConfig,
+    job: JobConfig,
+    registry: Optional[MetricsRegistry] = None,
+) -> dict:
+    """One simulated optimizer step: headline numbers, per-rank detail,
+    and mesh-group metric aggregates."""
+    return {
+        "schema": _schema("step"),
+        "parallel": _parallel_dict(parallel),
+        "job": _job_dict(job),
+        "step_seconds": rep.step_seconds,
+        "pipeline_seconds": rep.pipeline_seconds,
+        "exposed_fsdp_seconds": rep.exposed_fsdp_seconds,
+        "optimizer_seconds": rep.optimizer_seconds,
+        "tflops_per_gpu": rep.tflops_per_gpu,
+        "model_flops": rep.model_flops,
+        "mean_bubble_ratio": rep.mean_bubble_ratio,
+        "bubble_ratios": list(rep.run.bubble_ratios),
+        "per_rank_busy_seconds": list(rep.run.per_rank_busy),
+        "per_rank_peak_memory_gb": list(rep.per_rank_peak_memory_gb),
+        "max_peak_memory_gb": rep.max_peak_memory_gb,
+        "groups": step_group_metrics(rep, parallel, registry),
+    }
+
+
+def phases_report(reports: Sequence[PhaseReport]) -> dict:
+    """The pre-training progression (Section 2.2 / Table 2)."""
+    return {
+        "schema": _schema("phases"),
+        "phases": [
+            {
+                "name": r.phase.name,
+                "job": _job_dict(r.phase.job),
+                "mask_fraction": r.phase.mask_fraction,
+                "attention_straggler": r.phase.attention_straggler,
+                "parallel": _parallel_dict(r.plan.parallel),
+                "schedule": r.plan.schedule,
+                "tflops_per_gpu": r.tflops_per_gpu,
+                "step_seconds": r.step_seconds,
+                "bubble_ratio": r.bubble_ratio,
+                "max_memory_gb": r.max_memory_gb,
+            }
+            for r in reports
+        ],
+    }
+
+
+def _array_summary(a: np.ndarray) -> dict:
+    return {
+        "min": float(a.min()),
+        "max": float(a.max()),
+        "mean": float(a.mean()),
+    }
+
+
+def imbalance_report(rep: FleetImbalanceReport) -> dict:
+    """Figure 14 fleet-imbalance statistics."""
+    return {
+        "schema": _schema("imbalance"),
+        "n_gpus": int(rep.compute_seconds.size),
+        "elapsed_seconds": rep.elapsed_seconds,
+        "slowest_over_fastest_compute": rep.slowest_over_fastest_compute,
+        "slowest_over_fastest_attention": rep.slowest_over_fastest_attention,
+        "cp_exposed_fraction": rep.cp_exposed_fraction,
+        "waiting_fraction_of_exposed": rep.waiting_fraction_of_exposed,
+        "overlap_headroom": rep.overlap_headroom,
+        "attention_seconds": _array_summary(rep.attention_seconds),
+        "compute_seconds": _array_summary(rep.compute_seconds),
+        "exposed_cp_seconds": _array_summary(rep.exposed_cp_seconds),
+        "wait_seconds": _array_summary(rep.wait_seconds),
+    }
+
+
+def slow_rank_report(rep: SlowRankReport) -> dict:
+    """The Section 6.1 top-down search outcome, decisions as structured
+    events (one per narrowing level, in search order)."""
+    return {
+        "schema": _schema("slow_rank"),
+        "slow_rank": rep.slow_rank,
+        "attribution": rep.attribution,
+        "compute_excess_seconds": rep.compute_excess_seconds,
+        "decisions": [
+            {
+                "event": "slow_rank.decision",
+                "dim": d.dim,
+                "chosen_index": d.chosen_index,
+                "blame_seconds": d.blame_seconds,
+                "candidates_before": d.candidates_before,
+                "candidates_after": d.candidates_after,
+            }
+            for d in rep.decisions
+        ],
+    }
+
+
+def render_json(report: dict) -> str:
+    """Canonical serialization: sorted keys, two-space indent."""
+    return json.dumps(report, indent=2, sort_keys=True)

@@ -14,7 +14,7 @@ trace-analysis tools (Section 6.1's top-down slow-rank search) operate on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from repro.parallel.config import ParallelConfig
 

@@ -157,6 +157,18 @@ class Simulator:
         key = (rank, stream)
         self._free_at[key] = max(self._free_at.get(key, 0.0), until)
 
+    def record(self, event: TraceEvent) -> None:
+        """Append an externally-timed event, advancing its stream.
+
+        Used to splice timelines together (e.g. merging per-phase traces);
+        the event's own start/end are trusted as-is.
+        """
+        if event.end < event.start:
+            raise ValueError(f"event {event.name!r} ends before it starts")
+        key = (event.rank, event.stream)
+        self._free_at[key] = max(self._free_at.get(key, 0.0), event.end)
+        self._events.append(event)
+
     # ------------------------------------------------------------------
     # Inspection API
     # ------------------------------------------------------------------

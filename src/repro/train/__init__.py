@@ -8,6 +8,7 @@ from repro.train.phases import (
     TrainingPhase,
     PhaseReport,
     LLAMA3_405B_PHASES,
+    phases_by_name,
     plan_pretraining,
     describe_pretraining,
 )
@@ -16,6 +17,7 @@ __all__ = [
     "TrainingPhase",
     "PhaseReport",
     "LLAMA3_405B_PHASES",
+    "phases_by_name",
     "plan_pretraining",
     "describe_pretraining",
     "CostModel",

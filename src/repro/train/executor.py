@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
+from repro.obs.metrics import MetricsRegistry
 from repro.pp.layout import PipelineLayout, StageAssignment
 from repro.pp.schedule import OpKind, PipelineSchedule
 from repro.sim.engine import Simulator
@@ -66,6 +67,7 @@ def execute_pipeline(
     sim: Optional[Simulator] = None,
     start_times: Optional[Dict[int, float]] = None,
     rank_compute_scale: Optional[Dict[int, float]] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> PipelineRun:
     """Execute a schedule and return its timeline.
 
@@ -81,6 +83,13 @@ def execute_pipeline(
         rank_compute_scale: Per-rank compute-time multipliers (>= 1 for a
             throttled GPU) — fault injection for the Section 8.1
             performance-variation experiments.
+        metrics: Registry to report op counts, op durations, and exposed
+            P2P wait seconds into (keyed by PP rank).
+
+    Whenever an op's cross-rank input arrives *after* the rank could have
+    started it, the gap is recorded as an ``exposed_comm`` event on the
+    rank's ``p2p`` stream — those are exactly the Figure 3 bubbles, and
+    the trace exporter surfaces them as their own category.
     """
     if layout.pp != schedule.pp or layout.v != schedule.shape.v:
         raise ValueError("layout and schedule disagree on pp or v")
@@ -125,6 +134,17 @@ def execute_pipeline(
             return None
         return t + p2p_seconds
 
+    if metrics is not None:
+        op_count = metrics.counter(
+            "pp.ops", unit="ops",
+            description="pipeline ops executed, by rank and kind")
+        op_seconds = metrics.histogram(
+            "pp.op_seconds", unit="s",
+            description="pipeline op durations, by kind")
+        exposed_p2p = metrics.counter(
+            "pp.exposed_p2p_seconds", unit="s",
+            description="compute-stream time lost waiting for P2P input")
+
     total_ops = sum(len(p) for p in programs)
     executed = 0
     while executed < total_ops:
@@ -141,6 +161,20 @@ def execute_pipeline(
                 scale = rank_compute_scale.get(ppr, 1.0)
                 duration = (cost.compute_seconds * scale
                             + cost.tp_comm_seconds + cost.cp_comm_seconds)
+                kind_label = op.kind.name.lower()
+                wait_start = max(sim.now(ppr, "compute"),
+                                 start_times.get(ppr, 0.0))
+                if arrival > wait_start:
+                    wait = sim.run(
+                        rank=ppr,
+                        stream="p2p",
+                        duration=arrival - wait_start,
+                        name=f"p2p:wait:{op.label(pp)}",
+                        kind="exposed_comm",
+                        not_before=wait_start,
+                    )
+                    if metrics is not None:
+                        exposed_p2p.inc(wait.duration, rank=ppr)
                 event = sim.run(
                     rank=ppr,
                     stream="compute",
@@ -149,6 +183,9 @@ def execute_pipeline(
                     kind="compute",
                     not_before=max(arrival, start_times.get(ppr, 0.0)),
                 )
+                if metrics is not None:
+                    op_count.inc(1, rank=ppr, kind=kind_label)
+                    op_seconds.observe(event.duration, kind=kind_label)
                 busy[ppr] += event.duration
                 ready[(op.kind, stage, op.microbatch)] = event.end
                 pointers[ppr] += 1

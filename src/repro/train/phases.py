@@ -22,7 +22,9 @@ from repro.model.config import TextModelConfig
 from repro.parallel.config import JobConfig
 
 if TYPE_CHECKING:  # typing only — avoids a package import cycle
+    from repro.obs.metrics import MetricsRegistry
     from repro.parallel.planner import Plan
+    from repro.train.step import StepReport
 
 
 @dataclass(frozen=True)
@@ -68,18 +70,44 @@ class PhaseReport:
     step_seconds: float
     bubble_ratio: float
     max_memory_gb: float
+    #: Full step simulation (carries the pipeline timeline for tracing).
+    step: "StepReport" = None  # type: ignore[assignment]
+
+
+def phases_by_name(
+    names: List[str],
+    phases: Tuple[TrainingPhase, ...] = LLAMA3_405B_PHASES,
+) -> Tuple[TrainingPhase, ...]:
+    """Select phases by name, preserving the progression's order.
+
+    Raises ``KeyError`` naming the offender and the valid choices when a
+    requested phase does not exist.
+    """
+    known = {p.name: p for p in phases}
+    selected = []
+    for name in names:
+        if name not in known:
+            raise KeyError(
+                f"unknown phase {name!r}; choose from {sorted(known)}"
+            )
+        selected.append(known[name])
+    return tuple(selected)
 
 
 def plan_pretraining(
     model: TextModelConfig,
     cluster: ClusterSpec,
     phases: Tuple[TrainingPhase, ...] = LLAMA3_405B_PHASES,
+    metrics: "MetricsRegistry" = None,
 ) -> List[PhaseReport]:
     """Plan and simulate every phase in order.
 
     Each phase gets its own parallelism configuration from the planner —
     the point being that nothing but hyperparameters changes between
-    phases; the flexible schedule and CP absorb the rest.
+    phases; the flexible schedule and CP absorb the rest.  Each phase's
+    pipeline timeline is kept on its report (``.step.run.sim``) so the
+    whole progression can be exported as one merged trace; ``metrics``
+    (if given) accumulates every phase's executor counters.
     """
     from repro.parallel.planner import plan_parallelism
     from repro.train.step import simulate_step
@@ -92,6 +120,7 @@ def plan_pretraining(
             schedule_kind="flexible", v=plan.virtual_stages,
             mask_fraction=phase.mask_fraction,
             attention_straggler=phase.attention_straggler,
+            metrics=metrics,
         )
         reports.append(
             PhaseReport(
@@ -101,6 +130,7 @@ def plan_pretraining(
                 step_seconds=rep.step_seconds,
                 bubble_ratio=rep.mean_bubble_ratio,
                 max_memory_gb=rep.max_peak_memory_gb,
+                step=rep,
             )
         )
     return reports

@@ -26,11 +26,17 @@ from repro.model.memory import (
     output_head_bytes,
     optimizer_state_bytes_per_param,
 )
+from repro.obs.metrics import (
+    MetricsRegistry,
+    pp_rank_map,
+    record_simulator_metrics,
+)
 from repro.parallel.config import JobConfig, ParallelConfig
 from repro.pp.analysis import ScheduleShape, default_nc
 from repro.pp.grad_memory import track_memory
 from repro.pp.layout import PipelineLayout, build_layout
 from repro.pp.schedule import build_schedule
+from repro.sim.engine import Simulator
 from repro.train.cost import CostModel
 from repro.train.executor import PipelineRun, execute_pipeline
 
@@ -97,6 +103,8 @@ def simulate_step(
     congestion: float = 1.0,
     mask_fraction: float = 0.5,
     attention_straggler: float = 1.0,
+    sim: Optional[Simulator] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> StepReport:
     """Simulate one optimizer step and report throughput and memory.
 
@@ -116,6 +124,11 @@ def simulate_step(
         mask_fraction: Attention mask density (0.5 = causal).
         attention_straggler: Slowest-over-mean attention ratio from
             document-mask imbalance (Section 7.3.2's 1.44x at 131K).
+        sim: Simulator to record the pipeline timeline into (a fresh one
+            by default) — hand one in to export a trace afterwards.
+        metrics: Registry the executor and this function report step
+            metrics into (per-rank busy/idle/exposed seconds, bubble
+            ratios, exposed FSDP/optimizer gauges, peak memory).
     """
     pp = parallel.pp
     nmb = job.micro_batches(parallel)
@@ -140,7 +153,8 @@ def simulate_step(
         return cost.backward_seconds(stage)
 
     run = execute_pipeline(
-        schedule, layout, fwd, bwd, p2p_seconds=cost.p2p_seconds()
+        schedule, layout, fwd, bwd, p2p_seconds=cost.p2p_seconds(),
+        sim=sim, metrics=metrics,
     )
 
     # Exposed FSDP: first parameter all-gather before compute and last
@@ -197,6 +211,23 @@ def simulate_step(
         mask_fraction=mask_fraction,
         recompute=False,
     )
+
+    if metrics is not None:
+        rank_map = pp_rank_map(parallel)
+        record_simulator_metrics(run.sim, metrics, rank_map=rank_map)
+        step_gauges = metrics.gauge(
+            "step.seconds", unit="s",
+            description="step-time components, by part")
+        step_gauges.set(step_seconds, part="total")
+        step_gauges.set(run.makespan, part="pipeline")
+        step_gauges.set(exposed_fsdp, part="exposed_fsdp")
+        step_gauges.set(optimizer, part="optimizer")
+        peak_mem = metrics.gauge(
+            "step.peak_memory_gb", unit="GiB",
+            description="per-rank peak memory over the step")
+        for ppr, gb in enumerate(peaks):
+            peak_mem.set_max(gb, rank=rank_map[ppr])
+
     return StepReport(
         run=run,
         step_seconds=step_seconds,

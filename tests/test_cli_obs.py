@@ -1,0 +1,166 @@
+"""CLI observability surface: --json, --trace, the trace subcommand, and
+usage-error exit codes (including a real subprocess smoke test)."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+from repro.obs.trace import assert_valid_trace
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+SMALL_STEP = ["--model", "8b", "--ngpu", "16", "--gbs", "8",
+              "--tp", "2", "--cp", "1", "--pp", "4", "--dp", "2"]
+
+
+def _json_out(capsys):
+    out = capsys.readouterr().out
+    return json.loads(out)
+
+
+class TestJsonFlags:
+    def test_plan_json(self, capsys):
+        assert main(["plan", "--model", "8b", "--ngpu", "16",
+                     "--gbs", "8", "--json"]) == 0
+        rep = _json_out(capsys)
+        assert rep["schema"] == "repro.plan/v1"
+        assert rep["job"]["ngpu"] == 16
+
+    def test_step_json(self, capsys):
+        assert main(["step", *SMALL_STEP, "--json"]) == 0
+        rep = _json_out(capsys)
+        assert rep["schema"] == "repro.step/v1"
+        assert rep["step_seconds"] > 0
+        assert set(rep["groups"]["busy_seconds"]) == {"tp", "cp", "pp", "dp"}
+
+    def test_phases_json_with_phase_filter(self, capsys):
+        assert main(["phases", "--phase", "long-context", "--json"]) == 0
+        rep = _json_out(capsys)
+        assert rep["schema"] == "repro.phases/v1"
+        assert [p["name"] for p in rep["phases"]] == ["long-context"]
+
+    def test_imbalance_json(self, capsys):
+        assert main(["imbalance", "--ngpu", "256", "--dp", "2",
+                     "--steps", "1", "--json"]) == 0
+        rep = _json_out(capsys)
+        assert rep["schema"] == "repro.imbalance/v1"
+
+
+class TestTraceFlags:
+    def test_step_trace_flag(self, tmp_path, capsys):
+        path = tmp_path / "step.json"
+        assert main(["step", *SMALL_STEP, "--trace", str(path)]) == 0
+        trace = json.loads(path.read_text())
+        assert_valid_trace(trace)
+        rows = trace["traceEvents"]
+        assert any(r.get("cat") == "exposed_comm" for r in rows)
+        # Ranks are remapped onto the 16-GPU mesh's pp axis (tp=2 stride).
+        pids = {r["pid"] for r in rows if r["ph"] == "X"}
+        assert pids == {0, 2, 4, 6}
+        assert "trace written" in capsys.readouterr().out
+
+    def test_phases_trace_merges_all_phases(self, tmp_path, capsys):
+        path = tmp_path / "phases.json"
+        assert main(["phases", "--trace", str(path)]) == 0
+        trace = json.loads(path.read_text())
+        assert_valid_trace(trace)
+        names = {r["name"] for r in trace["traceEvents"] if r["ph"] == "X"}
+        prefixes = {n.split("/")[0] for n in names}
+        assert prefixes == {"short-context ramp-up", "short-context main",
+                            "long-context"}
+
+    def test_trace_subcommand_workload(self, tmp_path, capsys):
+        path = tmp_path / "wl.json"
+        assert main(["trace", "--cmd", "workload", "--tp", "4", "--cp", "2",
+                     "--pp", "1", "--dp", "1", "--slow-rank", "6",
+                     "--out", str(path)]) == 0
+        assert_valid_trace(json.loads(path.read_text()))
+        out = capsys.readouterr().out
+        assert "slow rank: 6" in out
+
+    def test_trace_subcommand_step(self, tmp_path, capsys):
+        path = tmp_path / "step.json"
+        assert main(["trace", "--cmd", "step", *SMALL_STEP,
+                     "--out", str(path)]) == 0
+        assert_valid_trace(json.loads(path.read_text()))
+
+
+class TestUsageErrors:
+    def _rc(self, argv, capsys):
+        with pytest.raises(SystemExit) as err:
+            main(argv)
+        stderr = capsys.readouterr().err
+        return err.value.code, stderr
+
+    def test_unknown_model_exits_2(self, capsys):
+        rc, stderr = self._rc(["plan", "--model", "9000b"], capsys)
+        assert rc == 2
+        assert stderr.startswith("repro: error: unknown model '9000b'")
+        assert len(stderr.strip().splitlines()) == 1
+
+    def test_unknown_phase_exits_2(self, capsys):
+        rc, stderr = self._rc(["phases", "--phase", "warmup"], capsys)
+        assert rc == 2
+        assert "unknown phase 'warmup'" in stderr
+        assert len(stderr.strip().splitlines()) == 1
+
+    def test_inconsistent_world_exits_2(self, capsys):
+        rc, stderr = self._rc(
+            ["step", "--ngpu", "16", "--tp", "8", "--pp", "16"], capsys)
+        assert rc == 2
+        assert "must equal ngpu" in stderr
+
+    def test_workload_slow_rank_out_of_range(self, capsys):
+        rc, stderr = self._rc(
+            ["trace", "--cmd", "workload", "--tp", "4", "--cp", "2",
+             "--pp", "1", "--dp", "1", "--slow-rank", "99",
+             "--out", "/tmp/x.json"], capsys)
+        assert rc == 2
+        assert "--slow-rank" in stderr
+
+    def test_workload_world_too_large(self, capsys):
+        rc, stderr = self._rc(
+            ["trace", "--cmd", "workload", "--out", "/tmp/x.json"], capsys)
+        assert rc == 2
+        assert "512" in stderr
+
+    def test_unwritable_trace_path_exits_2(self, capsys):
+        rc = main(["step", *SMALL_STEP,
+                   "--trace", "/no/such/dir/t.json"])
+        assert rc == 2
+        stderr = capsys.readouterr().err
+        assert stderr.startswith("repro: error:")
+        assert "No such file" in stderr
+
+
+class TestSubprocessSmoke:
+    """ISSUE-mandated: invoke the real `python -m repro trace` entrypoint."""
+
+    def _run(self, argv):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(REPO, "src")
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *argv],
+            capture_output=True, text=True, env=env, cwd=REPO, timeout=120,
+        )
+
+    def test_trace_cmd_step_writes_valid_trace(self, tmp_path):
+        path = tmp_path / "trace.json"
+        proc = self._run(["trace", "--cmd", "step", *SMALL_STEP,
+                          "--out", str(path)])
+        assert proc.returncode == 0, proc.stderr
+        trace = json.loads(path.read_text())
+        assert_valid_trace(trace)
+        assert trace["otherData"]["source"] == "repro.obs.trace"
+        assert any(r["ph"] == "X" for r in trace["traceEvents"])
+
+    def test_unknown_model_is_one_line_no_traceback(self):
+        proc = self._run(["step", "--model", "bogus"])
+        assert proc.returncode == 2
+        assert proc.stderr.startswith("repro: error:")
+        assert "Traceback" not in proc.stderr
+        assert len(proc.stderr.strip().splitlines()) == 1

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.cp.imbalance import simulate_fleet_imbalance
-from repro.cp.perf import AttentionShape
 from repro.hardware.cluster import grand_teton
 from repro.hardware.gpu import H100_HBM3
 

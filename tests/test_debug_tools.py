@@ -9,7 +9,7 @@ from repro.debug.memory_snapshot import (
     pp_output_release_savings,
 )
 from repro.debug.trace_analysis import identify_slow_rank
-from repro.debug.workload import WorkloadSpec, run_synthetic_workload
+from repro.debug.workload import run_synthetic_workload
 from repro.parallel.config import ParallelConfig
 from repro.parallel.mesh import DeviceMesh
 from repro.pp.analysis import ScheduleShape

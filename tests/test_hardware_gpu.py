@@ -6,7 +6,6 @@ from hypothesis import given, strategies as st
 from repro.hardware.gpu import (
     H100_HBM2E,
     H100_HBM3,
-    GpuSpec,
     attainable_tflops,
     gemm_efficiency,
     gemm_time,

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.data.documents import DocumentBatch, make_batch
+from repro.data.documents import make_batch
 from repro.numerics.cp_layer import cp_layer_backward, cp_layer_forward
 from repro.numerics.precision import ALL_BF16, ALL_FP32
 from repro.numerics.transformer import (
@@ -49,7 +49,6 @@ class TestForward:
     def test_document_mask_forward(self):
         batch = make_batch(SEQ, mean_doc_len=17.0,
                            rng=np.random.default_rng(3))
-        from repro.attention.masks import document_mask
         # Monolithic layer uses a causal mask internally, so compare CP
         # degrees against each other under the doc mask.
         a, _ = cp_layer_forward(CFG, MODEL.params, 0, X, 1, ALL_FP32,

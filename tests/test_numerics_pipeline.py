@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.numerics.compare import bitwise_equal
-from repro.numerics.parallel_emul import grads_in_order, pp_backward_order
+from repro.numerics.parallel_emul import grads_in_order
 from repro.numerics.pipeline_emul import make_pipeline
 from repro.numerics.precision import ALL_BF16, ALL_FP32, PRODUCTION
 from repro.numerics.transformer import TinyConfig, TinyTransformer

@@ -1,0 +1,171 @@
+"""Tests for the Perfetto trace exporter and its schema checker."""
+
+import json
+
+import pytest
+
+from repro.obs.trace import (
+    export_chrome_trace,
+    merge_timelines,
+    remap_ranks,
+    trace_event_dicts,
+    validate_trace,
+    assert_valid_trace,
+)
+from repro.parallel.config import ParallelConfig
+from repro.parallel.mesh import DeviceMesh
+from repro.pp.analysis import ScheduleShape, default_nc
+from repro.pp.layout import build_layout
+from repro.pp.schedule import build_schedule
+from repro.sim.engine import Simulator
+from repro.train.cost import StageCost
+from repro.train.executor import execute_pipeline
+
+
+def _pipeline_run(pp=4, nmb=8, v=2, p2p=0.05):
+    """Small pipeline with real exposed P2P waits (pp=4, nmb=8)."""
+    shape = ScheduleShape(pp=pp, v=v, nc=default_nc(pp, nmb), nmb=nmb)
+    schedule = build_schedule(shape, "flexible")
+    layout = build_layout(pp * v, pp, v)
+    cost = StageCost(compute_seconds=1.0, tp_comm_seconds=0.1,
+                     cp_comm_seconds=0.0)
+    return execute_pipeline(schedule, layout, lambda s: cost, lambda s: cost,
+                            p2p_seconds=p2p)
+
+
+def _events_by_phase(rows, ph):
+    return [r for r in rows if r["ph"] == ph]
+
+
+class TestPipelineRoundTrip:
+    def setup_method(self):
+        self.run = _pipeline_run()
+        self.rows = trace_event_dicts(self.run.sim)
+
+    def test_every_sim_event_exported(self):
+        assert len(_events_by_phase(self.rows, "X")) == len(self.run.sim.events)
+
+    def test_exposed_comm_category_preserved(self):
+        exposed = [e for e in self.run.sim.events if e.kind == "exposed_comm"]
+        assert exposed, "pipeline run should expose some P2P waits"
+        exported = [r for r in _events_by_phase(self.rows, "X")
+                    if r["cat"] == "exposed_comm"]
+        assert len(exported) == len(exposed)
+        assert {r["name"] for r in exported} == {e.name for e in exposed}
+
+    def test_timestamps_monotonic_per_thread(self):
+        lanes = {}
+        for r in _events_by_phase(self.rows, "X"):
+            lanes.setdefault((r["pid"], r["tid"]), []).append(r)
+        for rows in lanes.values():
+            rows.sort(key=lambda r: r["ts"])
+            for prev, nxt in zip(rows, rows[1:]):
+                assert nxt["ts"] >= prev["ts"] + prev["dur"] - 1e-6
+
+    def test_compute_is_tid_zero(self):
+        names = {
+            (r["pid"], r["args"]["name"]): r["tid"]
+            for r in _events_by_phase(self.rows, "M")
+            if r["name"] == "thread_name"
+        }
+        for (pid, name), tid in names.items():
+            if name == "compute":
+                assert tid == 0
+
+    def test_validates_clean(self):
+        assert validate_trace({"traceEvents": self.rows}) == []
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "trace.json"
+        written = export_chrome_trace(self.run.sim, str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded == json.loads(json.dumps(written))
+        assert validate_trace(loaded) == []
+        assert loaded["otherData"]["source"] == "repro.obs.trace"
+
+
+class TestCollectiveFlows:
+    def setup_method(self):
+        from repro.debug.workload import WorkloadSpec, run_synthetic_workload
+
+        self.mesh = DeviceMesh(ParallelConfig(tp=2, cp=2))
+        self.sim = run_synthetic_workload(
+            self.mesh, WorkloadSpec(steps=1, layers=2))
+        self.rows = trace_event_dicts(self.sim, mesh=self.mesh)
+
+    def test_each_flow_id_has_one_start(self):
+        starts = _events_by_phase(self.rows, "s")
+        finishes = _events_by_phase(self.rows, "f")
+        assert starts, "collective workload should produce flows"
+        start_ids = [r["id"] for r in starts]
+        assert len(start_ids) == len(set(start_ids))
+        assert {r["id"] for r in finishes} == set(start_ids)
+
+    def test_flow_starts_at_earliest_join(self):
+        x_by_key = {}
+        for r in _events_by_phase(self.rows, "X"):
+            if "group" in r["args"]:
+                x_by_key.setdefault(r["name"], []).append(r)
+        for s in _events_by_phase(self.rows, "s"):
+            members = x_by_key[s["name"]]
+            assert s["ts"] == pytest.approx(min(m["ts"] for m in members))
+
+    def test_mesh_process_names(self):
+        names = [r["args"]["name"] for r in _events_by_phase(self.rows, "M")
+                 if r["name"] == "process_name"]
+        assert "rank 0 (dp0 pp0 cp0 tp0)" in names
+        assert "rank 3 (dp0 pp0 cp1 tp1)" in names
+
+    def test_validates_clean(self):
+        assert validate_trace({"traceEvents": self.rows}) == []
+
+
+class TestTimelineSurgery:
+    def test_merge_offsets_and_prefixes(self):
+        a, b = Simulator(), Simulator()
+        a.run(0, "compute", 2.0, "fwd")
+        b.run(0, "compute", 1.0, "fwd")
+        merged = merge_timelines([("p0", a), ("p1", b)])
+        assert [e.name for e in merged.events] == ["p0/fwd", "p1/fwd"]
+        assert merged.events[1].start == 2.0
+        assert merged.makespan() == 3.0
+
+    def test_remap_ranks_rewrites_groups(self):
+        sim = Simulator()
+        sim.run_collective([0, 1], "compute", 1.0, "ag")
+        remapped = remap_ranks(sim, {0: 10, 1: 21})
+        assert {e.rank for e in remapped.events} == {10, 21}
+        assert remapped.events[0].group == (10, 21)
+
+
+class TestValidator:
+    def test_rejects_non_container(self):
+        assert validate_trace(42)
+
+    def test_rejects_missing_ph(self):
+        problems = validate_trace([{"name": "x", "pid": 0, "tid": 0}])
+        assert any("'ph'" in p for p in problems)
+
+    def test_rejects_negative_duration(self):
+        row = {"name": "x", "ph": "X", "pid": 0, "tid": 0,
+               "ts": 0.0, "dur": -1.0}
+        assert any("dur" in p for p in validate_trace([row]))
+
+    def test_rejects_unknown_metadata(self):
+        row = {"name": "mystery_meta", "ph": "M", "pid": 0, "tid": 0,
+               "args": {}}
+        assert any("metadata" in p for p in validate_trace([row]))
+
+    def test_rejects_flow_without_id(self):
+        row = {"name": "x", "ph": "s", "pid": 0, "tid": 0, "ts": 0.0}
+        assert any("'id'" in p for p in validate_trace([row]))
+
+    def test_accepts_bare_list_form(self):
+        assert validate_trace(
+            [{"name": "x", "ph": "X", "pid": 0, "tid": 0,
+              "ts": 1.0, "dur": 2.0}]
+        ) == []
+
+    def test_assert_valid_trace_raises(self):
+        with pytest.raises(ValueError, match="invalid trace_event"):
+            assert_valid_trace([{"bogus": True}])

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.parallel.config import JobConfig, ParallelConfig, ZeroStage
+from repro.parallel.config import JobConfig, ParallelConfig
 from repro.parallel.mesh import DeviceMesh, MeshCoord
 
 
