@@ -8,6 +8,9 @@ Commands:
 * ``ordering``  — score all parallelism-dimension orderings (Section 5.2).
 * ``imbalance`` — run the Figure 14 fleet-imbalance simulation.
 * ``trace``     — run a simulation and export its Perfetto timeline.
+* ``verify``    — run the verification subsystem: differential oracles
+  plus a seeded invariant fuzz over schedule configurations; exits 1
+  when any violation is found (see ``docs/verification.md``).
 
 Observability surface (see ``docs/observability.md``):
 
@@ -253,6 +256,73 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_verify(args: argparse.Namespace) -> int:
+    """Run the oracle battery and the seeded config fuzz (Section 6.2's
+    methodology as a regression gate).  Exit 0 when every check passes,
+    1 when any oracle or fuzzed configuration reports a violation."""
+    from repro.obs.report import verify_report
+    from repro.verify.fuzz import run_fuzz
+    from repro.verify.oracles import run_default_oracles
+
+    if args.fuzz < 1:
+        _fail(f"--fuzz must be >= 1 (got {args.fuzz})")
+    oracles = [] if args.no_oracles else run_default_oracles(seed=args.seed)
+    fuzz = run_fuzz(args.fuzz, seed=args.seed, max_pp=args.max_pp,
+                    max_nmb=args.max_nmb)
+    report = verify_report(fuzz, oracles)
+    if args.trace:
+        _export_verify_trace(fuzz, args.trace)
+    if args.json:
+        _print_json(report)
+    else:
+        for o in oracles:
+            status = "ok" if o.ok else "FAIL"
+            print(f"oracle {o.name:20s} {status}  {o.context}")
+            for v in o.violations:
+                print(f"  violation: {v.message}")
+        print(f"fuzz: {fuzz.cases} configs, seed {fuzz.seed}: "
+              f"{fuzz.failed_cases} failed")
+        for f in fuzz.failures:
+            print(f"  {f.config.describe()} shrinks to "
+                  f"{f.shrunk.describe()}")
+            for v in f.shrunk_report.violations:
+                print(f"    violation [{v.check}]: {v.message}")
+        if args.trace:
+            print(f"trace written: {args.trace} (open in ui.perfetto.dev)")
+    return 0 if report["ok"] else 1
+
+
+def _export_verify_trace(fuzz, path: str) -> None:
+    """Export the timeline of the most useful fuzzed config: the first
+    failure's minimal shrunk reproducer when there is one, else a fresh
+    run of the first sampled config (a clean reference timeline)."""
+    import numpy as np
+
+    from repro.obs.trace import export_chrome_trace
+    from repro.pp.layout import build_layout
+    from repro.pp.schedule import build_flexible_schedule
+    from repro.train.cost import StageCost
+    from repro.train.executor import execute_pipeline
+    from repro.verify.fuzz import sample_config
+
+    if fuzz.failures:
+        config = fuzz.failures[0].shrunk
+    else:
+        config = sample_config(np.random.default_rng(fuzz.seed))
+    schedule = build_flexible_schedule(config.shape)
+    layout = build_layout(config.pp * config.v, config.pp, config.v)
+    run = execute_pipeline(
+        schedule, layout,
+        lambda s: StageCost(1.0 * max(s.n_layers, 1), 0.0, 0.0),
+        lambda s: StageCost(2.0 * max(s.n_layers, 1), 0.0, 0.0),
+        p2p_seconds=0.25,
+    )
+    export_chrome_trace(
+        run.sim, path,
+        extra_metadata={"verify_config": config.describe(),
+                        "seed": fuzz.seed})
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -328,6 +398,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--slowdown", type=float, default=0.5,
                    help="workload: extra seconds per compute op")
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "verify",
+        help="run invariant fuzz + differential oracles (exit 1 on "
+             "violations)")
+    p.add_argument("--fuzz", type=int, default=200, metavar="N",
+                   help="number of schedule configs to fuzz")
+    p.add_argument("--seed", type=int, default=0,
+                   help="RNG seed; a failure report plus this seed is a "
+                        "complete reproduction recipe")
+    p.add_argument("--max-pp", type=int, default=8,
+                   help="largest pipeline degree sampled")
+    p.add_argument("--max-nmb", type=int, default=16,
+                   help="largest micro-batch count sampled")
+    p.add_argument("--no-oracles", action="store_true",
+                   help="skip the differential-oracle battery")
+    p.add_argument("--json", action="store_true",
+                   help="emit the stable-schema JSON report")
+    p.add_argument("--trace", metavar="PATH",
+                   help="write the first shrunk failure's timeline (or a "
+                        "clean reference timeline) as Perfetto JSON")
+    p.set_defaults(func=cmd_verify)
 
     return parser
 

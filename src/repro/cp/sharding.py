@@ -57,6 +57,48 @@ def rank_row_indices(seq: int, cp: int, rank: int) -> np.ndarray:
     return rows
 
 
+def head_tail_partition_problems(seq: int, cp: int) -> List[str]:
+    """Structural problems in the head/tail sharding, as messages.
+
+    An empty list certifies the Section 4 assignment: the ``2 * cp``
+    chunks tile ``[0, seq)`` exactly, rank ``i`` owns chunks ``i`` and
+    ``2*cp - 1 - i``, and every query row belongs to exactly one rank.
+    Used by the CP differential oracle (:mod:`repro.verify.oracles`)
+    before it compares any attention outputs, so a sharding bug is
+    reported as a sharding bug rather than a numerics mismatch.
+    """
+    problems: List[str] = []
+    bounds = chunk_bounds(seq, cp)
+    if bounds[0][0] != 0 or bounds[-1][1] != seq:
+        problems.append(
+            f"chunks do not span [0, {seq}): first={bounds[0]}, "
+            f"last={bounds[-1]}")
+    for (_, end_a), (start_b, _) in zip(bounds, bounds[1:]):
+        if end_a != start_b:
+            problems.append(
+                f"chunk gap/overlap at boundary {end_a} != {start_b}")
+    owners = np.full(seq, -1, dtype=np.int64)
+    for rank in range(cp):
+        head, tail = chunks_of_rank(cp, rank)
+        if tail != 2 * cp - 1 - head:
+            problems.append(
+                f"rank {rank} pairing ({head}, {tail}) is not head/tail")
+        rows = rank_row_indices(seq, cp, rank)
+        taken = owners[rows]
+        if np.any(taken >= 0):
+            first = int(rows[np.argmax(taken >= 0)])
+            problems.append(
+                f"row {first} owned by both rank {int(owners[first])} "
+                f"and rank {rank}")
+        owners[rows] = rank
+    unowned = np.flatnonzero(owners < 0)
+    if unowned.size:
+        problems.append(
+            f"{unowned.size} rows owned by no rank (first: "
+            f"{int(unowned[0])})")
+    return problems
+
+
 def attended_per_row_causal(seq: int) -> np.ndarray:
     """Allowed key count per query row under a full causal mask."""
     return np.arange(1, seq + 1, dtype=np.int64)

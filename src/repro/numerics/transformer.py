@@ -66,6 +66,19 @@ def init_params(cfg: TinyConfig, rng: np.random.Generator) -> Params:
     return params
 
 
+def random_token_batch(
+    cfg: TinyConfig, batch: int, seq: int, seed: int = 0
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Seeded ``(tokens, targets)`` pair of shape ``(batch, seq)``.
+
+    The shared draw used by the numerics oracles and tests: reproducing a
+    reported mismatch needs only the seed, never a pickled array.
+    """
+    rng = np.random.default_rng(seed)
+    return (rng.integers(0, cfg.vocab, (batch, seq)),
+            rng.integers(0, cfg.vocab, (batch, seq)))
+
+
 # ---------------------------------------------------------------------------
 # Primitive forward/backward pairs
 # ---------------------------------------------------------------------------

@@ -16,7 +16,11 @@ pipeline executor's ranks are PP ranks, mapped onto the mesh's pp axis at
 from __future__ import annotations
 
 import json
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.verify.fuzz import FuzzResult
+    from repro.verify.oracles import OracleResult
 
 import numpy as np
 
@@ -201,6 +205,26 @@ def slow_rank_report(rep: SlowRankReport) -> dict:
             }
             for d in rep.decisions
         ],
+    }
+
+
+def verify_report(
+    fuzz: "FuzzResult",
+    oracles: Sequence["OracleResult"] = (),
+) -> dict:
+    """The verification subsystem's outcome (Section 6.2 methodology).
+
+    ``ok`` aggregates the fuzz campaign and every oracle; each fuzz
+    failure carries its minimal shrunk reproducer, so re-running
+    ``repro verify --seed <seed>`` (or building the shrunk config
+    directly) reproduces the finding.
+    """
+    oracle_dicts = [o.to_dict() for o in oracles]
+    return {
+        "schema": _schema("verify"),
+        "ok": fuzz.ok and all(o["ok"] for o in oracle_dicts),
+        "fuzz": fuzz.to_dict(),
+        "oracles": oracle_dicts,
     }
 
 

@@ -58,6 +58,21 @@ def peak_in_flight_microbatches(
     return min(warmup_microbatches(pp, ppr, v, nc) + 1, tmb)
 
 
+def warmup_forward_ops(pp: int, ppr: int, v: int, nc: int, nmb: int) -> int:
+    """Forward ops a rank executes before its first backward in the
+    flexible (non-degenerate) schedule.
+
+    This is the Section 3.1.1 warm-up depth plus the one forward whose
+    backward immediately follows in steady state, capped at the rank's
+    total op count per direction.  The schedule generator builds from this
+    value; :mod:`repro.verify.invariants` re-derives the same quantity from
+    the raw :func:`warmup_microbatches` formula so a bug in either copy
+    shows up as a warm-up-depth violation.
+    """
+    validate_schedule_params(pp, v, nc, nmb)
+    return min(warmup_microbatches(pp, ppr, v, nc) + 1, nmb * v)
+
+
 def bubble_ratio(pp: int, nmb: int, v: int) -> float:
     """Ideal PP bubble ratio (idle / compute) = (pp - 1) / (nmb * v).
 

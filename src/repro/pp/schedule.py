@@ -29,7 +29,7 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Iterator, List, Tuple
 
-from repro.pp.analysis import ScheduleShape, warmup_microbatches
+from repro.pp.analysis import ScheduleShape, warmup_forward_ops
 
 
 class OpKind(Enum):
@@ -173,10 +173,7 @@ def build_flexible_schedule(shape: ScheduleShape) -> PipelineSchedule:
     bwd_seq = _backward_sequence(shape)
     programs = []
     for ppr in range(shape.pp):
-        w = min(
-            warmup_microbatches(shape.pp, ppr, shape.v, shape.nc) + 1,
-            shape.tmb,
-        )
+        w = warmup_forward_ops(shape.pp, ppr, shape.v, shape.nc, shape.nmb)
         prog: List[PipelineOp] = []
         for vs, mb in fwd_seq[:w]:
             prog.append(PipelineOp(OpKind.FORWARD, ppr, vs, mb))

@@ -202,6 +202,32 @@ class Simulator:
             and (kind is None or e.kind == kind)
         ]
 
+    def overlapping_events(
+        self,
+    ) -> List[Tuple[TraceEvent, TraceEvent]]:
+        """Pairs of events that overlap in time on the same (rank, stream).
+
+        A correct timeline never has any: each (rank, stream) models one
+        serially-executing CUDA stream.  The ``submit-in-causal-order``
+        contract makes overlap impossible through :meth:`run`, but
+        :meth:`record` trusts caller-supplied times, so spliced timelines
+        can violate it — this is the raw check behind the
+        ``stream-overlap`` invariant in :mod:`repro.verify.invariants`.
+        """
+        by_stream: Dict[StreamKey, List[TraceEvent]] = {}
+        for e in self._events:
+            by_stream.setdefault((e.rank, e.stream), []).append(e)
+        offenders: List[Tuple[TraceEvent, TraceEvent]] = []
+        for events in by_stream.values():
+            ordered = sorted(events, key=lambda e: (e.start, e.end))
+            active: Optional[TraceEvent] = None  # max-end event so far
+            for cur in ordered:
+                if active is not None and active.overlaps(cur):
+                    offenders.append((active, cur))
+                if active is None or cur.end > active.end:
+                    active = cur
+        return offenders
+
     def busy_time(self, rank: int, stream: str = "compute") -> float:
         """Total busy duration on a stream (events never overlap per stream)."""
         return sum(e.duration for e in self.events_for(rank, stream))

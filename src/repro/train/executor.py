@@ -20,8 +20,8 @@ from typing import Callable, Dict, Optional, Tuple
 
 from repro.obs.metrics import MetricsRegistry
 from repro.pp.layout import PipelineLayout, StageAssignment
-from repro.pp.schedule import OpKind, PipelineSchedule
-from repro.sim.engine import Simulator
+from repro.pp.schedule import OpKind, PipelineOp, PipelineSchedule
+from repro.sim.engine import Simulator, TraceEvent
 from repro.train.cost import StageCost
 
 CostFn = Callable[[StageAssignment], StageCost]
@@ -35,6 +35,13 @@ class PipelineRun:
     sim: Simulator
     makespan: float
     per_rank_busy: Tuple[float, ...]
+    #: Compute event of every executed op, for timeline verification
+    #: (:mod:`repro.verify.invariants` checks send-before-recv against
+    #: these without parsing event names).
+    op_events: Optional[Dict[PipelineOp, TraceEvent]] = None
+    #: P2P latency the run was executed with; None when unknown (e.g. a
+    #: PipelineRun assembled outside execute_pipeline).
+    p2p_seconds: Optional[float] = None
 
     @property
     def pp(self) -> int:
@@ -113,6 +120,7 @@ def execute_pipeline(
     # ready[(kind, global_stage, mb)] = time the op's output is available
     # at the producer (before P2P).
     ready: Dict[Tuple[OpKind, int, int], float] = {}
+    op_events: Dict[PipelineOp, TraceEvent] = {}
     pointers = [0] * pp
     programs = [schedule.program(r) for r in range(pp)]
     busy = [0.0] * pp
@@ -188,6 +196,7 @@ def execute_pipeline(
                     op_seconds.observe(event.duration, kind=kind_label)
                 busy[ppr] += event.duration
                 ready[(op.kind, stage, op.microbatch)] = event.end
+                op_events[op] = event
                 pointers[ppr] += 1
                 executed += 1
                 progressed = True
@@ -205,4 +214,6 @@ def execute_pipeline(
         sim=sim,
         makespan=sim.makespan(),
         per_rank_busy=tuple(busy),
+        op_events=op_events,
+        p2p_seconds=p2p_seconds,
     )

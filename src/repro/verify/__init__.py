@@ -1,0 +1,70 @@
+"""Verification subsystem: invariant checkers, differential oracles, and
+a seeded property-fuzz harness.
+
+Correctness as a first-class, reusable subsystem (see
+``docs/verification.md``):
+
+* :mod:`repro.verify.invariants` — machine-checkable schedule/timeline
+  semantics: stream exclusivity, conservation, dependency ordering,
+  Section 3.1.1 warm-up depth, and the Section 3.1.3 ZeRO pairing rule.
+* :mod:`repro.verify.oracles` — differential oracles: flexible-PP AFAB
+  degeneration, CP head/tail sharding vs. unsharded attention, and
+  pipeline numerics vs. the order-matched sequential baseline.
+* :mod:`repro.verify.fuzz` — deterministic config fuzzer with shrinking
+  to minimal reproducers.
+
+The same machinery backs ``python -m repro verify`` (CI and local) and
+the test suite (``tests/test_verify_*.py``).
+"""
+
+from repro.verify.fuzz import (
+    FuzzConfig,
+    FuzzFailure,
+    FuzzResult,
+    check_config,
+    run_fuzz,
+    sample_config,
+    shrink_config,
+)
+from repro.verify.invariants import (
+    InvariantReport,
+    Violation,
+    check_conservation,
+    check_program_order,
+    check_send_before_recv,
+    check_stream_overlap,
+    check_warmup_depth,
+    check_zero_schedule,
+    run_invariants,
+)
+from repro.verify.oracles import (
+    OracleResult,
+    oracle_afab_degeneration,
+    oracle_cp_attention,
+    oracle_pp_numerics,
+    run_default_oracles,
+)
+
+__all__ = [
+    "FuzzConfig",
+    "FuzzFailure",
+    "FuzzResult",
+    "InvariantReport",
+    "OracleResult",
+    "Violation",
+    "check_config",
+    "check_conservation",
+    "check_program_order",
+    "check_send_before_recv",
+    "check_stream_overlap",
+    "check_warmup_depth",
+    "check_zero_schedule",
+    "oracle_afab_degeneration",
+    "oracle_cp_attention",
+    "oracle_pp_numerics",
+    "run_default_oracles",
+    "run_fuzz",
+    "run_invariants",
+    "sample_config",
+    "shrink_config",
+]

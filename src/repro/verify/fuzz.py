@@ -1,0 +1,304 @@
+"""Seeded property-fuzz harness over pipeline-schedule configurations.
+
+Samples valid ``(pp, v, nc, nmb, zero)`` configurations from a
+deterministic RNG, builds and executes each schedule on the simulator,
+runs the full invariant suite (:mod:`repro.verify.invariants`), and —
+when a configuration fails — greedily *shrinks* it to a minimal
+reproducer by re-checking ever-smaller neighbouring configurations.
+
+Determinism is the contract: ``run_fuzz(n, seed)`` visits the same
+configurations in the same order on every machine, so a failure report's
+``seed`` plus the shrunk config is a complete reproduction recipe (see
+``docs/verification.md``).
+
+The ``build`` hook exists for the tests and for CI gates: injecting a
+deliberately corrupted schedule builder must make the harness report the
+corruption and shrink it — that is how the harness itself is verified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.parallel.config import ZeroStage
+from repro.pp.analysis import ScheduleShape
+from repro.pp.layout import build_layout
+from repro.pp.schedule import PipelineSchedule, build_flexible_schedule
+from repro.train.cost import StageCost
+from repro.train.executor import execute_pipeline
+from repro.verify.invariants import (
+    InvariantReport,
+    Violation,
+    run_invariants,
+)
+
+ScheduleBuilder = Callable[[ScheduleShape], PipelineSchedule]
+
+#: P2P latency used when executing fuzzed schedules: non-zero so exposed
+#: waits and dependency timing are exercised, small so fuzzing stays fast.
+_P2P_SECONDS = 0.25
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """One sampled configuration.
+
+    ``zero`` is set (to the Section 3.1.3 rule's choice for
+    ``bs = nmb``) only when the sampled round size lands on the same
+    side of the ``nc < pp`` boundary as the rule's schedule family —
+    otherwise the pairing rule does not apply and is skipped.
+    """
+
+    pp: int
+    v: int
+    nc: int
+    nmb: int
+    zero: Optional[ZeroStage] = None
+
+    @property
+    def shape(self) -> ScheduleShape:
+        return ScheduleShape(pp=self.pp, v=self.v, nc=self.nc,
+                             nmb=self.nmb)
+
+    @property
+    def cost(self) -> int:
+        """Size measure the shrinker minimises."""
+        return self.pp + self.v + self.nc + self.nmb
+
+    def describe(self) -> str:
+        zero = self.zero.name if self.zero else "unchecked"
+        return (f"pp={self.pp} v={self.v} nc={self.nc} nmb={self.nmb} "
+                f"({zero})")
+
+    def to_dict(self) -> dict:
+        return {
+            "pp": self.pp, "v": self.v, "nc": self.nc, "nmb": self.nmb,
+            "zero": self.zero.name if self.zero else None,
+        }
+
+
+def _rule_zero(pp: int, nc: int, nmb: int) -> Optional[ZeroStage]:
+    """Section 3.1.3 choice for ``bs = nmb``, when the schedule family
+    implied by ``nc`` matches the rule's pick; None otherwise."""
+    rule_1f1b = nmb >= 2 * pp
+    family_1f1b = nc >= pp
+    if family_1f1b != rule_1f1b:
+        return None
+    return ZeroStage.ZERO_1 if rule_1f1b else ZeroStage.ZERO_2
+
+
+def sample_config(
+    rng: np.random.Generator,
+    max_pp: int = 8,
+    max_v: int = 3,
+    max_nmb: int = 16,
+) -> FuzzConfig:
+    """Draw one valid configuration: ``nc`` is a uniform divisor of
+    ``nmb`` so rounds always come out equal."""
+    pp = int(rng.integers(1, max_pp + 1))
+    v = int(rng.integers(1, max_v + 1))
+    nmb = int(rng.integers(1, max_nmb + 1))
+    divisors = [d for d in range(1, nmb + 1) if nmb % d == 0]
+    nc = int(rng.choice(divisors))
+    return FuzzConfig(pp=pp, v=v, nc=nc, nmb=nmb,
+                      zero=_rule_zero(pp, nc, nmb))
+
+
+def check_config(
+    config: FuzzConfig,
+    build: ScheduleBuilder = build_flexible_schedule,
+) -> InvariantReport:
+    """Build, execute, and invariant-check one configuration.
+
+    Exceptions from the builder or the executor are converted into
+    violations (``builder-error``, ``deadlock``, ``executor-error``)
+    instead of propagating, so the fuzzer can shrink crashing
+    configurations the same way it shrinks invariant breaks.
+    """
+    try:
+        schedule = build(config.shape)
+    except Exception as err:  # noqa: BLE001 - any builder crash is a finding
+        return InvariantReport(
+            checks_run=("builder",),
+            violations=(Violation(
+                "builder-error",
+                f"schedule builder raised: {err}",
+                {"config": config.to_dict(),
+                 "error": type(err).__name__}),))
+    layout = build_layout(config.pp * config.v, config.pp, config.v)
+    try:
+        run = execute_pipeline(
+            schedule, layout,
+            lambda s: StageCost(1.0 * max(s.n_layers, 1), 0.0, 0.0),
+            lambda s: StageCost(2.0 * max(s.n_layers, 1), 0.0, 0.0),
+            p2p_seconds=_P2P_SECONDS,
+        )
+    except RuntimeError as err:
+        return InvariantReport(
+            checks_run=("executor",),
+            violations=(Violation(
+                "deadlock",
+                f"executing the schedule deadlocked: {err}",
+                {"config": config.to_dict()}),))
+    except Exception as err:  # noqa: BLE001 - any executor crash is a finding
+        return InvariantReport(
+            checks_run=("executor",),
+            violations=(Violation(
+                "executor-error",
+                f"executing the schedule raised: {err}",
+                {"config": config.to_dict(),
+                 "error": type(err).__name__}),))
+    return run_invariants(schedule, run, zero=config.zero,
+                          bs=config.nmb if config.zero else None)
+
+
+def _shrink_candidates(config: FuzzConfig) -> List[FuzzConfig]:
+    """Strictly-smaller valid neighbours, biggest reduction first."""
+    out: List[FuzzConfig] = []
+
+    def add(pp: int, v: int, nc: int, nmb: int) -> None:
+        if pp < 1 or v < 1 or not 1 <= nc <= nmb or nmb % nc:
+            return
+        candidate = FuzzConfig(pp=pp, v=v, nc=nc, nmb=nmb,
+                               zero=_rule_zero(pp, nc, nmb))
+        if candidate.cost < config.cost and candidate not in out:
+            out.append(candidate)
+
+    pp, v, nc, nmb = config.pp, config.v, config.nc, config.nmb
+    add(pp, v, nc, nc)                 # one round
+    add(pp, v, nc, nmb - nc)           # one round fewer
+    if nmb % 2 == 0 and (nmb // 2) % nc == 0:
+        add(pp, v, nc, nmb // 2)       # half the rounds
+    add(pp, v, 1, nmb)                 # smallest round size
+    for divisor in range(nc - 1, 0, -1):
+        if nmb % divisor == 0:
+            add(pp, v, divisor, nmb)   # next smaller round size
+            break
+    add(pp, 1, nc, nmb)                # no interleaving
+    add(pp, v - 1, nc, nmb)
+    add(pp - 1, v, nc, nmb)
+    add(1, v, nc, nmb)                 # no pipeline
+    return sorted(out, key=lambda c: c.cost)
+
+
+def shrink_config(
+    config: FuzzConfig,
+    failing: Callable[[FuzzConfig], bool],
+) -> FuzzConfig:
+    """Greedily minimise a failing configuration.
+
+    Repeatedly replaces the config with its smallest still-failing
+    neighbour; terminates because every candidate strictly reduces
+    ``FuzzConfig.cost``.
+    """
+    if not failing(config):
+        raise ValueError(f"config {config.describe()} does not fail")
+    current = config
+    improved = True
+    while improved:
+        improved = False
+        for candidate in _shrink_candidates(current):
+            if failing(candidate):
+                current = candidate
+                improved = True
+                break
+    return current
+
+
+@dataclass(frozen=True)
+class FuzzFailure:
+    """One failing configuration with its minimal shrunk reproducer."""
+
+    config: FuzzConfig
+    report: InvariantReport
+    shrunk: FuzzConfig
+    shrunk_report: InvariantReport
+
+    def to_dict(self) -> dict:
+        return {
+            "config": self.config.to_dict(),
+            "violations": [v.to_dict() for v in self.report.violations],
+            "shrunk_config": self.shrunk.to_dict(),
+            "shrunk_violations": [
+                v.to_dict() for v in self.shrunk_report.violations],
+        }
+
+
+@dataclass(frozen=True)
+class FuzzResult:
+    """Outcome of one fuzz campaign."""
+
+    seed: int
+    cases: int
+    failed_cases: int
+    checks_run: Tuple[str, ...]
+    failures: Tuple[FuzzFailure, ...]
+
+    @property
+    def ok(self) -> bool:
+        return self.failed_cases == 0
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "cases": self.cases,
+            "failed_cases": self.failed_cases,
+            "ok": self.ok,
+            "checks_run": list(self.checks_run),
+            "failures": [f.to_dict() for f in self.failures],
+        }
+
+
+def run_fuzz(
+    cases: int,
+    seed: int = 0,
+    build: ScheduleBuilder = build_flexible_schedule,
+    max_pp: int = 8,
+    max_v: int = 3,
+    max_nmb: int = 16,
+    max_failures: int = 10,
+) -> FuzzResult:
+    """Fuzz ``cases`` sampled configurations and shrink every failure.
+
+    Stops collecting (but keeps counting) after ``max_failures`` distinct
+    shrunk reproducers — a systematic bug fails hundreds of configs that
+    all shrink to the same handful of minimal cases.
+    """
+    if cases < 1:
+        raise ValueError("cases must be >= 1")
+    rng = np.random.default_rng(seed)
+    failures: List[FuzzFailure] = []
+    seen_shrunk: Set[FuzzConfig] = set()
+    checks_run: Tuple[str, ...] = ()
+    failed_cases = 0
+    for _ in range(cases):
+        config = sample_config(rng, max_pp=max_pp, max_v=max_v,
+                               max_nmb=max_nmb)
+        report = check_config(config, build)
+        checks_run = tuple(sorted(set(checks_run) | set(report.checks_run)))
+        if report.ok:
+            continue
+        failed_cases += 1
+        if len(failures) >= max_failures:
+            continue
+        shrunk = shrink_config(
+            config, lambda c: not check_config(c, build).ok)
+        if shrunk in seen_shrunk:
+            continue
+        seen_shrunk.add(shrunk)
+        failures.append(FuzzFailure(
+            config=config,
+            report=report,
+            shrunk=shrunk,
+            shrunk_report=check_config(shrunk, build),
+        ))
+    return FuzzResult(
+        seed=seed,
+        cases=cases,
+        failed_cases=failed_cases,
+        checks_run=checks_run,
+        failures=tuple(failures),
+    )

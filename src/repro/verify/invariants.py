@@ -1,0 +1,360 @@
+"""Schedule and timeline invariant checkers.
+
+Every checker takes a :class:`~repro.pp.schedule.PipelineSchedule` and/or
+an executed :class:`~repro.train.executor.PipelineRun` and returns a list
+of :class:`Violation` — empty means the invariant holds.  Checkers never
+raise on a bad schedule; they *describe* what is wrong, so the fuzzer can
+shrink a failing configuration and the CLI can report it as structured
+JSON.
+
+The catalog (paper anchors in parentheses):
+
+``stream-overlap``
+    No two events overlap on one (rank, stream) — each stream is one
+    serially-executing CUDA stream.
+``conservation``
+    Every (global stage, micro-batch) pair is executed exactly once per
+    direction, on the rank that hosts the stage.
+``program-order``
+    Within one rank's program, a micro-batch's backward never precedes
+    its forward on the same virtual stage.
+``send-before-recv``
+    In the executed timeline, an op starts no earlier than its cross-rank
+    producer finished plus the P2P latency (the Figure 3 dependency
+    structure).
+``warmup-depth``
+    Warm-up forwards before each rank's first backward match the Section
+    3.1.1 formula ``(v-1)*nc + 2*(pp-ppr-1)`` (plus the steady-state
+    forward, capped at the total); all-forward-all-backward schedules —
+    including the ``nc < pp`` degeneration — warm up with the whole batch.
+``zero-schedule``
+    The ZeRO mode pairs with the schedule family per Section 3.1.3:
+    ZeRO-1 + 1F1B when ``bs >= 2 * pp``, ZeRO-2 + AFAB otherwise.
+``deadlock`` / ``executor-error``
+    Emitted by the fuzz harness when executing a schedule raises instead
+    of completing (the executor doubles as a deadlock detector).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.parallel.config import ZeroStage
+from repro.pp.analysis import degenerates_to_afab, warmup_microbatches
+from repro.pp.schedule import OpKind, PipelineOp, PipelineSchedule
+from repro.train.executor import PipelineRun
+
+#: Absolute slack for floating-point time comparisons.
+_EPS = 1e-9
+
+#: Schedule names that are all-forward-all-backward by construction.
+_AFAB_NAMES = ("afab", "flexible-degenerate-afab")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant, with enough context to reproduce it.
+
+    Attributes:
+        check: Catalog name of the violated invariant (see module doc).
+        message: Human-readable description.
+        context: JSON-able details (rank, micro-batch, stage, times...).
+    """
+
+    check: str
+    message: str
+    context: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "check": self.check,
+            "message": self.message,
+            "context": dict(self.context),
+        }
+
+
+@dataclass(frozen=True)
+class InvariantReport:
+    """Outcome of running a suite of checkers over one configuration."""
+
+    checks_run: Tuple[str, ...]
+    violations: Tuple[Violation, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {
+            "checks_run": list(self.checks_run),
+            "ok": self.ok,
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+
+def is_afab_schedule(schedule: PipelineSchedule) -> bool:
+    """Whether a schedule is all-forward-all-backward, either explicitly
+    or through the ``nc < pp`` degeneration (Section 3.1.1)."""
+    return (schedule.name in _AFAB_NAMES
+            or degenerates_to_afab(schedule.pp, schedule.shape.nc))
+
+
+# ----------------------------------------------------------------------
+# Structure checks (schedule only)
+# ----------------------------------------------------------------------
+
+def check_conservation(schedule: PipelineSchedule) -> List[Violation]:
+    """Every (global stage, micro-batch) appears exactly once per
+    direction, hosted by the right rank, with in-range indices."""
+    shape = schedule.shape
+    out: List[Violation] = []
+    seen: Dict[Tuple[OpKind, int, int], int] = {}
+    for ppr in range(shape.pp):
+        for op in schedule.program(ppr):
+            if op.ppr != ppr:
+                out.append(Violation(
+                    "conservation",
+                    f"rank {ppr} program holds an op for rank {op.ppr}",
+                    {"ppr": ppr, "op_ppr": op.ppr}))
+                continue
+            if not 0 <= op.virtual_stage < shape.v or \
+                    not 0 <= op.microbatch < shape.nmb:
+                out.append(Violation(
+                    "conservation",
+                    f"out-of-range op vs={op.virtual_stage} "
+                    f"mb={op.microbatch} on rank {ppr}",
+                    {"ppr": ppr, "virtual_stage": op.virtual_stage,
+                     "microbatch": op.microbatch}))
+                continue
+            key = (op.kind, op.global_stage(shape.pp), op.microbatch)
+            seen[key] = seen.get(key, 0) + 1
+    for kind in OpKind:
+        for stage in range(shape.pp * shape.v):
+            for mb in range(shape.nmb):
+                count = seen.get((kind, stage, mb), 0)
+                if count != 1:
+                    out.append(Violation(
+                        "conservation",
+                        f"{kind.value}:mb{mb}:s{stage} executed "
+                        f"{count} times (expected once)",
+                        {"kind": kind.value, "stage": stage,
+                         "microbatch": mb, "count": count}))
+    return out
+
+
+def check_program_order(schedule: PipelineSchedule) -> List[Violation]:
+    """Per rank, a micro-batch's backward follows its forward on the same
+    virtual stage."""
+    out: List[Violation] = []
+    for ppr in range(schedule.pp):
+        first_fwd: Dict[Tuple[int, int], int] = {}
+        for idx, op in enumerate(schedule.program(ppr)):
+            key = (op.virtual_stage, op.microbatch)
+            if op.kind is OpKind.FORWARD:
+                first_fwd.setdefault(key, idx)
+            elif key not in first_fwd:
+                out.append(Violation(
+                    "program-order",
+                    f"rank {ppr}: backward of vs={key[0]} mb={key[1]} "
+                    f"at position {idx} precedes its forward",
+                    {"ppr": ppr, "virtual_stage": key[0],
+                     "microbatch": key[1], "position": idx}))
+    return out
+
+
+def check_warmup_depth(schedule: PipelineSchedule) -> List[Violation]:
+    """Warm-up forwards before each rank's first backward match Section
+    3.1.1.
+
+    Expected depth is re-derived here from the raw
+    :func:`~repro.pp.analysis.warmup_microbatches` formula — deliberately
+    not shared with the generator's
+    :func:`~repro.pp.analysis.warmup_forward_ops` call site, so an
+    off-by-one introduced in the builder is caught rather than mirrored.
+    """
+    shape = schedule.shape
+    out: List[Violation] = []
+    afab = is_afab_schedule(schedule)
+    for ppr in range(shape.pp):
+        prog = schedule.program(ppr)
+        actual = 0
+        for op in prog:
+            if op.kind is OpKind.BACKWARD:
+                break
+            actual += 1
+        if afab:
+            expected = shape.tmb
+        else:
+            expected = min(
+                warmup_microbatches(shape.pp, ppr, shape.v, shape.nc) + 1,
+                shape.tmb)
+        if actual != expected:
+            out.append(Violation(
+                "warmup-depth",
+                f"rank {ppr} runs {actual} warm-up forwards; Section "
+                f"3.1.1 requires {expected} "
+                f"(pp={shape.pp}, v={shape.v}, nc={shape.nc}, "
+                f"nmb={shape.nmb}, afab={afab})",
+                {"ppr": ppr, "actual": actual, "expected": expected,
+                 "afab": afab}))
+    return out
+
+
+def check_zero_schedule(
+    zero: ZeroStage, schedule_kind: str, bs: int, pp: int
+) -> List[Violation]:
+    """Section 3.1.3 pairing rule: ``bs >= 2 * pp`` selects ZeRO-1 with a
+    1F1B-family schedule; below the boundary, ZeRO-2 with AFAB.
+
+    ``schedule_kind`` is a family string: anything in
+    ``{"1f1b", "flexible"}`` counts as the 1F1B family, ``"afab"`` as
+    all-forward-all-backward.
+    """
+    if bs < 1 or pp < 1:
+        raise ValueError("bs and pp must be >= 1")
+    one_f1b = schedule_kind in ("1f1b", "flexible")
+    if not one_f1b and schedule_kind != "afab":
+        raise ValueError(f"unknown schedule family {schedule_kind!r}")
+    expected_zero, expected_kind = (
+        (ZeroStage.ZERO_1, "1f1b") if bs >= 2 * pp
+        else (ZeroStage.ZERO_2, "afab"))
+    out: List[Violation] = []
+    context = {"bs": bs, "pp": pp, "boundary": 2 * pp,
+               "zero": zero.name, "schedule": schedule_kind}
+    if zero is not expected_zero:
+        out.append(Violation(
+            "zero-schedule",
+            f"bs={bs} vs 2*pp={2 * pp} selects {expected_zero.name}, "
+            f"got {zero.name} (Section 3.1.3)",
+            context))
+    if (expected_kind == "1f1b") != one_f1b:
+        out.append(Violation(
+            "zero-schedule",
+            f"bs={bs} vs 2*pp={2 * pp} selects the "
+            f"{'1F1B' if expected_kind == '1f1b' else 'AFAB'} family, "
+            f"got {schedule_kind!r} (Section 3.1.3)",
+            context))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Timeline checks (schedule + executed run)
+# ----------------------------------------------------------------------
+
+def check_stream_overlap(run: PipelineRun) -> List[Violation]:
+    """No two events overlap on one (rank, stream)."""
+    return [
+        Violation(
+            "stream-overlap",
+            f"events {a.name!r} and {b.name!r} overlap on rank {a.rank} "
+            f"stream {a.stream!r} ([{a.start}, {a.end}) vs "
+            f"[{b.start}, {b.end}))",
+            {"rank": a.rank, "stream": a.stream,
+             "first": a.name, "second": b.name})
+        for a, b in run.sim.overlapping_events()
+    ]
+
+
+def check_send_before_recv(run: PipelineRun) -> List[Violation]:
+    """Executed dependency timing: an op's compute starts no earlier than
+    its cross-rank producer's compute ended plus the P2P latency.
+
+    Checks both directions of the Figure 3 dependency structure —
+    forward activations flowing down the stages and gradients flowing
+    back up — and that every scheduled op actually has a recorded event
+    of non-negative duration.
+    """
+    schedule = run.schedule
+    shape = schedule.shape
+    if run.op_events is None:
+        return [Violation(
+            "send-before-recv",
+            "run has no op_events; re-execute with "
+            "repro.train.executor.execute_pipeline",
+            {})]
+    p2p = run.p2p_seconds or 0.0
+    last_stage = shape.pp * shape.v - 1
+    out: List[Violation] = []
+    for op in schedule.ops():
+        event = run.op_events.get(op)
+        if event is None:
+            out.append(Violation(
+                "send-before-recv",
+                f"op {op.label(shape.pp)} on rank {op.ppr} has no "
+                f"recorded event",
+                {"ppr": op.ppr, "op": op.label(shape.pp)}))
+            continue
+        if event.duration < 0:
+            out.append(Violation(
+                "send-before-recv",
+                f"op {op.label(shape.pp)} has negative duration "
+                f"{event.duration}",
+                {"ppr": op.ppr, "op": op.label(shape.pp)}))
+        stage = op.global_stage(shape.pp)
+        if op.kind is OpKind.FORWARD:
+            if stage == 0:
+                continue
+            producer = PipelineOp(OpKind.FORWARD, (stage - 1) % shape.pp,
+                                  (stage - 1) // shape.pp, op.microbatch)
+        else:
+            if stage == last_stage:
+                continue
+            producer = PipelineOp(OpKind.BACKWARD, (stage + 1) % shape.pp,
+                                  (stage + 1) // shape.pp, op.microbatch)
+        produced = run.op_events.get(producer)
+        if produced is None:
+            out.append(Violation(
+                "send-before-recv",
+                f"op {op.label(shape.pp)} consumed "
+                f"{producer.label(shape.pp)} which never executed",
+                {"op": op.label(shape.pp),
+                 "producer": producer.label(shape.pp)}))
+            continue
+        if event.start + _EPS < produced.end + p2p:
+            out.append(Violation(
+                "send-before-recv",
+                f"op {op.label(shape.pp)} on rank {op.ppr} started at "
+                f"{event.start} before its input from "
+                f"{producer.label(shape.pp)} arrived at "
+                f"{produced.end + p2p}",
+                {"op": op.label(shape.pp),
+                 "producer": producer.label(shape.pp),
+                 "start": event.start,
+                 "arrival": produced.end + p2p}))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Suite
+# ----------------------------------------------------------------------
+
+def run_invariants(
+    schedule: PipelineSchedule,
+    run: Optional[PipelineRun] = None,
+    zero: Optional[ZeroStage] = None,
+    bs: Optional[int] = None,
+) -> InvariantReport:
+    """Run every applicable checker over one configuration.
+
+    Timeline checks need ``run``; the ZeRO pairing rule needs ``zero``
+    and ``bs``.  Both are optional so the suite degrades to pure
+    structure checking when only a schedule is available.
+    """
+    checks: List[Tuple[str, List[Violation]]] = [
+        ("conservation", check_conservation(schedule)),
+        ("program-order", check_program_order(schedule)),
+        ("warmup-depth", check_warmup_depth(schedule)),
+    ]
+    if run is not None:
+        checks.append(("stream-overlap", check_stream_overlap(run)))
+        checks.append(("send-before-recv", check_send_before_recv(run)))
+    if zero is not None and bs is not None:
+        kind = "afab" if is_afab_schedule(schedule) else "1f1b"
+        checks.append(
+            ("zero-schedule",
+             check_zero_schedule(zero, kind, bs, schedule.pp)))
+    return InvariantReport(
+        checks_run=tuple(name for name, _ in checks),
+        violations=tuple(v for _, vs in checks for v in vs),
+    )

@@ -1,0 +1,76 @@
+"""Golden-file test for the Perfetto/Chrome trace export.
+
+The committed reference (``tests/golden/trace_pp2_nmb4.json``) is the
+trace of a pp=2, v=1, nc=2, nmb=4 pipeline executed with unit costs
+(1.0s forward, 2.0s backward per layer, 0.25s P2P).  The export must
+stay **byte-stable**: any change to event naming, field order, or the
+JSON encoding shows up as a diff against this file and forces a
+deliberate golden update.
+
+Regenerate after an intentional format change with::
+
+    PYTHONPATH=src python tests/test_golden_trace.py --regen
+"""
+
+import io
+import json
+from pathlib import Path
+
+from repro.obs.trace import export_chrome_trace, validate_trace
+from repro.pp.analysis import ScheduleShape
+from repro.pp.layout import build_layout
+from repro.pp.schedule import build_flexible_schedule
+from repro.train.cost import StageCost
+from repro.train.executor import execute_pipeline
+
+GOLDEN = Path(__file__).parent / "golden" / "trace_pp2_nmb4.json"
+
+
+def _reference_run():
+    shape = ScheduleShape(pp=2, v=1, nc=2, nmb=4)
+    schedule = build_flexible_schedule(shape)
+    layout = build_layout(shape.pp * shape.v, shape.pp, shape.v)
+    return execute_pipeline(
+        schedule, layout,
+        lambda s: StageCost(1.0 * max(s.n_layers, 1), 0.0, 0.0),
+        lambda s: StageCost(2.0 * max(s.n_layers, 1), 0.0, 0.0),
+        p2p_seconds=0.25,
+    )
+
+
+def _export_bytes() -> str:
+    buf = io.StringIO()
+    export_chrome_trace(
+        _reference_run().sim, buf,
+        extra_metadata={"config": "pp=2 v=1 nc=2 nmb=4"})
+    return buf.getvalue()
+
+
+def test_export_matches_golden_bytes():
+    assert _export_bytes() == GOLDEN.read_text(encoding="utf-8"), (
+        "trace export changed; if intentional, regenerate with "
+        "`PYTHONPATH=src python tests/test_golden_trace.py --regen`")
+
+
+def test_golden_is_valid_trace_event_json():
+    obj = json.loads(GOLDEN.read_text(encoding="utf-8"))
+    assert validate_trace(obj) == []
+    names = [e["name"] for e in obj["traceEvents"] if e.get("ph") == "X"]
+    # 4 micro-batches in each direction on each of 2 stages.
+    assert sum(1 for n in names if n.startswith("F:")) == 8
+    assert sum(1 for n in names if n.startswith("B:")) == 8
+
+
+def test_export_is_deterministic():
+    assert _export_bytes() == _export_bytes()
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN.write_text(_export_bytes(), encoding="utf-8")
+        print(f"wrote {GOLDEN}")
+    else:
+        print(__doc__)

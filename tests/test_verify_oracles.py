@@ -1,0 +1,170 @@
+"""Differential-oracle tests: AFAB degeneration at the nc < pp boundary,
+the Section 3.1.3 ZeRO rule at bs == 2*pp, and CP oracle agreement for
+causal and document masks."""
+
+import pytest
+
+from repro.hardware.cluster import grand_teton
+from repro.parallel.config import JobConfig, ZeroStage
+from repro.parallel.planner import plan_parallelism
+from repro.model.config import LLAMA3_405B
+from repro.pp.analysis import ScheduleShape
+from repro.verify.invariants import check_zero_schedule
+from repro.verify.oracles import (
+    oracle_afab_degeneration,
+    oracle_cp_attention,
+    oracle_pp_numerics,
+    run_default_oracles,
+)
+
+
+class TestAfabDegeneration:
+    @pytest.mark.parametrize("pp,nc,nmb", [
+        (4, 2, 8),    # nc < pp: must degenerate
+        (4, 1, 3),
+        (8, 2, 2),
+        (3, 1, 7),
+    ])
+    def test_degenerates_below_boundary(self, pp, nc, nmb):
+        result = oracle_afab_degeneration(
+            ScheduleShape(pp=pp, v=2, nc=nc, nmb=nmb))
+        assert result.ok, [v.message for v in result.violations]
+
+    @pytest.mark.parametrize("pp,nc,nmb", [
+        (4, 4, 8),    # nc == pp: original interleaved 1F1B
+        (2, 4, 8),    # nc > pp: extra warm-up, still 1F1B family
+        (1, 1, 5),
+    ])
+    def test_no_degeneration_at_or_above_boundary(self, pp, nc, nmb):
+        result = oracle_afab_degeneration(
+            ScheduleShape(pp=pp, v=2, nc=nc, nmb=nmb))
+        assert result.ok, [v.message for v in result.violations]
+
+
+class TestZeroModeBoundary:
+    """Section 3.1.3: bs >= 2*pp selects ZeRO-1 + 1F1B, below it
+    ZeRO-2 + AFAB — pinned exactly at the boundary."""
+
+    def test_at_boundary_zero1_1f1b_is_legal(self):
+        pp = 4
+        assert check_zero_schedule(
+            ZeroStage.ZERO_1, "1f1b", bs=2 * pp, pp=pp) == []
+
+    def test_at_boundary_zero2_afab_is_violation(self):
+        pp = 4
+        violations = check_zero_schedule(
+            ZeroStage.ZERO_2, "afab", bs=2 * pp, pp=pp)
+        assert len(violations) == 2  # wrong mode AND wrong family
+
+    def test_below_boundary_flips(self):
+        pp = 4
+        assert check_zero_schedule(
+            ZeroStage.ZERO_2, "afab", bs=2 * pp - 1, pp=pp) == []
+        violations = check_zero_schedule(
+            ZeroStage.ZERO_1, "1f1b", bs=2 * pp - 1, pp=pp)
+        assert {v.check for v in violations} == {"zero-schedule"}
+        assert len(violations) == 2
+
+    def test_flexible_counts_as_1f1b_family(self):
+        assert check_zero_schedule(
+            ZeroStage.ZERO_1, "flexible", bs=16, pp=4) == []
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            check_zero_schedule(ZeroStage.ZERO_1, "gpipe", bs=16, pp=4)
+
+    def test_planner_agrees_with_checker(self):
+        """The Section 5 planner's chosen (zero, schedule) never violates
+        the independently-implemented rule."""
+        cluster = grand_teton(16384)
+        for job in (JobConfig(seq=8192, gbs=2048, ngpu=16384),
+                    JobConfig(seq=131072, gbs=128, ngpu=16384)):
+            plan = plan_parallelism(LLAMA3_405B, job, cluster)
+            bs = plan.bs
+            assert check_zero_schedule(
+                plan.parallel.zero, plan.schedule, bs,
+                plan.parallel.pp) == []
+
+
+class TestCpOracle:
+    def test_causal_mask_agrees(self):
+        for cp in (1, 2, 4, 8):
+            result = oracle_cp_attention(seq=64, cp=cp)
+            assert result.ok, [v.message for v in result.violations]
+
+    def test_document_mask_agrees(self):
+        """Block-causal masks, including documents crossing chunk
+        boundaries, agree bitwise with the unsharded reference."""
+        for doc_lens in ((17, 30, 17), (5, 5, 5, 49), (64,)):
+            result = oracle_cp_attention(seq=64, cp=4, doc_lens=doc_lens)
+            assert result.ok, [v.message for v in result.violations]
+
+    def test_uneven_chunks_agree(self):
+        # seq not divisible by 2*cp: earlier chunks one token longer.
+        result = oracle_cp_attention(seq=61, cp=4)
+        assert result.ok, [v.message for v in result.violations]
+
+    def test_detects_corrupted_sharded_output(self, monkeypatch):
+        """Sanity: the oracle is not vacuous — a perturbed sharded
+        output is reported, attributed to the owning CP ranks."""
+        import repro.verify.oracles as oracles_mod
+        from repro.cp.allgather import allgather_cp_attention as real
+
+        def corrupted(q, k, v, cp, batch=None, **kwargs):
+            out = real(q, k, v, cp, batch=batch, **kwargs)
+            bad = out.out.copy()
+            bad[-1] += 1e-6  # flip the tail chunk of rank 0
+            return type(out)(out=bad, lse=out.lse, per_rank=out.per_rank)
+
+        monkeypatch.setattr(oracles_mod, "allgather_cp_attention",
+                            corrupted)
+        result = oracle_cp_attention(seq=32, cp=2)
+        assert not result.ok
+        violation = result.violations[0]
+        assert violation.check == "cp-attention"
+        assert violation.context["ranks"] == [0]  # row 31 = rank 0's tail
+
+
+class TestPpNumericsOracle:
+    @pytest.mark.parametrize("pp,v,nc,nmb", [
+        (2, 1, 2, 4),
+        (2, 2, 2, 4),   # interleaved
+        (4, 1, 2, 4),   # degenerate AFAB
+    ])
+    def test_order_matched_fp32_bitwise(self, pp, v, nc, nmb):
+        result = oracle_pp_numerics(
+            ScheduleShape(pp=pp, v=v, nc=nc, nmb=nmb))
+        assert result.ok, [v.message for v in result.violations]
+
+    def test_detects_order_mismatch(self, monkeypatch):
+        """Sanity: accumulating in a different order than the schedule
+        imposes is flagged (BF16 accumulation makes order visible)."""
+        import repro.verify.oracles as oracles_mod
+        from repro.numerics.parallel_emul import pp_backward_order
+
+        def reversed_order(schedule, ppr, virtual_stage=0):
+            return pp_backward_order(
+                schedule, ppr, virtual_stage)[::-1]
+
+        monkeypatch.setattr(oracles_mod, "pp_backward_order",
+                            reversed_order)
+        from repro.numerics.precision import ALL_BF16
+
+        result = oracle_pp_numerics(
+            ScheduleShape(pp=2, v=1, nc=2, nmb=4), precision=ALL_BF16)
+        assert not result.ok
+        assert all(v.check == "pp-numerics" for v in result.violations)
+
+
+class TestDefaultBattery:
+    def test_all_green_and_json_able(self):
+        import json
+
+        results = run_default_oracles()
+        assert results and all(r.ok for r in results)
+        json.dumps([r.to_dict() for r in results])
+
+    def test_battery_is_deterministic(self):
+        a = run_default_oracles(seed=3)
+        b = run_default_oracles(seed=3)
+        assert [r.to_dict() for r in a] == [r.to_dict() for r in b]
