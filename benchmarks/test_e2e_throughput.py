@@ -6,10 +6,15 @@ TFLOPs/GPU at 131K (4D with cp=16); PP bubble ratio 5% at bs = 2*pp and
 8K-token slice.
 """
 
+import json
+import pathlib
+
 from repro.hardware.cluster import GRAND_TETON_16K
 from repro.model.config import LLAMA3_405B
 from repro.parallel.config import JobConfig, ParallelConfig, ZeroStage
 from repro.train.step import simulate_step
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 PAR_8K = ParallelConfig(tp=8, cp=1, pp=16, dp=128, zero=ZeroStage.ZERO_2)
 JOB_8K = JobConfig(seq=8192, gbs=2048, ngpu=16384)
@@ -20,10 +25,30 @@ JOB_131K = JobConfig(seq=131072, gbs=128, ngpu=16384)
 STRAGGLER_131K = 1.44
 
 
+def _bench_row(rep) -> dict:
+    """One phase's machine-readable perf numbers for BENCH_step.json."""
+    comm = rep.run.per_rank_comm or ()
+    exposed_p2p = max(
+        (d.get("exposed_p2p", 0.0) for d in comm), default=0.0)
+    return {
+        "tflops_per_gpu": rep.tflops_per_gpu,
+        "mfu": rep.mfu,
+        "bubble_ratio": rep.mean_bubble_ratio,
+        "exposed_comm_fraction":
+            (exposed_p2p + rep.exposed_fsdp_seconds) / rep.step_seconds,
+        "step_seconds": rep.step_seconds,
+    }
+
+
 def test_e2e_throughput(report, benchmark):
     r8 = simulate_step(LLAMA3_405B, PAR_8K, JOB_8K, GRAND_TETON_16K)
     r131 = simulate_step(LLAMA3_405B, PAR_131K, JOB_131K, GRAND_TETON_16K,
                          attention_straggler=STRAGGLER_131K)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_step.json").write_text(json.dumps(
+        {"phase_8k": _bench_row(r8), "phase_131k": _bench_row(r131)},
+        indent=2, sort_keys=True) + "\n")
 
     report.line("Section 7.3: end-to-end 405B throughput on 16,384 GPUs")
     report.table(

@@ -6,13 +6,13 @@ Run:
 Builds the paper's exact scenario — 8 GPUs with (cp=2, tp=4), a fault on
 rank 6 — shows why naive TP-group inspection fingers the wrong rank, then
 runs the top-down search.  Finally repeats on a 512-GPU 4D mesh and dumps
-a Chrome trace you can load at chrome://tracing.
+a Perfetto trace you can open at ui.perfetto.dev.
 """
 
-import json
 import pathlib
 
 from repro.debug import identify_slow_rank, run_synthetic_workload
+from repro.obs.trace import export_chrome_trace
 from repro.parallel import DeviceMesh, ParallelConfig
 
 
@@ -45,9 +45,9 @@ def scale_demo() -> None:
     print(report.describe())
 
     trace_path = pathlib.Path("slow_rank_trace.json")
-    trace_path.write_text(json.dumps(sim.chrome_trace()))
-    print(f"\nChrome trace written to {trace_path} "
-          "(open chrome://tracing and load it)")
+    export_chrome_trace(sim, str(trace_path), mesh=mesh)
+    print(f"\nPerfetto trace written to {trace_path} "
+          "(open ui.perfetto.dev and load it)")
 
 
 if __name__ == "__main__":

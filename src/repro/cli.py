@@ -96,13 +96,24 @@ def _add_step_parallel_args(p: argparse.ArgumentParser) -> None:
 def cmd_plan(args: argparse.Namespace) -> int:
     cluster = grand_teton(args.ngpu)
     job = JobConfig(seq=args.seq, gbs=args.gbs, ngpu=args.ngpu)
-    plan = plan_parallelism(_model(args.model), job, cluster)
+    plan = plan_parallelism(_model(args.model), job, cluster,
+                            cost_aware=args.cost_aware)
     if args.json:
         from repro.obs.report import plan_report
 
         _print_json(plan_report(plan))
         return 0
     print(plan.describe())
+    if plan.candidates:
+        print("candidates (simulated, best first):")
+        for c in plan.candidates:
+            if c["feasible"]:
+                print(f"  tp={c['tp']:<2d} pp={c['pp']:<3d} cp={c['cp']:<3d} "
+                      f"dp={c['dp']:<4d} {c['tflops_per_gpu']:6.0f} "
+                      f"TFLOPs/GPU")
+            else:
+                print(f"  tp={c['tp']:<2d} pp={c['pp']:<3d} infeasible: "
+                      f"{c['reason']}")
     return 0
 
 
@@ -126,6 +137,8 @@ def cmd_step(args: argparse.Namespace) -> int:
         return 0
     print(f"step time:      {rep.step_seconds:.3f} s")
     print(f"throughput:     {rep.tflops_per_gpu:.0f} TFLOPs/GPU")
+    print(f"MFU:            {rep.mfu:.1%}")
+    print(f"tokens/s:       {rep.tokens_per_second:,.0f}")
     print(f"bubble ratio:   {rep.mean_bubble_ratio:.3f}")
     print(f"peak memory:    {rep.max_peak_memory_gb:.1f} GiB "
           f"(worst rank of {par.pp})")
@@ -257,9 +270,9 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_verify(args: argparse.Namespace) -> int:
-    """Run the oracle battery and the seeded config fuzz (Section 6.2's
-    methodology as a regression gate).  Exit 0 when every check passes,
-    1 when any oracle or fuzzed configuration reports a violation."""
+    """Run the oracle battery, the seeded config fuzz, and the step-graph
+    timeline invariants (Section 6.2's methodology as a regression gate).
+    Exit 0 when every check passes, 1 when any violation is found."""
     from repro.obs.report import verify_report
     from repro.verify.fuzz import run_fuzz
     from repro.verify.oracles import run_default_oracles
@@ -269,7 +282,8 @@ def cmd_verify(args: argparse.Namespace) -> int:
     oracles = [] if args.no_oracles else run_default_oracles(seed=args.seed)
     fuzz = run_fuzz(args.fuzz, seed=args.seed, max_pp=args.max_pp,
                     max_nmb=args.max_nmb)
-    report = verify_report(fuzz, oracles)
+    step_inv = None if args.no_step_invariants else _step_invariants()
+    report = verify_report(fuzz, oracles, step_invariants=step_inv)
     if args.trace:
         _export_verify_trace(fuzz, args.trace)
     if args.json:
@@ -287,9 +301,36 @@ def cmd_verify(args: argparse.Namespace) -> int:
                   f"{f.shrunk.describe()}")
             for v in f.shrunk_report.violations:
                 print(f"    violation [{v.check}]: {v.message}")
+        if step_inv is not None:
+            for mode in step_inv["modes"]:
+                status = "ok" if mode["ok"] else "FAIL"
+                print(f"step invariants [{mode['zero']}] {status}  "
+                      f"({', '.join(mode['checks_run'])})")
+                for v in mode["violations"]:
+                    print(f"  violation [{v['check']}]: {v['message']}")
         if args.trace:
             print(f"trace written: {args.trace} (open in ui.perfetto.dev)")
     return 0 if report["ok"] else 1
+
+
+def _step_invariants() -> dict:
+    """Execute a small canonical step per ZeRO mode and check the
+    FSDP/ordering invariants on the lowered timeline."""
+    from repro.model.config import LLAMA3_8B
+    from repro.pp.analysis import default_nc
+    from repro.train.step import simulate_step
+    from repro.verify.invariants import run_step_invariants
+
+    job = JobConfig(seq=8192, gbs=8, ngpu=8)
+    modes = []
+    for zero in (ZeroStage.ZERO_1, ZeroStage.ZERO_2, ZeroStage.ZERO_3):
+        par = ParallelConfig(tp=2, cp=1, pp=2, dp=2, zero=zero)
+        rep = simulate_step(LLAMA3_8B, par, job, grand_teton(job.ngpu))
+        nc = default_nc(par.pp, job.micro_batches(par))
+        inv = run_step_invariants(rep.execution.graph, rep.execution.events,
+                                  zero=zero, nc=nc)
+        modes.append({"zero": zero.name.lower(), **inv.to_dict()})
+    return {"ok": all(m["ok"] for m in modes), "modes": modes}
 
 
 def _export_verify_trace(fuzz, path: str) -> None:
@@ -333,6 +374,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("plan", help="derive 4D parallelism (Section 5)")
     _add_job_args(p)
+    p.add_argument("--cost-aware", action="store_true",
+                   help="rank (tp, pp) candidates by simulated TFLOPs/GPU "
+                        "instead of first-fit")
     p.add_argument("--json", action="store_true",
                    help="emit the stable-schema JSON report")
     p.set_defaults(func=cmd_plan)
@@ -414,6 +458,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="largest micro-batch count sampled")
     p.add_argument("--no-oracles", action="store_true",
                    help="skip the differential-oracle battery")
+    p.add_argument("--no-step-invariants", action="store_true",
+                   help="skip the step-graph FSDP timeline invariants")
     p.add_argument("--json", action="store_true",
                    help="emit the stable-schema JSON report")
     p.add_argument("--trace", metavar="PATH",

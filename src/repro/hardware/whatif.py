@@ -67,6 +67,8 @@ def hbm_capacity_sweep(
     from repro.parallel.config import ParallelConfig, ZeroStage
     from repro.train.step import simulate_step
 
+    if not capacities_gb:
+        raise ValueError("capacities_gb must name at least one capacity")
     points = []
     for cap in capacities_gb:
         best: Optional[Tuple[float, int, int, float]] = None

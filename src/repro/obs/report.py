@@ -38,7 +38,9 @@ from repro.train.phases import PhaseReport
 from repro.train.step import StepReport
 
 #: Bumped when any report's existing fields change shape or meaning.
-SCHEMA_VERSION = 1
+#: v2: step busy became compute-only (comm reported separately per kind),
+#: and step time became the executed timeline's makespan.
+SCHEMA_VERSION = 2
 
 
 def _schema(name: str) -> str:
@@ -77,6 +79,7 @@ def plan_report(plan: Plan) -> dict:
         "schedule": plan.schedule,
         "estimated_rank0_memory_gb": plan.estimated_rank0_memory_gb,
         "rationale": list(plan.rationale),
+        "candidates": [dict(c) for c in plan.candidates],
     }
 
 
@@ -128,10 +131,15 @@ def step_report(
         "exposed_fsdp_seconds": rep.exposed_fsdp_seconds,
         "optimizer_seconds": rep.optimizer_seconds,
         "tflops_per_gpu": rep.tflops_per_gpu,
+        "mfu": rep.mfu,
+        "tokens_per_second": rep.tokens_per_second,
         "model_flops": rep.model_flops,
         "mean_bubble_ratio": rep.mean_bubble_ratio,
         "bubble_ratios": list(rep.run.bubble_ratios),
         "per_rank_busy_seconds": list(rep.run.per_rank_busy),
+        "per_rank_comm_seconds": [
+            dict(sorted(d.items())) for d in (rep.run.per_rank_comm or ())
+        ],
         "per_rank_peak_memory_gb": list(rep.per_rank_peak_memory_gb),
         "max_peak_memory_gb": rep.max_peak_memory_gb,
         "groups": step_group_metrics(rep, parallel, registry),
@@ -211,21 +219,28 @@ def slow_rank_report(rep: SlowRankReport) -> dict:
 def verify_report(
     fuzz: "FuzzResult",
     oracles: Sequence["OracleResult"] = (),
+    step_invariants: Optional[dict] = None,
 ) -> dict:
     """The verification subsystem's outcome (Section 6.2 methodology).
 
-    ``ok`` aggregates the fuzz campaign and every oracle; each fuzz
-    failure carries its minimal shrunk reproducer, so re-running
-    ``repro verify --seed <seed>`` (or building the shrunk config
-    directly) reproduces the finding.
+    ``ok`` aggregates the fuzz campaign, every oracle, and (when run) the
+    step-graph timeline invariants; each fuzz failure carries its minimal
+    shrunk reproducer, so re-running ``repro verify --seed <seed>`` (or
+    building the shrunk config directly) reproduces the finding.
     """
     oracle_dicts = [o.to_dict() for o in oracles]
-    return {
+    ok = fuzz.ok and all(o["ok"] for o in oracle_dicts)
+    if step_invariants is not None:
+        ok = ok and step_invariants.get("ok", False)
+    out = {
         "schema": _schema("verify"),
-        "ok": fuzz.ok and all(o["ok"] for o in oracle_dicts),
+        "ok": ok,
         "fuzz": fuzz.to_dict(),
         "oracles": oracle_dicts,
     }
+    if step_invariants is not None:
+        out["step_invariants"] = step_invariants
+    return out
 
 
 def render_json(report: dict) -> str:

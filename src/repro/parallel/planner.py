@@ -24,7 +24,7 @@ Table 2 benchmark can show *why* each number came out.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import List, Optional
 
 from repro.hardware.cluster import ClusterSpec
@@ -49,6 +49,9 @@ class Plan:
     schedule: str  # "1f1b" or "afab"
     estimated_rank0_memory_gb: float
     rationale: List[str] = field(default_factory=list)
+    #: ``cost_aware=True`` only: every (tp, pp) candidate evaluated, the
+    #: feasible ones ranked by simulated TFLOPs/GPU (best first).
+    candidates: List[dict] = field(default_factory=list)
 
     def describe(self) -> str:
         lines = [self.parallel.describe(), f"bs={self.bs} schedule={self.schedule}"]
@@ -102,17 +105,88 @@ def _rank0_memory_gb(
     return mem.total_gb
 
 
+def _evaluate_candidate(
+    model: TextModelConfig,
+    job: JobConfig,
+    cluster: ClusterSpec,
+    tp: int,
+    pp: int,
+    capacity_gb: float,
+) -> dict:
+    """Price one (tp, pp) candidate end to end: derive cp/dp/bs/ZeRO the
+    Section 5.1 way, gate on memory, then simulate a full step on the
+    lowered timeline for its achieved TFLOPs/GPU."""
+    from repro.train.step import simulate_step  # deferred: train -> parallel
+
+    cand: dict = {"tp": tp, "pp": pp, "cp": None, "dp": None, "bs": None,
+                  "schedule": None, "zero": None, "memory_gb": None,
+                  "tflops_per_gpu": None, "feasible": False, "reason": ""}
+    cp_needed = job.ngpu / (job.gbs * tp)
+    cp = _power_of_two_at_least(cp_needed) if cp_needed > 1 else 1
+    cand["cp"] = cp
+    if job.ngpu % (tp * cp * pp) != 0:
+        cand["reason"] = f"ngpu={job.ngpu} not divisible by tp*cp*pp"
+        return cand
+    dp = job.ngpu // (tp * cp * pp)
+    bs = job.gbs // dp
+    cand.update(dp=dp, bs=bs)
+    if dp < 1 or bs < 1:
+        cand["reason"] = "batch constraint leaves bs < 1"
+        return cand
+    if bs >= 2 * pp:
+        zero, schedule = ZeroStage.ZERO_1, "1f1b"
+    else:
+        zero, schedule = ZeroStage.ZERO_2, "afab"
+    cand.update(schedule=schedule, zero=zero.value)
+    # Memory gate: same trial as the Section 5.1 first-fit's step 3 —
+    # ZeRO-1 gradient residency at cp=1 — so cost-aware only re-ranks
+    # depths the analytic derivation already considers safe rather than
+    # admitting ones that fit solely under the ZeRO-2/AFAB fallback.
+    v = math.ceil(model.n_layers / pp)
+    dp_cp = job.ngpu // (tp * pp)
+    trial = ParallelConfig(tp=tp, cp=1, pp=pp, dp=dp_cp,
+                           zero=ZeroStage.ZERO_1)
+    bs_trial = max(job.gbs // dp_cp, 1)
+    nmb_trial = max(bs_trial // job.mbs, 1)
+    mem_gb = _rank0_memory_gb(model, trial, job, v,
+                              default_nc(pp, nmb_trial), nmb_trial)
+    cand["memory_gb"] = mem_gb
+    if mem_gb > capacity_gb:
+        cand["reason"] = (
+            f"rank-0 peak {mem_gb:.1f} GiB exceeds "
+            f"{capacity_gb:.0f} GiB usable HBM")
+        return cand
+    parallel = ParallelConfig(tp=tp, cp=cp, pp=pp, dp=dp, zero=zero)
+    try:
+        rep = simulate_step(model, parallel, job, cluster,
+                            schedule_kind=schedule)
+    except (ValueError, RuntimeError) as exc:
+        cand["reason"] = f"simulation failed: {exc}"
+        return cand
+    cand.update(tflops_per_gpu=rep.tflops_per_gpu, feasible=True)
+    return cand
+
+
 def plan_parallelism(
     model: TextModelConfig,
     job: JobConfig,
     cluster: ClusterSpec,
     max_pp: int = 64,
+    cost_aware: bool = False,
 ) -> Plan:
     """Derive the 4D parallelism configuration for a training phase.
 
     Reproduces Table 2: for the 405B model on 16,384 GPUs it returns
     (tp=8, cp=1, pp=16, dp=128) at seq 8K / gbs 2048, and
     (tp=8, cp=16, pp=16, dp=8) at seq 131K / gbs 128.
+
+    With ``cost_aware=True``, the first-fit choice is replaced by a
+    simulated-throughput ranking: every (tp, pp) power-of-two pair is
+    priced by lowering and executing a full step timeline
+    (:func:`repro.train.step.simulate_step` — the same path
+    ``pp.autotune`` and ``hardware.whatif`` use), and the feasible
+    candidate with the highest TFLOPs/GPU wins.  All candidates, with
+    per-candidate infeasibility reasons, land in ``Plan.candidates``.
     """
     if job.ngpu > cluster.num_gpus:
         raise ValueError(
@@ -231,7 +305,7 @@ def plan_parallelism(
     nmb = bs // job.mbs
     nc = default_nc(pp, nmb)
     mem_gb = _rank0_memory_gb(model, parallel, job, v, nc, nmb)
-    return Plan(
+    plan = Plan(
         parallel=parallel,
         job=job,
         bs=bs,
@@ -239,4 +313,47 @@ def plan_parallelism(
         schedule=schedule,
         estimated_rank0_memory_gb=mem_gb,
         rationale=rationale,
+    )
+    if not cost_aware:
+        return plan
+
+    # --- Cost-aware re-ranking -----------------------------------------
+    # Price every (tp, pp) pair on the simulated timeline and let
+    # throughput, not first-fit order, pick the winner.
+    candidates: List[dict] = []
+    cand_tp = tp_min
+    while cand_tp <= node:
+        cand_pp = 1
+        while cand_pp <= max_pp and cand_tp * cand_pp <= job.ngpu:
+            candidates.append(_evaluate_candidate(
+                model, job, cluster, cand_tp, cand_pp, capacity))
+            cand_pp *= 2
+        cand_tp *= 2
+    candidates.sort(
+        key=lambda c: (not c["feasible"], -(c["tflops_per_gpu"] or 0.0)))
+    feasible = [c for c in candidates if c["feasible"]]
+    if not feasible:
+        return replace(plan, candidates=candidates, rationale=rationale + [
+            "cost-aware: no candidate survived memory and simulation; "
+            "keeping the first-fit plan"])
+    best = feasible[0]
+    chosen = ParallelConfig(
+        tp=best["tp"], cp=best["cp"], pp=best["pp"], dp=best["dp"],
+        zero=ZeroStage(best["zero"]))
+    best_v = math.ceil(model.n_layers / chosen.pp)
+    best_nmb = max(best["bs"] // job.mbs, 1)
+    best_nc = default_nc(chosen.pp, best_nmb)
+    return Plan(
+        parallel=chosen,
+        job=job,
+        bs=best["bs"],
+        virtual_stages=best_v,
+        schedule=best["schedule"],
+        estimated_rank0_memory_gb=_rank0_memory_gb(
+            model, chosen, job, best_v, best_nc, best_nmb),
+        rationale=rationale + [
+            f"cost-aware: tp={chosen.tp} pp={chosen.pp} wins at "
+            f"{best['tflops_per_gpu']:.0f} TFLOPs/GPU over "
+            f"{len(feasible)} feasible of {len(candidates)} candidates"],
+        candidates=candidates,
     )

@@ -235,18 +235,3 @@ class Simulator:
     def idle_time(self, rank: int, stream: str = "compute") -> float:
         """Makespan minus busy time on one rank's stream."""
         return self.makespan() - self.busy_time(rank, stream)
-
-    def chrome_trace(self) -> List[dict]:
-        """Events as Chrome ``chrome://tracing`` JSON objects (microseconds)."""
-        return [
-            {
-                "name": e.name,
-                "cat": e.kind,
-                "ph": "X",
-                "ts": e.start * 1e6,
-                "dur": e.duration * 1e6,
-                "pid": e.rank,
-                "tid": e.stream,
-            }
-            for e in self._events
-        ]

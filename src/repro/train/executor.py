@@ -1,30 +1,194 @@
-"""Event-level execution of a pipeline schedule on the simulator.
+"""Graph interpreter: replays a lowered step graph onto the simulator.
 
-Walks every rank's program in order, releasing each op when its cross-rank
-dependency has arrived: a forward needs the previous stage's forward output
-(plus P2P transfer time), a backward needs the next stage's input gradient.
-P2P sends are asynchronous and do not occupy the receiver's compute stream,
-so exposed P2P shows up exactly as the Figure 3 bubbles: idle gaps on the
-compute stream while the rank waits for data.
+:func:`execute_graph` walks every rank's program of typed
+:class:`~repro.train.lowering.StepOp`s with a ready-list, releasing each
+op when all of its dependency uids have executed, and runs it on its
+dedicated (rank, stream) pair — ``compute``, ``tp``, ``cp``, ``p2p``,
+``fsdp``, ``opt``.  Cross-rank P2P sends are asynchronous: they occupy
+only the producer's ``p2p`` stream, and whenever a consumer's input
+arrives *after* the consumer could have started, the gap is recorded as
+an ``exposed_comm`` wait event — exactly the Figure 3 bubbles, surfaced
+by the trace exporter as their own category.
 
-The executor doubles as a deadlock detector — an invalid schedule (one
-whose per-rank op order creates a circular wait) raises instead of hanging,
-which is how the property-based schedule tests certify the flexible-PP
-generator for arbitrary (pp, v, nc, nmb).
+The interpreter doubles as a deadlock detector — an invalid schedule
+(one whose per-rank op order creates a circular wait) raises instead of
+hanging, which is how the property-based schedule tests certify the
+flexible-PP generator for arbitrary (pp, v, nc, nmb).
+
+:func:`execute_pipeline` keeps the pre-graph entry point: it lowers a
+(schedule, layout, costs) triple with
+:func:`~repro.train.lowering.lower_pipeline` and interprets it,
+returning the same :class:`PipelineRun` shape as before — except busy
+time now counts *compute only*, with per-kind communication totals
+reported separately in :attr:`PipelineRun.per_rank_comm`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.obs.metrics import MetricsRegistry
 from repro.pp.layout import PipelineLayout, StageAssignment
-from repro.pp.schedule import OpKind, PipelineOp, PipelineSchedule
+from repro.pp.schedule import PipelineOp, PipelineSchedule
 from repro.sim.engine import Simulator, TraceEvent
 from repro.train.cost import StageCost
+from repro.train.lowering import (
+    PIPELINE_KINDS,
+    StepGraph,
+    StepOpKind,
+    lower_pipeline,
+)
 
 CostFn = Callable[[StageAssignment], StageCost]
+
+#: Simulator event kind for each op kind: computation occupies its stream
+#: as ``compute``; priced communication is ``comm`` (overlap with compute
+#: is what the timeline decides); synthesized waits are ``exposed_comm``.
+_EVENT_KIND = {
+    StepOpKind.COMPUTE: "compute",
+    StepOpKind.OPTIMIZER: "compute",
+}
+
+#: per_rank_comm key for each communication op kind.
+_COMM_KEY = {
+    StepOpKind.TP_ALLGATHER: "tp",
+    StepOpKind.TP_REDUCESCATTER: "tp",
+    StepOpKind.CP_COMM: "cp",
+    StepOpKind.P2P_SEND: "p2p",
+    StepOpKind.FSDP_ALLGATHER: "fsdp",
+    StepOpKind.FSDP_REDUCESCATTER: "fsdp",
+}
+
+
+@dataclass(frozen=True)
+class GraphExecution:
+    """Raw outcome of interpreting one step graph."""
+
+    graph: StepGraph
+    sim: Simulator
+    #: Trace event of every executed op, by uid.
+    events: Dict[int, TraceEvent]
+    #: Synthesized exposed-P2P wait events, in emission order.
+    wait_events: Tuple[TraceEvent, ...]
+
+    def events_of_kind(self, *kinds: StepOpKind) -> List[TraceEvent]:
+        wanted = frozenset(kinds)
+        return [self.events[op.uid] for op in self.graph.ops()
+                if op.kind in wanted]
+
+
+def execute_graph(
+    graph: StepGraph,
+    sim: Optional[Simulator] = None,
+    start_times: Optional[Mapping[int, float]] = None,
+    rank_compute_scale: Optional[Mapping[int, float]] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> GraphExecution:
+    """Interpret a step graph onto the simulator.
+
+    Args:
+        graph: Lowered per-rank programs.
+        sim: Simulator to record into (a fresh one by default).
+        start_times: Optional per-rank earliest start applied to every op
+            of the rank (models an externally-imposed release time).
+        rank_compute_scale: Per-rank COMPUTE-duration multipliers (>= 1
+            for a throttled GPU) — fault injection for the Section 8.1
+            performance-variation experiments.  Communication durations
+            are deliberately not scaled.
+        metrics: Registry for op counts, op durations, and exposed-P2P
+            wait seconds (keyed by PP rank).
+    """
+    if rank_compute_scale and any(
+        s <= 0 for s in rank_compute_scale.values()
+    ):
+        raise ValueError("rank_compute_scale factors must be positive")
+    sim = sim or Simulator()
+    start_times = start_times or {}
+    rank_compute_scale = rank_compute_scale or {}
+
+    if metrics is not None:
+        op_count = metrics.counter(
+            "pp.ops", unit="ops",
+            description="pipeline ops executed, by rank and kind")
+        op_seconds = metrics.histogram(
+            "pp.op_seconds", unit="s",
+            description="pipeline compute-op durations, by kind")
+        exposed_p2p = metrics.counter(
+            "pp.exposed_p2p_seconds", unit="s",
+            description="compute-stream time lost waiting for P2P input")
+
+    events: Dict[int, TraceEvent] = {}
+    waits: List[TraceEvent] = []
+    programs = graph.programs
+    pointers = [0] * len(programs)
+    total_ops = sum(len(p) for p in programs)
+    executed = 0
+
+    while executed < total_ops:
+        progressed = False
+        for rank, prog in enumerate(programs):
+            while pointers[rank] < len(prog):
+                op = prog[pointers[rank]]
+                if any(uid not in events for uid in op.deps):
+                    break
+                deps = [events[uid] for uid in op.deps]
+                floor = start_times.get(rank, 0.0)
+                if op.wait_name is not None:
+                    # Exposed wait: the gap between the rank being ready
+                    # (own stream free, local inputs done) and the
+                    # cross-rank input arriving.
+                    arrival = max(
+                        (d.end for d in deps if d.rank != rank),
+                        default=0.0)
+                    local_ready = max(
+                        sim.now(rank, op.stream), floor,
+                        max((d.end for d in deps if d.rank == rank),
+                            default=0.0))
+                    if arrival > local_ready:
+                        wait = sim.run(
+                            rank=rank,
+                            stream="wait",
+                            duration=arrival - local_ready,
+                            name=op.wait_name,
+                            kind="exposed_comm",
+                            not_before=local_ready,
+                        )
+                        waits.append(wait)
+                        if metrics is not None:
+                            exposed_p2p.inc(wait.duration, rank=rank)
+                duration = op.duration
+                if op.kind is StepOpKind.COMPUTE:
+                    duration *= rank_compute_scale.get(rank, 1.0)
+                event = sim.run(
+                    rank=rank,
+                    stream=op.stream,
+                    duration=duration,
+                    name=op.name,
+                    kind=_EVENT_KIND.get(op.kind, "comm"),
+                    after=deps,
+                    not_before=floor,
+                )
+                if metrics is not None and op.pipeline_op is not None:
+                    kind_label = op.pipeline_op.kind.name.lower()
+                    op_count.inc(1, rank=rank, kind=kind_label)
+                    op_seconds.observe(event.duration, kind=kind_label)
+                events[op.uid] = event
+                pointers[rank] += 1
+                executed += 1
+                progressed = True
+        if not progressed:
+            blocked = [
+                (rank, prog[pointers[rank]].name)
+                for rank, prog in enumerate(programs)
+                if pointers[rank] < len(prog)
+            ]
+            raise RuntimeError(
+                f"pipeline schedule deadlocked; blocked ops: {blocked}"
+            )
+
+    return GraphExecution(graph=graph, sim=sim, events=events,
+                          wait_events=tuple(waits))
 
 
 @dataclass(frozen=True)
@@ -33,7 +197,12 @@ class PipelineRun:
 
     schedule: PipelineSchedule
     sim: Simulator
+    #: Latest end time across the run's own pipeline events (a step
+    #: timeline's FSDP/optimizer tail is *not* included — see
+    #: :class:`repro.train.step.StepReport` for the full-step time).
     makespan: float
+    #: Per-rank **compute-only** busy seconds (communication is tallied
+    #: separately in :attr:`per_rank_comm`).
     per_rank_busy: Tuple[float, ...]
     #: Compute event of every executed op, for timeline verification
     #: (:mod:`repro.verify.invariants` checks send-before-recv against
@@ -42,27 +211,87 @@ class PipelineRun:
     #: P2P latency the run was executed with; None when unknown (e.g. a
     #: PipelineRun assembled outside execute_pipeline).
     p2p_seconds: Optional[float] = None
+    #: Earliest pipeline compute start — nonzero when something (e.g. the
+    #: first FSDP all-gather) delays the whole pipeline; bubble ratios
+    #: measure idleness from here, not from t=0.
+    start_time: float = 0.0
+    #: Per-rank communication seconds by kind ("tp", "cp", "p2p",
+    #: "exposed_p2p", and "fsdp" for step timelines).
+    per_rank_comm: Optional[Tuple[Dict[str, float], ...]] = None
 
     @property
     def pp(self) -> int:
         return self.schedule.pp
 
     @property
+    def per_rank_occupied(self) -> Tuple[float, ...]:
+        """Compute plus exposed TP/CP communication per rank — the time a
+        rank is *doing* pipeline work (the pre-graph notion of busy)."""
+        if self.per_rank_comm is None:
+            return self.per_rank_busy
+        return tuple(
+            busy + comm.get("tp", 0.0) + comm.get("cp", 0.0)
+            for busy, comm in zip(self.per_rank_busy, self.per_rank_comm)
+        )
+
+    @property
     def per_rank_idle(self) -> Tuple[float, ...]:
-        return tuple(self.makespan - b for b in self.per_rank_busy)
+        span = self.makespan - self.start_time
+        return tuple(span - occ for occ in self.per_rank_occupied)
 
     @property
     def bubble_ratios(self) -> Tuple[float, ...]:
-        """Per-rank idle over compute — the paper's PP bubble metric."""
+        """Per-rank idle over occupied — the paper's PP bubble metric."""
         return tuple(
-            idle / busy if busy > 0 else 0.0
-            for idle, busy in zip(self.per_rank_idle, self.per_rank_busy)
+            idle / occ if occ > 0 else 0.0
+            for idle, occ in zip(self.per_rank_idle, self.per_rank_occupied)
         )
 
     @property
     def mean_bubble_ratio(self) -> float:
         ratios = self.bubble_ratios
         return sum(ratios) / len(ratios)
+
+
+def summarize_pipeline_execution(
+    execution: GraphExecution,
+    schedule: PipelineSchedule,
+    p2p_seconds: Optional[float],
+) -> PipelineRun:
+    """Fold an interpreted graph's pipeline region into a PipelineRun."""
+    pp = schedule.pp
+    busy = [0.0] * pp
+    comm: List[Dict[str, float]] = [{} for _ in range(pp)]
+    op_events: Dict[PipelineOp, TraceEvent] = {}
+    makespan = 0.0
+    start_time: Optional[float] = None
+    for op in execution.graph.ops():
+        event = execution.events[op.uid]
+        if op.kind is StepOpKind.COMPUTE:
+            busy[op.rank] += event.duration
+            if op.pipeline_op is not None:
+                op_events[op.pipeline_op] = event
+            if start_time is None or event.start < start_time:
+                start_time = event.start
+        elif op.kind in _COMM_KEY:
+            key = _COMM_KEY[op.kind]
+            comm[op.rank][key] = comm[op.rank].get(key, 0.0) + event.duration
+        if op.kind in PIPELINE_KINDS:
+            makespan = max(makespan, event.end)
+    for wait in execution.wait_events:
+        comm[wait.rank]["exposed_p2p"] = (
+            comm[wait.rank].get("exposed_p2p", 0.0) + wait.duration)
+        makespan = max(makespan, wait.end)
+    return PipelineRun(
+        schedule=schedule,
+        sim=execution.sim,
+        makespan=makespan,
+        per_rank_busy=tuple(busy),
+        op_events=op_events,
+        p2p_seconds=p2p_seconds,
+        start_time=start_time or 0.0,
+        per_rank_comm=tuple(comm),
+    )
 
 
 def execute_pipeline(
@@ -76,7 +305,7 @@ def execute_pipeline(
     rank_compute_scale: Optional[Dict[int, float]] = None,
     metrics: Optional[MetricsRegistry] = None,
 ) -> PipelineRun:
-    """Execute a schedule and return its timeline.
+    """Lower a schedule and execute its timeline.
 
     Args:
         schedule: The per-rank programs.
@@ -95,125 +324,12 @@ def execute_pipeline(
 
     Whenever an op's cross-rank input arrives *after* the rank could have
     started it, the gap is recorded as an ``exposed_comm`` event on the
-    rank's ``p2p`` stream — those are exactly the Figure 3 bubbles, and
+    rank's ``wait`` stream — those are exactly the Figure 3 bubbles, and
     the trace exporter surfaces them as their own category.
     """
-    if layout.pp != schedule.pp or layout.v != schedule.shape.v:
-        raise ValueError("layout and schedule disagree on pp or v")
-    if rank_compute_scale and any(
-        s <= 0 for s in rank_compute_scale.values()
-    ):
-        raise ValueError("rank_compute_scale factors must be positive")
-    sim = sim or Simulator()
-    start_times = start_times or {}
-    rank_compute_scale = rank_compute_scale or {}
-    pp = schedule.pp
-    last_stage = layout.num_stages - 1
-
-    # Memoised per-stage costs.
-    fwd_cost: Dict[int, StageCost] = {}
-    bwd_cost: Dict[int, StageCost] = {}
-    for s in range(layout.num_stages):
-        fwd_cost[s] = forward_cost(layout.stage(s))
-        bwd_cost[s] = backward_cost(layout.stage(s))
-
-    # ready[(kind, global_stage, mb)] = time the op's output is available
-    # at the producer (before P2P).
-    ready: Dict[Tuple[OpKind, int, int], float] = {}
-    op_events: Dict[PipelineOp, TraceEvent] = {}
-    pointers = [0] * pp
-    programs = [schedule.program(r) for r in range(pp)]
-    busy = [0.0] * pp
-
-    def dep_time(kind: OpKind, stage: int, mb: int) -> Optional[float]:
-        """Arrival time of the op's cross-rank input, or None if missing.
-        0.0 when the op has no dependency."""
-        if kind is OpKind.FORWARD:
-            if stage == 0:
-                return 0.0
-            t = ready.get((OpKind.FORWARD, stage - 1, mb))
-        else:
-            if stage == last_stage:
-                # Loss is local to the last stage; its own forward ordering
-                # is guaranteed by program order on the same rank.
-                return 0.0
-            t = ready.get((OpKind.BACKWARD, stage + 1, mb))
-        if t is None:
-            return None
-        return t + p2p_seconds
-
-    if metrics is not None:
-        op_count = metrics.counter(
-            "pp.ops", unit="ops",
-            description="pipeline ops executed, by rank and kind")
-        op_seconds = metrics.histogram(
-            "pp.op_seconds", unit="s",
-            description="pipeline op durations, by kind")
-        exposed_p2p = metrics.counter(
-            "pp.exposed_p2p_seconds", unit="s",
-            description="compute-stream time lost waiting for P2P input")
-
-    total_ops = sum(len(p) for p in programs)
-    executed = 0
-    while executed < total_ops:
-        progressed = False
-        for ppr in range(pp):
-            while pointers[ppr] < len(programs[ppr]):
-                op = programs[ppr][pointers[ppr]]
-                stage = op.global_stage(pp)
-                arrival = dep_time(op.kind, stage, op.microbatch)
-                if arrival is None:
-                    break
-                cost = (fwd_cost if op.kind is OpKind.FORWARD
-                        else bwd_cost)[stage]
-                scale = rank_compute_scale.get(ppr, 1.0)
-                duration = (cost.compute_seconds * scale
-                            + cost.tp_comm_seconds + cost.cp_comm_seconds)
-                kind_label = op.kind.name.lower()
-                wait_start = max(sim.now(ppr, "compute"),
-                                 start_times.get(ppr, 0.0))
-                if arrival > wait_start:
-                    wait = sim.run(
-                        rank=ppr,
-                        stream="p2p",
-                        duration=arrival - wait_start,
-                        name=f"p2p:wait:{op.label(pp)}",
-                        kind="exposed_comm",
-                        not_before=wait_start,
-                    )
-                    if metrics is not None:
-                        exposed_p2p.inc(wait.duration, rank=ppr)
-                event = sim.run(
-                    rank=ppr,
-                    stream="compute",
-                    duration=duration,
-                    name=op.label(pp),
-                    kind="compute",
-                    not_before=max(arrival, start_times.get(ppr, 0.0)),
-                )
-                if metrics is not None:
-                    op_count.inc(1, rank=ppr, kind=kind_label)
-                    op_seconds.observe(event.duration, kind=kind_label)
-                busy[ppr] += event.duration
-                ready[(op.kind, stage, op.microbatch)] = event.end
-                op_events[op] = event
-                pointers[ppr] += 1
-                executed += 1
-                progressed = True
-        if not progressed:
-            blocked = [
-                (ppr, programs[ppr][pointers[ppr]].label(pp))
-                for ppr in range(pp) if pointers[ppr] < len(programs[ppr])
-            ]
-            raise RuntimeError(
-                f"pipeline schedule deadlocked; blocked ops: {blocked}"
-            )
-
-    return PipelineRun(
-        schedule=schedule,
-        sim=sim,
-        makespan=sim.makespan(),
-        per_rank_busy=tuple(busy),
-        op_events=op_events,
-        p2p_seconds=p2p_seconds,
-    )
+    graph = lower_pipeline(
+        schedule, layout, forward_cost, backward_cost, p2p_seconds)
+    execution = execute_graph(
+        graph, sim=sim, start_times=start_times,
+        rank_compute_scale=rank_compute_scale, metrics=metrics)
+    return summarize_pipeline_execution(execution, schedule, p2p_seconds)

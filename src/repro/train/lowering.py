@@ -1,0 +1,376 @@
+"""Lowering: from (schedule, layout, costs) to a typed step graph.
+
+The step graph is the IR between schedule *structure* and timeline
+*execution* (see ``docs/step_graph.md``).  Lowering turns every pipeline
+op into a small chain of typed :class:`StepOp`s — TP all-gather, CP KV
+all-gather, the compute kernel, TP reduce-scatter, and an asynchronous
+P2P send toward the consuming stage — each individually priced, plus (for
+a full step) FSDP parameter all-gathers, gradient reduce-scatters, and
+the optimizer.  Ops carry explicit dependency edges by uid; the
+interpreter in :mod:`repro.train.executor` replays them onto dedicated
+simulator streams (``compute``, ``tp``, ``cp``, ``p2p``, ``fsdp``,
+``opt``), so communication/computation overlap — or its failure — is an
+*outcome* of the timeline rather than an assumption baked into scalar
+arithmetic.
+
+Two lowerings are provided:
+
+* :func:`lower_pipeline` — just the pipeline region (what
+  ``execute_pipeline`` runs): per-op chains and P2P sends.
+* :func:`lower_step` — a whole optimizer step (what ``simulate_step``
+  runs): the pipeline region plus FSDP parameter all-gathers queued from
+  t=0 on the ``fsdp`` stream (prefetch; the stream serializes them, so
+  only the first is exposed when compute is long enough — Section
+  7.3.1), per-stage gradient reduce-scatters after each stage's last
+  backward, and the optimizer once every reduce-scatter on the rank has
+  finished.
+
+Simplifications, stated so they can be revisited: prefetch depth is
+unbounded (all parameter all-gathers are enqueued up front; real FSDP
+caps in-flight gathers to bound memory), and under ZeRO-3 one all-gather
+per (stage, round) covers both the forward and the backward of that
+round's micro-batches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.parallel.config import ZeroStage
+from repro.pp.layout import PipelineLayout, StageAssignment
+from repro.pp.schedule import OpKind, PipelineOp, PipelineSchedule
+from repro.train.cost import StageCost
+
+CostFn = Callable[[StageAssignment], StageCost]
+
+
+class StepOpKind(Enum):
+    """Typed op categories; each maps to one simulator stream."""
+
+    COMPUTE = "compute"
+    TP_ALLGATHER = "tp_allgather"
+    TP_REDUCESCATTER = "tp_reducescatter"
+    CP_COMM = "cp_comm"
+    P2P_SEND = "p2p_send"
+    FSDP_ALLGATHER = "fsdp_allgather"
+    FSDP_REDUCESCATTER = "fsdp_reducescatter"
+    OPTIMIZER = "optimizer"
+
+
+#: Stream each op kind executes on.
+STREAM_OF_KIND: Dict[StepOpKind, str] = {
+    StepOpKind.COMPUTE: "compute",
+    StepOpKind.TP_ALLGATHER: "tp",
+    StepOpKind.TP_REDUCESCATTER: "tp",
+    StepOpKind.CP_COMM: "cp",
+    StepOpKind.P2P_SEND: "p2p",
+    StepOpKind.FSDP_ALLGATHER: "fsdp",
+    StepOpKind.FSDP_REDUCESCATTER: "fsdp",
+    StepOpKind.OPTIMIZER: "opt",
+}
+
+#: Op kinds that belong to the pipeline region of a step timeline.
+PIPELINE_KINDS = frozenset({
+    StepOpKind.COMPUTE,
+    StepOpKind.TP_ALLGATHER,
+    StepOpKind.TP_REDUCESCATTER,
+    StepOpKind.CP_COMM,
+    StepOpKind.P2P_SEND,
+})
+
+
+@dataclass(frozen=True)
+class StepOp:
+    """One typed op in a rank's program.
+
+    Attributes:
+        uid: Graph-wide unique id; ``deps`` reference these.
+        kind: Typed category (also fixes the stream).
+        rank: Pipeline rank executing the op.
+        stream: Simulator stream the op occupies.
+        duration: Priced execution time in seconds.
+        name: Trace event name.
+        deps: uids that must have executed before this op starts.
+        pipeline_op: The schedule op a COMPUTE lowers, for timeline
+            verification and per-op metrics.
+        wait_name: When set, the interpreter records an ``exposed_comm``
+            wait event of this name for any gap between the rank being
+            ready and this op's cross-rank input arriving.
+    """
+
+    uid: int
+    kind: StepOpKind
+    rank: int
+    stream: str
+    duration: float
+    name: str
+    deps: Tuple[int, ...] = ()
+    pipeline_op: Optional[PipelineOp] = None
+    wait_name: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class StepGraph:
+    """Per-rank programs of typed ops with cross-rank dependency edges."""
+
+    programs: Tuple[Tuple[StepOp, ...], ...]
+
+    @property
+    def pp(self) -> int:
+        return len(self.programs)
+
+    def ops(self) -> Iterator[StepOp]:
+        for prog in self.programs:
+            yield from prog
+
+    def by_uid(self) -> Dict[int, StepOp]:
+        return {op.uid: op for op in self.ops()}
+
+
+@dataclass
+class _OpRec:
+    """Mutable op record during lowering; frozen into StepOp at the end."""
+
+    kind: StepOpKind
+    rank: int
+    duration: float
+    name: str
+    deps: List["_OpRec"] = field(default_factory=list)
+    pipeline_op: Optional[PipelineOp] = None
+    wait_name: Optional[str] = None
+    uid: int = -1
+
+
+def _freeze(programs: List[List[_OpRec]]) -> StepGraph:
+    uid = 0
+    for prog in programs:
+        for rec in prog:
+            rec.uid = uid
+            uid += 1
+    return StepGraph(programs=tuple(
+        tuple(
+            StepOp(
+                uid=rec.uid,
+                kind=rec.kind,
+                rank=rec.rank,
+                stream=STREAM_OF_KIND[rec.kind],
+                duration=rec.duration,
+                name=rec.name,
+                deps=tuple(d.uid for d in rec.deps),
+                pipeline_op=rec.pipeline_op,
+                wait_name=rec.wait_name,
+            )
+            for rec in prog
+        )
+        for prog in programs
+    ))
+
+
+@dataclass
+class _Chains:
+    """Intermediate chain bookkeeping shared by the two lowerings."""
+
+    programs: List[List[_OpRec]]
+    head: Dict[PipelineOp, _OpRec]
+    compute: Dict[PipelineOp, _OpRec]
+
+
+def _producer_key(
+    op: PipelineOp, stage: int, last_stage: int
+) -> Optional[Tuple[OpKind, int]]:
+    """(kind, stage) whose output this op consumes cross-rank, if any."""
+    if op.kind is OpKind.FORWARD:
+        return (OpKind.FORWARD, stage - 1) if stage > 0 else None
+    return (OpKind.BACKWARD, stage + 1) if stage < last_stage else None
+
+
+def _lower_chains(
+    schedule: PipelineSchedule,
+    layout: PipelineLayout,
+    forward_cost: CostFn,
+    backward_cost: CostFn,
+    p2p_seconds: float,
+) -> _Chains:
+    """Lower every pipeline op into its per-stream chain plus P2P sends.
+
+    The chain ``tp:ag -> cp:kv -> compute -> tp:rs`` serializes through
+    dependency edges, so its end-to-end span equals the sum of its piece
+    durations — the same total the pre-graph executor folded into one
+    event — while each piece occupies its own stream.  The send depends
+    on the chain tail (the sequence-parallel reduce-scatter completes the
+    activation before it can ship) and never blocks the producer's next
+    op.
+    """
+    if layout.pp != schedule.pp or layout.v != schedule.shape.v:
+        raise ValueError("layout and schedule disagree on pp or v")
+    pp = schedule.pp
+    last_stage = layout.num_stages - 1
+
+    fwd_cost: Dict[int, StageCost] = {}
+    bwd_cost: Dict[int, StageCost] = {}
+    for s in range(layout.num_stages):
+        fwd_cost[s] = forward_cost(layout.stage(s))
+        bwd_cost[s] = backward_cost(layout.stage(s))
+
+    programs: List[List[_OpRec]] = [[] for _ in range(pp)]
+    head: Dict[PipelineOp, _OpRec] = {}
+    compute: Dict[PipelineOp, _OpRec] = {}
+    sends: Dict[Tuple[OpKind, int, int], _OpRec] = {}
+
+    for ppr in range(pp):
+        prev_tail: Optional[_OpRec] = None
+        for op in schedule.program(ppr):
+            stage = op.global_stage(pp)
+            cost = (fwd_cost if op.kind is OpKind.FORWARD else bwd_cost)[stage]
+            label = op.label(pp)
+            chain: List[_OpRec] = []
+            if cost.tp_comm_seconds > 0:
+                chain.append(_OpRec(
+                    StepOpKind.TP_ALLGATHER, ppr,
+                    cost.tp_comm_seconds / 2, f"tp:ag:{label}"))
+            if cost.cp_comm_seconds > 0:
+                chain.append(_OpRec(
+                    StepOpKind.CP_COMM, ppr,
+                    cost.cp_comm_seconds, f"cp:kv:{label}"))
+            comp = _OpRec(StepOpKind.COMPUTE, ppr, cost.compute_seconds,
+                          label, pipeline_op=op)
+            chain.append(comp)
+            if cost.tp_comm_seconds > 0:
+                chain.append(_OpRec(
+                    StepOpKind.TP_REDUCESCATTER, ppr,
+                    cost.tp_comm_seconds / 2, f"tp:rs:{label}"))
+            for prev, cur in zip(chain, chain[1:]):
+                cur.deps.append(prev)
+            if prev_tail is not None:
+                chain[0].deps.append(prev_tail)
+            if _producer_key(op, stage, last_stage) is not None:
+                chain[0].wait_name = f"p2p:wait:{label}"
+            head[op] = chain[0]
+            compute[op] = comp
+            prev_tail = chain[-1]
+            programs[ppr].extend(chain)
+            # Does anyone consume this op's output cross-rank?
+            consumer_exists = (
+                stage < last_stage if op.kind is OpKind.FORWARD else stage > 0
+            )
+            if consumer_exists:
+                send = _OpRec(StepOpKind.P2P_SEND, ppr, p2p_seconds,
+                              f"p2p:send:{label}", deps=[prev_tail])
+                sends[(op.kind, stage, op.microbatch)] = send
+                programs[ppr].append(send)
+
+    # Second sweep: wire each consumer's chain head to its producer's send
+    # (the producing rank may appear later in rank order).
+    for ppr in range(pp):
+        for op in schedule.program(ppr):
+            key = _producer_key(op, op.global_stage(pp), last_stage)
+            if key is None:
+                continue
+            send = sends.get((key[0], key[1], op.microbatch))
+            if send is None:
+                raise ValueError(
+                    f"op {op.label(pp)} consumes "
+                    f"{key[0].value}:mb{op.microbatch}:s{key[1]} "
+                    "which no rank produces")
+            head[op].deps.append(send)
+
+    return _Chains(programs=programs, head=head, compute=compute)
+
+
+def lower_pipeline(
+    schedule: PipelineSchedule,
+    layout: PipelineLayout,
+    forward_cost: CostFn,
+    backward_cost: CostFn,
+    p2p_seconds: float,
+) -> StepGraph:
+    """Lower a schedule's pipeline region (no FSDP/optimizer ops)."""
+    return _freeze(_lower_chains(
+        schedule, layout, forward_cost, backward_cost, p2p_seconds
+    ).programs)
+
+
+def lower_step(
+    schedule: PipelineSchedule,
+    layout: PipelineLayout,
+    forward_cost: CostFn,
+    backward_cost: CostFn,
+    p2p_seconds: float,
+    *,
+    zero: ZeroStage,
+    fsdp_allgather_cost: Callable[[StageAssignment], float],
+    fsdp_reduce_scatter_cost: Callable[[StageAssignment], float],
+    optimizer_cost: Callable[[int], float],
+) -> StepGraph:
+    """Lower one full optimizer step onto the graph.
+
+    Beyond the pipeline chains, each rank's program gains:
+
+    * **FSDP parameter all-gathers** on the ``fsdp`` stream, enqueued at
+      the front of the program in first-use order — one per hosted stage
+      (ZeRO-1/2: parameters stay gathered all step) or one per
+      (stage, round) (ZeRO-3: re-gathered every round of ``nc``
+      micro-batches).  The first compute of each stage (or round) depends
+      on its gather, so only gathers the stream cannot prefetch in time
+      show up as exposed head time (Section 7.3.1).
+    * **Gradient reduce-scatters**, one per hosted stage, each depending
+      on the stage's last backward — they drain on the ``fsdp`` stream
+      under whatever pipeline work remains, and only the final one's tail
+      is exposed.
+    * **The optimizer**, depending on every reduce-scatter of the rank.
+
+    Args:
+        zero: ZeRO mode; fixes the all-gather cadence.
+        fsdp_allgather_cost: Stage -> one parameter all-gather in seconds.
+        fsdp_reduce_scatter_cost: Stage -> one gradient reduce-scatter.
+        optimizer_cost: Pipeline rank -> optimizer step in seconds.
+    """
+    chains = _lower_chains(
+        schedule, layout, forward_cost, backward_cost, p2p_seconds)
+    pp = schedule.pp
+    nc = schedule.shape.nc
+    per_round = zero is ZeroStage.ZERO_3
+
+    for ppr in range(pp):
+        prog = schedule.program(ppr)
+
+        # Parameter all-gathers, in order of each key's first use.
+        first_use: Dict[Tuple[int, Optional[int]], PipelineOp] = {}
+        for op in prog:
+            key = (op.global_stage(pp),
+                   op.microbatch // nc if per_round else None)
+            first_use.setdefault(key, op)
+        ag_recs: List[_OpRec] = []
+        for (stage, rnd), op in first_use.items():
+            name = (f"fsdp:ag:s{stage}:r{rnd}" if rnd is not None
+                    else f"fsdp:ag:s{stage}")
+            ag = _OpRec(StepOpKind.FSDP_ALLGATHER, ppr,
+                        fsdp_allgather_cost(layout.stage(stage)), name)
+            ag_recs.append(ag)
+            chains.compute[op].deps.append(ag)
+        chains.programs[ppr] = ag_recs + chains.programs[ppr]
+
+        # Gradient reduce-scatters after each stage's last backward,
+        # ordered by that backward's program position (the interpreter
+        # walks each program in order, so an earlier-listed reduce-scatter
+        # must not wait on a later backward).
+        last_backward: Dict[int, Tuple[int, PipelineOp]] = {}
+        for idx, op in enumerate(prog):
+            if op.kind is OpKind.BACKWARD:
+                last_backward[op.global_stage(pp)] = (idx, op)
+        rs_recs = [
+            _OpRec(StepOpKind.FSDP_REDUCESCATTER, ppr,
+                   fsdp_reduce_scatter_cost(layout.stage(stage)),
+                   f"fsdp:rs:s{stage}", deps=[chains.compute[op]])
+            for stage, (_, op) in sorted(
+                last_backward.items(), key=lambda kv: kv[1][0])
+        ]
+        chains.programs[ppr].extend(rs_recs)
+
+        chains.programs[ppr].append(_OpRec(
+            StepOpKind.OPTIMIZER, ppr, optimizer_cost(ppr), "optimizer",
+            deps=list(rs_recs)))
+
+    return _freeze(chains.programs)

@@ -1,11 +1,16 @@
 """End-to-end training-step simulation: the Section 7.3 numbers.
 
-Composes a pipeline schedule, the per-op cost model, FSDP step overheads
-(only the first parameter all-gather and the last gradient reduce-scatter
-are exposed, Section 7.3.1), and the optimizer into one step time, then
-reports achieved TFLOPs/GPU, measured bubble ratios, and per-rank peak
-memory — the quantities behind Figures 9 and 10 and the 400/380 TFLOPs
-headline results.
+Lowers one optimizer step — pipeline schedule, per-op TP/CP/P2P
+communication, FSDP parameter all-gathers and gradient reduce-scatters,
+and the optimizer — onto a single step graph
+(:mod:`repro.train.lowering`) and interprets it on one simulator
+timeline.  The step time *is* the timeline's makespan: FSDP overlap (only
+the first parameter all-gather and the last gradient reduce-scatter
+exposed, Section 7.3.1) emerges from the ``fsdp`` stream racing the
+``compute`` stream rather than being asserted as scalar add-ons.  The
+report carries achieved TFLOPs/GPU, MFU, tokens/s, measured bubble
+ratios, and per-rank peak memory — the quantities behind Figures 9 and 10
+and the 400/380 TFLOPs headline results.
 """
 
 from __future__ import annotations
@@ -38,7 +43,13 @@ from repro.pp.layout import PipelineLayout, build_layout
 from repro.pp.schedule import build_schedule
 from repro.sim.engine import Simulator
 from repro.train.cost import CostModel
-from repro.train.executor import PipelineRun, execute_pipeline
+from repro.train.executor import (
+    GraphExecution,
+    PipelineRun,
+    execute_graph,
+    summarize_pipeline_execution,
+)
+from repro.train.lowering import StepOpKind, lower_step
 
 
 @dataclass(frozen=True)
@@ -53,11 +64,30 @@ class StepReport:
     model_flops: float
     ngpu: int
     per_rank_peak_memory_gb: Tuple[float, ...]
+    #: Per-GPU peak FLOPs of the simulated hardware (MFU denominator).
+    peak_flops: float = 0.0
+    #: Tokens consumed by this step across the job.
+    tokens_per_step: int = 0
+    #: The interpreted step graph (events by uid), for timeline
+    #: verification (:func:`repro.verify.invariants.run_step_invariants`).
+    execution: Optional[GraphExecution] = None
 
     @property
     def tflops_per_gpu(self) -> float:
         """Achieved hardware TFLOPs per GPU over the full step."""
         return self.model_flops / self.ngpu / self.step_seconds / 1e12
+
+    @property
+    def mfu(self) -> float:
+        """Model FLOPs utilization: achieved over peak hardware FLOPs."""
+        if self.peak_flops <= 0:
+            return 0.0
+        return self.tflops_per_gpu * 1e12 / self.peak_flops
+
+    @property
+    def tokens_per_second(self) -> float:
+        """Training throughput in tokens/s across the whole job."""
+        return self.tokens_per_step / self.step_seconds
 
     @property
     def mean_bubble_ratio(self) -> float:
@@ -124,11 +154,18 @@ def simulate_step(
         mask_fraction: Attention mask density (0.5 = causal).
         attention_straggler: Slowest-over-mean attention ratio from
             document-mask imbalance (Section 7.3.2's 1.44x at 131K).
-        sim: Simulator to record the pipeline timeline into (a fresh one
-            by default) — hand one in to export a trace afterwards.
-        metrics: Registry the executor and this function report step
+        sim: Simulator to record the step timeline into (a fresh one by
+            default) — hand one in to export a trace afterwards.
+        metrics: Registry the interpreter and this function report step
             metrics into (per-rank busy/idle/exposed seconds, bubble
             ratios, exposed FSDP/optimizer gauges, peak memory).
+
+    The reported decomposition is exact on the timeline:
+    ``step_seconds = pipeline_seconds + exposed_fsdp_seconds +
+    optimizer_seconds``, where ``exposed_fsdp_seconds`` is the head the
+    first parameter all-gather delays the pipeline by plus the tail the
+    last gradient reduce-scatter runs past it, and ``optimizer_seconds``
+    is the remaining tail to the full makespan.
     """
     pp = parallel.pp
     nmb = job.micro_batches(parallel)
@@ -146,30 +183,40 @@ def simulate_step(
                      attention_straggler=attention_straggler,
                      mask_fraction=mask_fraction)
 
-    def fwd(stage):
-        return cost.forward_seconds(stage)
+    def stage_params(stage) -> float:
+        return stage.n_layers * layer_params(model) / parallel.tp
 
-    def bwd(stage):
-        return cost.backward_seconds(stage)
+    graph = lower_step(
+        schedule, layout,
+        cost.forward_seconds, cost.backward_seconds,
+        p2p_seconds=cost.p2p_seconds(),
+        zero=parallel.zero,
+        fsdp_allgather_cost=lambda s: cost.fsdp_allgather_seconds(
+            stage_params(s)),
+        fsdp_reduce_scatter_cost=lambda s: cost.fsdp_reduce_scatter_seconds(
+            stage_params(s)),
+        optimizer_cost=lambda ppr: cost.optimizer_seconds(
+            layout.layers_on_rank(ppr) * layer_params(model) / parallel.tp),
+    )
+    execution = execute_graph(graph, sim=sim, metrics=metrics)
+    run = summarize_pipeline_execution(execution, schedule,
+                                       cost.p2p_seconds())
 
-    run = execute_pipeline(
-        schedule, layout, fwd, bwd, p2p_seconds=cost.p2p_seconds(),
-        sim=sim, metrics=metrics,
-    )
-
-    # Exposed FSDP: first parameter all-gather before compute and last
-    # gradient reduce-scatter after it; everything else overlaps.
-    max_rank_params = max(
-        layout.layers_on_rank(r) * layer_params(model) / parallel.tp
-        for r in range(pp)
-    )
-    stage_params = max_rank_params / v
-    exposed_fsdp = (
-        cost.fsdp_allgather_seconds(stage_params)
-        + cost.fsdp_reduce_scatter_seconds(stage_params)
-    )
-    optimizer = cost.optimizer_seconds(max_rank_params)
-    step_seconds = run.makespan + exposed_fsdp + optimizer
+    # Exact timeline decomposition: the pipeline region spans
+    # [start_time, pipeline_end]; the head before it (first exposed FSDP
+    # all-gather) plus the reduce-scatter tail past it are the exposed
+    # FSDP seconds; whatever remains to the full makespan is optimizer.
+    pipeline_end = run.makespan
+    step_seconds = max(
+        (e.end for e in execution.events.values()), default=0.0)
+    rs_end = max(
+        (e.end for e in execution.events_of_kind(
+            StepOpKind.FSDP_REDUCESCATTER)),
+        default=pipeline_end)
+    rs_tail = max(rs_end - pipeline_end, 0.0)
+    exposed_fsdp = run.start_time + rs_tail
+    optimizer = step_seconds - pipeline_end - rs_tail
+    pipeline_seconds = pipeline_end - run.start_time
 
     # Per-rank peak memory: static base + schedule-tracked dynamic peak.
     act = activation_bytes_per_layer(
@@ -219,7 +266,7 @@ def simulate_step(
             "step.seconds", unit="s",
             description="step-time components, by part")
         step_gauges.set(step_seconds, part="total")
-        step_gauges.set(run.makespan, part="pipeline")
+        step_gauges.set(pipeline_seconds, part="pipeline")
         step_gauges.set(exposed_fsdp, part="exposed_fsdp")
         step_gauges.set(optimizer, part="optimizer")
         peak_mem = metrics.gauge(
@@ -231,10 +278,13 @@ def simulate_step(
     return StepReport(
         run=run,
         step_seconds=step_seconds,
-        pipeline_seconds=run.makespan,
+        pipeline_seconds=pipeline_seconds,
         exposed_fsdp_seconds=exposed_fsdp,
         optimizer_seconds=optimizer,
         model_flops=flops,
         ngpu=job.ngpu,
         per_rank_peak_memory_gb=tuple(peaks),
+        peak_flops=cluster.gpu.peak_flops,
+        tokens_per_step=job.tokens_per_step,
+        execution=execution,
     )

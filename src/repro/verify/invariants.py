@@ -33,6 +33,26 @@ The catalog (paper anchors in parentheses):
 ``deadlock`` / ``executor-error``
     Emitted by the fuzz harness when executing a schedule raises instead
     of completing (the executor doubles as a deadlock detector).
+
+Step-graph timeline invariants (:func:`run_step_invariants`, over a
+lowered :class:`~repro.train.lowering.StepGraph` and its executed
+events):
+
+``step-dep-ordering``
+    Every executed op starts no earlier than each of its graph
+    dependencies finished.
+``fsdp-allgather-before-use``
+    A virtual stage's parameter all-gather completes before the stage's
+    first compute of the matching round starts (Section 7.3.1 prefetch
+    correctness).
+``fsdp-reduce-after-backward``
+    A stage's gradient reduce-scatter starts only after the stage's last
+    backward finished.
+``optimizer-after-reduce``
+    Each rank's optimizer starts after every reduce-scatter on the rank.
+``fsdp-zero-pairing``
+    ZeRO-3 re-gathers parameters once per round per stage; ZeRO-1/2
+    gather exactly once per stage (Section 3.1.3 on the timeline).
 """
 
 from __future__ import annotations
@@ -43,7 +63,9 @@ from typing import Dict, List, Optional, Tuple
 from repro.parallel.config import ZeroStage
 from repro.pp.analysis import degenerates_to_afab, warmup_microbatches
 from repro.pp.schedule import OpKind, PipelineOp, PipelineSchedule
+from repro.sim.engine import TraceEvent
 from repro.train.executor import PipelineRun
+from repro.train.lowering import StepGraph, StepOp, StepOpKind
 
 #: Absolute slack for floating-point time comparisons.
 _EPS = 1e-9
@@ -323,6 +345,236 @@ def check_send_before_recv(run: PipelineRun) -> List[Violation]:
                  "start": event.start,
                  "arrival": produced.end + p2p}))
     return out
+
+
+# ----------------------------------------------------------------------
+# Step-graph timeline checks (lowered graph + executed events)
+# ----------------------------------------------------------------------
+
+def _fsdp_stage_round(op: StepOp) -> Tuple[int, Optional[int]]:
+    """Parse (stage, round) out of an FSDP op name —
+    ``fsdp:ag:s{stage}[:r{round}]`` / ``fsdp:rs:s{stage}``."""
+    parts = op.name.split(":")
+    stage = int(parts[2][1:])
+    rnd = int(parts[3][1:]) if len(parts) > 3 else None
+    return stage, rnd
+
+
+def check_step_dep_ordering(
+    graph: StepGraph, events: Dict[int, TraceEvent]
+) -> List[Violation]:
+    """Every executed op starts no earlier than each dependency's end."""
+    out: List[Violation] = []
+    for op in graph.ops():
+        event = events.get(op.uid)
+        if event is None:
+            out.append(Violation(
+                "step-dep-ordering",
+                f"op {op.name!r} on rank {op.rank} was never executed",
+                {"rank": op.rank, "op": op.name}))
+            continue
+        for dep_uid in op.deps:
+            dep = events.get(dep_uid)
+            if dep is not None and event.start + _EPS < dep.end:
+                out.append(Violation(
+                    "step-dep-ordering",
+                    f"op {op.name!r} on rank {op.rank} started at "
+                    f"{event.start} before dependency {dep.name!r} "
+                    f"finished at {dep.end}",
+                    {"rank": op.rank, "op": op.name, "dep": dep.name,
+                     "start": event.start, "dep_end": dep.end}))
+    return out
+
+
+def check_fsdp_allgather_before_use(
+    graph: StepGraph,
+    events: Dict[int, TraceEvent],
+    nc: Optional[int] = None,
+) -> List[Violation]:
+    """A stage's param all-gather ends before the stage's first compute
+    of the matching round starts (round matching needs ``nc``)."""
+    out: List[Violation] = []
+    pp = graph.pp
+    for program in graph.programs:
+        gathers: Dict[Tuple[int, Optional[int]], StepOp] = {}
+        for op in program:
+            if op.kind is StepOpKind.FSDP_ALLGATHER:
+                gathers[_fsdp_stage_round(op)] = op
+        for op in program:
+            if op.kind is not StepOpKind.COMPUTE or op.pipeline_op is None:
+                continue
+            stage = op.pipeline_op.global_stage(pp)
+            rnd = (op.pipeline_op.microbatch // nc
+                   if nc is not None and (stage, None) not in gathers
+                   else None)
+            ag = gathers.get((stage, rnd)) or gathers.get((stage, None))
+            if ag is None:
+                if nc is None and any(s == stage for s, _ in gathers):
+                    continue  # per-round gathers but no nc to match rounds
+                out.append(Violation(
+                    "fsdp-allgather-before-use",
+                    f"stage {stage} compute {op.name!r} on rank {op.rank} "
+                    "has no parameter all-gather",
+                    {"rank": op.rank, "stage": stage, "op": op.name}))
+                continue
+            ag_event, use = events.get(ag.uid), events.get(op.uid)
+            if ag_event is None or use is None:
+                continue  # reported by step-dep-ordering
+            if use.start + _EPS < ag_event.end:
+                out.append(Violation(
+                    "fsdp-allgather-before-use",
+                    f"compute {op.name!r} on rank {op.rank} started at "
+                    f"{use.start} before {ag.name!r} finished at "
+                    f"{ag_event.end}",
+                    {"rank": op.rank, "stage": stage, "op": op.name,
+                     "allgather": ag.name, "start": use.start,
+                     "allgather_end": ag_event.end}))
+    return out
+
+
+def check_fsdp_reduce_after_backward(
+    graph: StepGraph, events: Dict[int, TraceEvent]
+) -> List[Violation]:
+    """A stage's grad reduce-scatter starts only after the stage's last
+    backward compute finished."""
+    out: List[Violation] = []
+    pp = graph.pp
+    for program in graph.programs:
+        last_backward: Dict[int, TraceEvent] = {}
+        for op in program:
+            if (op.kind is StepOpKind.COMPUTE and op.pipeline_op is not None
+                    and op.pipeline_op.kind is OpKind.BACKWARD):
+                event = events.get(op.uid)
+                stage = op.pipeline_op.global_stage(pp)
+                if event is not None and (
+                        stage not in last_backward
+                        or event.end > last_backward[stage].end):
+                    last_backward[stage] = event
+        for op in program:
+            if op.kind is not StepOpKind.FSDP_REDUCESCATTER:
+                continue
+            stage, _ = _fsdp_stage_round(op)
+            event = events.get(op.uid)
+            last = last_backward.get(stage)
+            if event is None or last is None:
+                continue
+            if event.start + _EPS < last.end:
+                out.append(Violation(
+                    "fsdp-reduce-after-backward",
+                    f"{op.name!r} on rank {op.rank} started at "
+                    f"{event.start} before stage {stage}'s last backward "
+                    f"{last.name!r} finished at {last.end}",
+                    {"rank": op.rank, "stage": stage,
+                     "start": event.start, "backward_end": last.end}))
+    return out
+
+
+def check_optimizer_after_reduce(
+    graph: StepGraph, events: Dict[int, TraceEvent]
+) -> List[Violation]:
+    """Each rank runs exactly one optimizer op, starting after every
+    reduce-scatter on the rank."""
+    out: List[Violation] = []
+    for rank, program in enumerate(graph.programs):
+        optimizers = [op for op in program
+                      if op.kind is StepOpKind.OPTIMIZER]
+        if len(optimizers) != 1:
+            out.append(Violation(
+                "optimizer-after-reduce",
+                f"rank {rank} runs {len(optimizers)} optimizer ops "
+                "(expected exactly one)",
+                {"rank": rank, "count": len(optimizers)}))
+            continue
+        opt = events.get(optimizers[0].uid)
+        if opt is None:
+            continue
+        for op in program:
+            if op.kind is not StepOpKind.FSDP_REDUCESCATTER:
+                continue
+            rs = events.get(op.uid)
+            if rs is not None and opt.start + _EPS < rs.end:
+                out.append(Violation(
+                    "optimizer-after-reduce",
+                    f"rank {rank} optimizer started at {opt.start} before "
+                    f"{op.name!r} finished at {rs.end}",
+                    {"rank": rank, "start": opt.start,
+                     "reduce": op.name, "reduce_end": rs.end}))
+    return out
+
+
+def check_fsdp_zero_pairing(
+    graph: StepGraph, zero: ZeroStage, nc: int
+) -> List[Violation]:
+    """ZeRO-3 gathers once per round per stage; ZeRO-1/2 once per stage.
+    Every stage reduce-scatters exactly once."""
+    out: List[Violation] = []
+    pp = graph.pp
+    for rank, program in enumerate(graph.programs):
+        ag_count: Dict[int, int] = {}
+        rs_count: Dict[int, int] = {}
+        rounds_used: Dict[int, set] = {}
+        for op in program:
+            if op.kind is StepOpKind.FSDP_ALLGATHER:
+                stage, _ = _fsdp_stage_round(op)
+                ag_count[stage] = ag_count.get(stage, 0) + 1
+            elif op.kind is StepOpKind.FSDP_REDUCESCATTER:
+                stage, _ = _fsdp_stage_round(op)
+                rs_count[stage] = rs_count.get(stage, 0) + 1
+            elif (op.kind is StepOpKind.COMPUTE
+                    and op.pipeline_op is not None):
+                stage = op.pipeline_op.global_stage(pp)
+                rounds_used.setdefault(stage, set()).add(
+                    op.pipeline_op.microbatch // nc)
+        for stage, rounds in sorted(rounds_used.items()):
+            expected = len(rounds) if zero is ZeroStage.ZERO_3 else 1
+            if ag_count.get(stage, 0) != expected:
+                out.append(Violation(
+                    "fsdp-zero-pairing",
+                    f"rank {rank} stage {stage}: {ag_count.get(stage, 0)} "
+                    f"param all-gathers, {zero.name} expects {expected}",
+                    {"rank": rank, "stage": stage, "zero": zero.name,
+                     "actual": ag_count.get(stage, 0),
+                     "expected": expected}))
+            if rs_count.get(stage, 0) != 1:
+                out.append(Violation(
+                    "fsdp-zero-pairing",
+                    f"rank {rank} stage {stage}: "
+                    f"{rs_count.get(stage, 0)} grad reduce-scatters "
+                    "(expected exactly one)",
+                    {"rank": rank, "stage": stage,
+                     "actual": rs_count.get(stage, 0)}))
+    return out
+
+
+def run_step_invariants(
+    graph: StepGraph,
+    events: Dict[int, TraceEvent],
+    zero: Optional[ZeroStage] = None,
+    nc: Optional[int] = None,
+) -> InvariantReport:
+    """Run the step-graph timeline checkers over one executed step.
+
+    ``events`` maps op uid to its recorded event — i.e.
+    ``StepReport.execution.events``.  The ZeRO pairing check needs
+    ``zero`` and ``nc``; all-gather round matching also uses ``nc`` when
+    available.
+    """
+    checks: List[Tuple[str, List[Violation]]] = [
+        ("step-dep-ordering", check_step_dep_ordering(graph, events)),
+        ("fsdp-allgather-before-use",
+         check_fsdp_allgather_before_use(graph, events, nc)),
+        ("fsdp-reduce-after-backward",
+         check_fsdp_reduce_after_backward(graph, events)),
+        ("optimizer-after-reduce",
+         check_optimizer_after_reduce(graph, events)),
+    ]
+    if zero is not None and nc is not None:
+        checks.append(("fsdp-zero-pairing",
+                       check_fsdp_zero_pairing(graph, zero, nc)))
+    return InvariantReport(
+        checks_run=tuple(name for name, _ in checks),
+        violations=tuple(v for _, vs in checks for v in vs),
+    )
 
 
 # ----------------------------------------------------------------------

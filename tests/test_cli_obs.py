@@ -27,27 +27,27 @@ class TestJsonFlags:
         assert main(["plan", "--model", "8b", "--ngpu", "16",
                      "--gbs", "8", "--json"]) == 0
         rep = _json_out(capsys)
-        assert rep["schema"] == "repro.plan/v1"
+        assert rep["schema"] == "repro.plan/v2"
         assert rep["job"]["ngpu"] == 16
 
     def test_step_json(self, capsys):
         assert main(["step", *SMALL_STEP, "--json"]) == 0
         rep = _json_out(capsys)
-        assert rep["schema"] == "repro.step/v1"
+        assert rep["schema"] == "repro.step/v2"
         assert rep["step_seconds"] > 0
         assert set(rep["groups"]["busy_seconds"]) == {"tp", "cp", "pp", "dp"}
 
     def test_phases_json_with_phase_filter(self, capsys):
         assert main(["phases", "--phase", "long-context", "--json"]) == 0
         rep = _json_out(capsys)
-        assert rep["schema"] == "repro.phases/v1"
+        assert rep["schema"] == "repro.phases/v2"
         assert [p["name"] for p in rep["phases"]] == ["long-context"]
 
     def test_imbalance_json(self, capsys):
         assert main(["imbalance", "--ngpu", "256", "--dp", "2",
                      "--steps", "1", "--json"]) == 0
         rep = _json_out(capsys)
-        assert rep["schema"] == "repro.imbalance/v1"
+        assert rep["schema"] == "repro.imbalance/v2"
 
 
 class TestTraceFlags:

@@ -95,6 +95,20 @@ class TestOversubscription:
         assert out[2.0] > 0.9 * out[1.0]
 
 
+class TestErrorPaths:
+    def test_empty_capacity_sweep_rejected(self):
+        with pytest.raises(ValueError, match="at least one capacity"):
+            hbm_capacity_sweep(
+                LLAMA3_405B_SCALED_26L, JOB, CLUSTER, capacities_gb=(), v=7)
+
+    def test_oversubscription_factor_below_one_rejected(self):
+        par = ParallelConfig(tp=8, cp=1, pp=4, dp=64, zero=ZeroStage.ZERO_1)
+        with pytest.raises(ValueError, match=">= 1.0"):
+            oversubscription_sweep(
+                LLAMA3_405B_SCALED_26L, par, JOB, CLUSTER,
+                factors=(0.5,), v=7)
+
+
 class TestPerfPerWatt:
     def test_value(self):
         assert perf_per_watt(400.0, CLUSTER) == pytest.approx(400 / 700)

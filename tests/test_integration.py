@@ -116,15 +116,17 @@ class TestAnalyticalVsEventLevel:
         import json
 
         from repro.debug.workload import run_synthetic_workload
+        from repro.obs.trace import export_chrome_trace, validate_trace
         from repro.parallel.config import ParallelConfig
 
         mesh = DeviceMesh(ParallelConfig(tp=2, cp=2))
         sim = run_synthetic_workload(mesh)
         path = tmp_path / "trace.json"
-        path.write_text(json.dumps(sim.chrome_trace()))
+        export_chrome_trace(sim, str(path), mesh=mesh)
         loaded = json.loads(path.read_text())
-        assert len(loaded) == len(sim.events)
-        assert all(row["ph"] == "X" for row in loaded)
+        assert validate_trace(loaded) == []
+        spans = [r for r in loaded["traceEvents"] if r.get("ph") == "X"]
+        assert len(spans) == len(sim.events)
 
 
 class TestSeededDeterminism:

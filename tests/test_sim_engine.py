@@ -107,10 +107,12 @@ class TestInspection:
         assert a.overlaps(b)
         assert not a.overlaps(c)
 
-    def test_chrome_trace_format(self):
-        rows = self._three_rank_sim().chrome_trace()
-        assert all(r["ph"] == "X" for r in rows)
-        assert rows[0]["ts"] == 0.0 and rows[0]["dur"] == 2e6
+    def test_trace_export_format(self):
+        from repro.obs.trace import trace_event_dicts
+
+        rows = trace_event_dicts(self._three_rank_sim())
+        spans = [r for r in rows if r.get("ph") == "X"]
+        assert spans[0]["ts"] == 0.0 and spans[0]["dur"] == 2e6
 
     def test_advance_blocks_stream(self):
         sim = Simulator()
