@@ -8,9 +8,13 @@ Commands:
 * ``ordering``  — score all parallelism-dimension orderings (Section 5.2).
 * ``imbalance`` — run the Figure 14 fleet-imbalance simulation.
 * ``trace``     — run a simulation and export its Perfetto timeline.
+* ``faults``    — inject a declarative fault plan into one step, report
+  goodput vs. the healthy baseline, and score the Section 6.1 slow-rank
+  localisation against the injected truth (see ``docs/faults.md``).
 * ``verify``    — run the verification subsystem: differential oracles
-  plus a seeded invariant fuzz over schedule configurations; exits 1
-  when any violation is found (see ``docs/verification.md``).
+  plus a seeded invariant fuzz over schedule configurations — or, with
+  ``--faults``, a fault-randomizing fuzz of the localisation loop;
+  exits 1 when any violation is found (see ``docs/verification.md``).
 
 Observability surface (see ``docs/observability.md``):
 
@@ -269,6 +273,77 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faults(args: argparse.Namespace) -> int:
+    """Run one step healthy and under a fault plan, then report goodput
+    and the localisation verdict."""
+    from repro.faults import (
+        ComputeStraggler,
+        FaultPlan,
+        parse_fault_spec,
+        run_goodput,
+    )
+    from repro.obs.metrics import MetricsRegistry
+    from repro.sim.engine import Simulator
+
+    cluster = grand_teton(args.ngpu)
+    job = JobConfig(seq=args.seq, gbs=args.gbs, ngpu=args.ngpu)
+    model = _model(args.model)
+    par = _step_parallel(args)
+    if args.fault:
+        try:
+            faults = tuple(parse_fault_spec(s) for s in args.fault)
+        except ValueError as err:
+            _fail(str(err))
+    else:
+        # Default scenario: a 25%-throttled GPU on the second-to-last
+        # rank (the paper's running Figure 8 example shape).
+        faults = (ComputeStraggler(rank=max(par.world_size - 2, 0),
+                                   extra_seconds=0.0, scale=1.25),)
+    plan = FaultPlan(faults)
+    metrics = MetricsRegistry()
+    faulted_sim = Simulator() if args.trace else None
+    try:
+        gp = run_goodput(
+            model, par, job, cluster, plan=plan,
+            schedule_kind=args.schedule, detect=not args.no_detect,
+            metrics=metrics, faulted_sim=faulted_sim)
+    except ValueError as err:
+        _fail(str(err))
+    if args.trace:
+        _export_step_trace(gp.faulted, par, args.trace)
+    if args.json:
+        from repro.obs.report import faults_report
+
+        _print_json(faults_report(gp, par, job))
+        return 0
+    print(f"fault plan:       {plan.describe()}")
+    print(f"ops faulted:      {gp.injection.ops_faulted} "
+          f"(+{gp.injection.extra_seconds:.3f} s priced)")
+    print(f"step time:        {gp.healthy.step_seconds:.3f} s -> "
+          f"{gp.faulted.step_seconds:.3f} s "
+          f"(x{gp.step_time_inflation:.2f})")
+    print(f"tokens/s:         {gp.healthy.tokens_per_second:,.0f} -> "
+          f"{gp.faulted.tokens_per_second:,.0f}")
+    print(f"MFU:              {gp.healthy.mfu:.1%} -> {gp.faulted.mfu:.1%}")
+    print(f"goodput fraction: {gp.goodput_fraction:.1%}")
+    delta = {k: v for k, v in gp.exposed_comm_delta_seconds.items()
+             if abs(v) > 1e-9}
+    if delta:
+        parts = ", ".join(f"{k} {v:+.3f} s" for k, v in sorted(delta.items()))
+        print(f"exposed comm:     {parts}")
+    if gp.detection is not None:
+        d = gp.detection
+        verdict = ("exact hit" if d.exact_hit
+                   else "miss" if d.scorable else "unscored")
+        expected = d.expected_rank if d.expected_rank is not None else "-"
+        print(f"detection:        rank {d.detected_rank} "
+              f"({d.attribution}-bound), expected {expected} -> {verdict} "
+              f"after {d.levels_descended} levels")
+    if args.trace:
+        print(f"trace written:    {args.trace} (open in ui.perfetto.dev)")
+    return 0
+
+
 def cmd_verify(args: argparse.Namespace) -> int:
     """Run the oracle battery, the seeded config fuzz, and the step-graph
     timeline invariants (Section 6.2's methodology as a regression gate).
@@ -280,12 +355,22 @@ def cmd_verify(args: argparse.Namespace) -> int:
     if args.fuzz < 1:
         _fail(f"--fuzz must be >= 1 (got {args.fuzz})")
     oracles = [] if args.no_oracles else run_default_oracles(seed=args.seed)
-    fuzz = run_fuzz(args.fuzz, seed=args.seed, max_pp=args.max_pp,
-                    max_nmb=args.max_nmb)
+    fuzz = fault_fuzz = None
+    if args.faults:
+        from repro.verify.fuzz import run_fault_fuzz
+
+        fault_fuzz = run_fault_fuzz(args.fuzz, seed=args.seed)
+    else:
+        fuzz = run_fuzz(args.fuzz, seed=args.seed, max_pp=args.max_pp,
+                        max_nmb=args.max_nmb)
     step_inv = None if args.no_step_invariants else _step_invariants()
-    report = verify_report(fuzz, oracles, step_invariants=step_inv)
+    report = verify_report(fuzz, oracles, step_invariants=step_inv,
+                           fault_fuzz=fault_fuzz)
     if args.trace:
-        _export_verify_trace(fuzz, args.trace)
+        if fuzz is not None:
+            _export_verify_trace(fuzz, args.trace)
+        else:
+            _export_fault_fuzz_trace(fault_fuzz, args.trace)
     if args.json:
         _print_json(report)
     else:
@@ -294,13 +379,23 @@ def cmd_verify(args: argparse.Namespace) -> int:
             print(f"oracle {o.name:20s} {status}  {o.context}")
             for v in o.violations:
                 print(f"  violation: {v.message}")
-        print(f"fuzz: {fuzz.cases} configs, seed {fuzz.seed}: "
-              f"{fuzz.failed_cases} failed")
-        for f in fuzz.failures:
-            print(f"  {f.config.describe()} shrinks to "
-                  f"{f.shrunk.describe()}")
-            for v in f.shrunk_report.violations:
-                print(f"    violation [{v.check}]: {v.message}")
+        if fuzz is not None:
+            print(f"fuzz: {fuzz.cases} configs, seed {fuzz.seed}: "
+                  f"{fuzz.failed_cases} failed")
+            for f in fuzz.failures:
+                print(f"  {f.config.describe()} shrinks to "
+                      f"{f.shrunk.describe()}")
+                for v in f.shrunk_report.violations:
+                    print(f"    violation [{v.check}]: {v.message}")
+        if fault_fuzz is not None:
+            print(f"fault fuzz: {fault_fuzz.cases} scenarios, seed "
+                  f"{fault_fuzz.seed}: {fault_fuzz.failed_cases} "
+                  f"localisation misses")
+            for f in fault_fuzz.failures:
+                print(f"  {f.scenario.describe()} shrinks to "
+                      f"{f.shrunk.describe()}")
+                print(f"    detected rank {f.shrunk_score.detected_rank} "
+                      f"({f.shrunk_score.attribution})")
         if step_inv is not None:
             for mode in step_inv["modes"]:
                 status = "ok" if mode["ok"] else "FAIL"
@@ -362,6 +457,29 @@ def _export_verify_trace(fuzz, path: str) -> None:
         run.sim, path,
         extra_metadata={"verify_config": config.describe(),
                         "seed": fuzz.seed})
+
+
+def _export_fault_fuzz_trace(result, path: str) -> None:
+    """Export the first shrunk localisation miss's faulted workload
+    timeline — or, on a clean campaign, the first sampled scenario's."""
+    import numpy as np
+
+    from repro.debug.workload import run_synthetic_workload
+    from repro.obs.trace import export_chrome_trace
+    from repro.parallel.mesh import DeviceMesh
+    from repro.verify.fuzz import FAULT_FUZZ_WORKLOAD, sample_fault_scenario
+
+    if result.failures:
+        scenario = result.failures[0].shrunk
+    else:
+        scenario = sample_fault_scenario(np.random.default_rng(result.seed))
+    mesh = DeviceMesh(scenario.parallel)
+    sim = run_synthetic_workload(mesh, spec=FAULT_FUZZ_WORKLOAD,
+                                 faults=scenario.plan)
+    export_chrome_trace(
+        sim, path, mesh=mesh,
+        extra_metadata={"fault_scenario": scenario.describe(),
+                        "seed": result.seed})
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -444,6 +562,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser(
+        "faults",
+        help="inject faults into one step; report goodput + detection")
+    _add_job_args(p)
+    _add_step_parallel_args(p)
+    # Small default shape: detection simulates every global rank, and the
+    # 8-GPU (tp=2, cp=2, pp=2) mesh is the paper's running example scale.
+    p.set_defaults(model="8b", seq=8192, gbs=8, ngpu=8,
+                   tp=2, cp=2, pp=2, dp=1, zero=2)
+    p.add_argument("--fault", action="append", metavar="SPEC",
+                   help="fault spec, repeatable — e.g. "
+                        "straggler:rank=6,extra=0.5  "
+                        "link:dim=tp,group=0,scale=2.0  "
+                        "hang:rank=2,seconds=5,timeout=2  "
+                        "jitter:rank=1,period=2,extra=0.05  "
+                        "retry:dim=dp,retries=2,extra=0.05 "
+                        "(default: straggler:rank=<world-2>,scale=1.25)")
+    p.add_argument("--no-detect", action="store_true",
+                   help="skip the Section 6.1 localisation pass")
+    p.add_argument("--json", action="store_true",
+                   help="emit the stable-schema JSON goodput report")
+    p.add_argument("--trace", metavar="PATH",
+                   help="write the faulted step timeline as Perfetto "
+                        "trace_event JSON (faulted ops tagged)")
+    p.set_defaults(func=cmd_faults)
+
+    p = sub.add_parser(
         "verify",
         help="run invariant fuzz + differential oracles (exit 1 on "
              "violations)")
@@ -456,6 +600,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="largest pipeline degree sampled")
     p.add_argument("--max-nmb", type=int, default=16,
                    help="largest micro-batch count sampled")
+    p.add_argument("--faults", action="store_true",
+                   help="fuzz the fault-localisation loop instead of "
+                        "schedule configs (--fuzz counts scenarios)")
     p.add_argument("--no-oracles", action="store_true",
                    help="skip the differential-oracle battery")
     p.add_argument("--no-step-invariants", action="store_true",

@@ -113,7 +113,13 @@ def identify_slow_rank(
     """
     candidates = set(range(mesh.world_size))
     decisions: List[LevelDecision] = []
-    comm_events = [e for e in sim.events if e.kind == "comm"]
+    # Both priced collectives ("comm") and exposed waits ("exposed_comm")
+    # count: the executor/obs layer marks unhidden communication with the
+    # latter kind, and a straggler visible only through exposed waits must
+    # still be visible to the search.
+    comm_events = [
+        e for e in sim.events if e.kind in ("comm", "exposed_comm")
+    ]
     if not comm_events:
         raise ValueError("trace contains no communication events")
 
@@ -171,7 +177,12 @@ def identify_slow_rank(
     # median; if its excess compute explains its lateness, it is
     # compute-bound (faulty/thermally-throttled GPU), else communication.
     compute_times = sorted(compute_time(r) for r in range(mesh.world_size))
-    median = compute_times[len(compute_times) // 2]
+    n = len(compute_times)
+    # True median: averaging the middle pair for even-sized fleets (the
+    # upper-middle element alone overstates the baseline whenever the
+    # straggler's own time lands in the upper half, deflating its excess).
+    median = (compute_times[n // 2] if n % 2
+              else (compute_times[n // 2 - 1] + compute_times[n // 2]) / 2.0)
     excess = compute_time(slow_rank) - median
     attribution = "compute" if excess > 0.05 * max(median, 1e-12) else \
         "communication"

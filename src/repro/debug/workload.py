@@ -16,10 +16,13 @@ search correctly walks CP first and lands on rank 6.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.parallel.mesh import DeviceMesh
 from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import (avoids a cycle)
+    from repro.faults.models import FaultPlan
 
 
 @dataclass(frozen=True)
@@ -51,6 +54,7 @@ def run_synthetic_workload(
     spec: WorkloadSpec = WorkloadSpec(),
     slowdown: Optional[Dict[int, float]] = None,
     sim: Optional[Simulator] = None,
+    faults: Optional["FaultPlan"] = None,
 ) -> Simulator:
     """Execute the workload and return the recorded trace.
 
@@ -58,11 +62,16 @@ def run_synthetic_workload(
         mesh: Device mesh covering every simulated rank.
         spec: Workload shape.
         slowdown: Extra seconds added to *each compute op* of the given
-            ranks — the injected fault.
+            ranks — the simplest injected fault.
         sim: Simulator to record into.
+        faults: Declarative fault plan (:class:`repro.faults.FaultPlan`)
+            installed as simulator duration modifiers before the workload
+            runs — the general form of ``slowdown``.
     """
     slowdown = slowdown or {}
     sim = sim or Simulator()
+    if faults is not None:
+        faults.install(sim, mesh)
     p = mesh.parallel
     world = mesh.world_size
 
@@ -97,15 +106,16 @@ def run_synthetic_workload(
                     )
         if p.pp > 1:
             # Stage hand-off: each rank syncs with its next-stage peer.
-            seen = set()
+            # The pipeline is a chain, not a ring — the last stage has no
+            # next-stage peer, so no wrap link back to stage 0 (such a
+            # nonexistent edge would let the pp-level blame pass couple
+            # the chain ends and misdirect the Section 6.1 search).
             for rank in range(world):
-                peer = mesh.pp_neighbor(rank, +1)
-                key = tuple(sorted((rank, peer)))
-                if key in seen or rank == peer:
+                if mesh.coord_of(rank).pp == p.pp - 1:
                     continue
-                seen.add(key)
+                peer = mesh.pp_neighbor(rank, +1)
                 sim.run_collective(
-                    list(key), stream="compute",
+                    [rank, peer], stream="compute",
                     duration=spec.pp_comm_seconds,
                     name=f"pp:p2p:s{step}",
                 )

@@ -1,0 +1,46 @@
+"""Fault injection and resilience scoring (the Section 6.1 loop).
+
+Declarative fault models (:mod:`repro.faults.models`) inject into both
+simulation paths — the synthetic 4D workload via simulator duration
+modifiers, and the lowered step graph via a graph rewrite
+(:mod:`repro.faults.inject`).  The loop closes in
+:mod:`repro.faults.detect` (does the top-down search find what was
+injected?) and :mod:`repro.faults.goodput` (what did the fault cost in
+tokens/s, MFU, and exposed communication?).  See ``docs/faults.md``.
+"""
+
+from repro.faults.models import (
+    CollectiveRetry,
+    ComputeStraggler,
+    DegradedLink,
+    FaultPlan,
+    HungRank,
+    PeriodicJitter,
+    parse_fault_spec,
+)
+from repro.faults.inject import InjectionReport, apply_fault_plan
+from repro.faults.detect import DetectionScore, score_detection
+from repro.faults.goodput import (
+    DETECTION_WORLD_LIMIT,
+    GoodputReport,
+    exposed_comm_by_stream,
+    run_goodput,
+)
+
+__all__ = [
+    "CollectiveRetry",
+    "ComputeStraggler",
+    "DegradedLink",
+    "FaultPlan",
+    "HungRank",
+    "PeriodicJitter",
+    "parse_fault_spec",
+    "InjectionReport",
+    "apply_fault_plan",
+    "DetectionScore",
+    "score_detection",
+    "DETECTION_WORLD_LIMIT",
+    "GoodputReport",
+    "exposed_comm_by_stream",
+    "run_goodput",
+]

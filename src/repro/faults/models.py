@@ -1,0 +1,480 @@
+"""Declarative fault models over the 4D mesh (the Section 6.1 fault zoo).
+
+Each model describes one production failure mode as *which ranks* it hits,
+*which events* it matches, and *how* it perturbs a matched event's
+duration.  The same model injects into both simulation paths:
+
+* the synthetic Section 6.1 workload, through simulator duration
+  modifiers (:meth:`FaultPlan.install` +
+  :meth:`repro.sim.engine.Simulator.add_duration_modifier`), so faults
+  compose with stream overlap at run time;
+* the lowered step graph, by perturbing per-op durations before
+  :func:`repro.train.executor.execute_graph`
+  (:func:`repro.faults.inject.apply_fault_plan`).
+
+The taxonomy (see ``docs/faults.md``):
+
+=====================  ==============================================
+:class:`ComputeStraggler`  flaky/thermally-throttled GPU: every compute
+                           op scaled and/or padded
+:class:`DegradedLink`      degraded NVLink or scale-out link: one
+                           rank's or one group's comm durations scaled
+:class:`HungRank`          one-shot stall, capped by the collective
+                           timeout (NCCL-timeout-then-recover)
+:class:`PeriodicJitter`    periodic compute hiccup (DVFS, daemon
+                           interference)
+:class:`CollectiveRetry`   transient network fault: the first N
+                           matching collectives pay a retry penalty
+=====================  ==============================================
+
+Perturbation state is per (fault, rank) and created lazily, so one model
+instance can be installed into many simulators without sharing state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    Iterator,
+    Optional,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.parallel.mesh import DeviceMesh
+    from repro.sim.engine import DurationModifier, Simulator
+
+#: Event-name prefixes of each mesh dimension's communication, across both
+#: simulation paths (workload names `pp:`/`dp:`; step-graph names
+#: `p2p:`/`fsdp:` on their own streams).
+_COMM_PREFIXES: Dict[str, Tuple[str, ...]] = {
+    "tp": ("tp:",),
+    "cp": ("cp:",),
+    "pp": ("pp:", "p2p:"),
+    "dp": ("dp:", "fsdp:"),
+}
+
+#: Step-graph stream carrying each dimension's communication.
+_COMM_STREAMS: Dict[str, str] = {
+    "tp": "tp", "cp": "cp", "pp": "p2p", "dp": "fsdp",
+}
+
+
+def _check_dim(dim: str) -> None:
+    if dim not in _COMM_PREFIXES:
+        raise ValueError(
+            f"unknown dim {dim!r}; expected one of {sorted(_COMM_PREFIXES)}")
+
+
+def _matches_dim_comm(dim: str, kind: str, stream: str, name: str) -> bool:
+    """Is this event the given mesh dimension's communication?"""
+    if kind != "comm":
+        return False
+    return name.startswith(_COMM_PREFIXES[dim]) or stream == _COMM_STREAMS[dim]
+
+
+@dataclass(frozen=True)
+class ComputeStraggler:
+    """A persistently slow GPU: every compute op scaled, then padded."""
+
+    rank: int
+    extra_seconds: float = 0.5
+    scale: float = 1.0
+
+    kind_label = "compute_straggler"
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ValueError("rank must be >= 0")
+        if self.extra_seconds < 0 or self.scale <= 0:
+            raise ValueError("need extra_seconds >= 0 and scale > 0")
+        if self.extra_seconds == 0 and self.scale == 1.0:
+            raise ValueError("straggler must slow something down")
+
+    def affected_ranks(self, mesh: "DeviceMesh") -> Optional[FrozenSet[int]]:
+        return frozenset({self.rank})
+
+    def matches_event(self, kind: str, stream: str, name: str) -> bool:
+        return kind == "compute"
+
+    def fresh_state(self) -> dict:
+        return {}
+
+    def perturb(self, duration: float, state: dict) -> float:
+        return duration * self.scale + self.extra_seconds
+
+    @property
+    def culprit_rank(self) -> Optional[int]:
+        return self.rank
+
+    @property
+    def expected_attribution(self) -> Optional[str]:
+        return "compute"
+
+    def describe(self) -> str:
+        return (f"straggler rank={self.rank} x{self.scale:g} "
+                f"+{self.extra_seconds:g}s/op")
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind_label, "rank": self.rank,
+                "extra_seconds": self.extra_seconds, "scale": self.scale}
+
+
+@dataclass(frozen=True)
+class DegradedLink:
+    """A degraded NVLink/scale-out link: ``dim`` comm durations scaled.
+
+    Scope is either one rank's communication (``rank=``) or one whole
+    ``dim`` process group (``group=``, an index into
+    ``mesh.all_groups(dim)`` — e.g. one NVLink domain for ``dim="tp"``).
+    """
+
+    dim: str
+    scale: float = 2.0
+    group: Optional[int] = None
+    rank: Optional[int] = None
+
+    kind_label = "degraded_link"
+
+    def __post_init__(self) -> None:
+        _check_dim(self.dim)
+        if self.scale <= 0 or self.scale == 1.0:
+            raise ValueError("scale must be positive and != 1")
+        if (self.group is None) == (self.rank is None):
+            raise ValueError("set exactly one of group= or rank=")
+
+    def affected_ranks(self, mesh: "DeviceMesh") -> Optional[FrozenSet[int]]:
+        if self.rank is not None:
+            return frozenset({self.rank})
+        groups = mesh.all_groups(self.dim)
+        if not 0 <= self.group < len(groups):
+            raise ValueError(
+                f"{self.dim} group {self.group} out of range "
+                f"[0, {len(groups)})")
+        return frozenset(groups[self.group])
+
+    def matches_event(self, kind: str, stream: str, name: str) -> bool:
+        return _matches_dim_comm(self.dim, kind, stream, name)
+
+    def fresh_state(self) -> dict:
+        return {}
+
+    def perturb(self, duration: float, state: dict) -> float:
+        return duration * self.scale
+
+    @property
+    def culprit_rank(self) -> Optional[int]:
+        return self.rank
+
+    @property
+    def expected_attribution(self) -> Optional[str]:
+        return "communication"
+
+    def describe(self) -> str:
+        where = (f"rank={self.rank}" if self.rank is not None
+                 else f"group={self.group}")
+        return f"degraded-link dim={self.dim} {where} x{self.scale:g}"
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind_label, "dim": self.dim,
+                "scale": self.scale, "group": self.group, "rank": self.rank}
+
+
+@dataclass(frozen=True)
+class HungRank:
+    """A rank stalls once, bounded by the collective timeout.
+
+    Models an NCCL-timeout-then-recover hang: the first compute op after
+    onset pays ``min(hang_seconds, timeout_seconds)`` extra, then the
+    rank runs healthy again.
+    """
+
+    rank: int
+    hang_seconds: float = 5.0
+    timeout_seconds: Optional[float] = None
+
+    kind_label = "hung_rank"
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ValueError("rank must be >= 0")
+        if self.hang_seconds <= 0:
+            raise ValueError("hang_seconds must be > 0")
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise ValueError("timeout_seconds must be > 0 when set")
+
+    @property
+    def stall_seconds(self) -> float:
+        """Effective one-shot stall after the timeout cap."""
+        if self.timeout_seconds is None:
+            return self.hang_seconds
+        return min(self.hang_seconds, self.timeout_seconds)
+
+    def affected_ranks(self, mesh: "DeviceMesh") -> Optional[FrozenSet[int]]:
+        return frozenset({self.rank})
+
+    def matches_event(self, kind: str, stream: str, name: str) -> bool:
+        return kind == "compute"
+
+    def fresh_state(self) -> dict:
+        return {"fired": False}
+
+    def perturb(self, duration: float, state: dict) -> float:
+        if state["fired"]:
+            return duration
+        state["fired"] = True
+        return duration + self.stall_seconds
+
+    @property
+    def culprit_rank(self) -> Optional[int]:
+        return self.rank
+
+    @property
+    def expected_attribution(self) -> Optional[str]:
+        return "compute"
+
+    def describe(self) -> str:
+        cap = (f" (timeout {self.timeout_seconds:g}s)"
+               if self.timeout_seconds is not None else "")
+        return f"hung rank={self.rank} {self.hang_seconds:g}s{cap}"
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind_label, "rank": self.rank,
+                "hang_seconds": self.hang_seconds,
+                "timeout_seconds": self.timeout_seconds,
+                "stall_seconds": self.stall_seconds}
+
+
+@dataclass(frozen=True)
+class PeriodicJitter:
+    """Periodic compute hiccup: every ``period``-th compute op pays extra."""
+
+    rank: int
+    period: int = 2
+    extra_seconds: float = 0.02
+
+    kind_label = "periodic_jitter"
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ValueError("rank must be >= 0")
+        if self.period < 1:
+            raise ValueError("period must be >= 1")
+        if self.extra_seconds <= 0:
+            raise ValueError("extra_seconds must be > 0")
+
+    def affected_ranks(self, mesh: "DeviceMesh") -> Optional[FrozenSet[int]]:
+        return frozenset({self.rank})
+
+    def matches_event(self, kind: str, stream: str, name: str) -> bool:
+        return kind == "compute"
+
+    def fresh_state(self) -> dict:
+        return {"count": 0}
+
+    def perturb(self, duration: float, state: dict) -> float:
+        hit = state["count"] % self.period == 0
+        state["count"] += 1
+        return duration + self.extra_seconds if hit else duration
+
+    @property
+    def culprit_rank(self) -> Optional[int]:
+        return self.rank
+
+    @property
+    def expected_attribution(self) -> Optional[str]:
+        return "compute"
+
+    def describe(self) -> str:
+        return (f"jitter rank={self.rank} every {self.period} ops "
+                f"+{self.extra_seconds:g}s")
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind_label, "rank": self.rank,
+                "period": self.period, "extra_seconds": self.extra_seconds}
+
+
+@dataclass(frozen=True)
+class CollectiveRetry:
+    """Transient network fault: first ``retries`` matching collectives
+    each pay a retry penalty, then the link heals.
+
+    ``rank=None`` hits every participant (a shared switch); a specific
+    rank models one NIC flapping.
+    """
+
+    dim: str
+    retries: int = 1
+    extra_seconds: float = 0.05
+    rank: Optional[int] = None
+
+    kind_label = "collective_retry"
+
+    def __post_init__(self) -> None:
+        _check_dim(self.dim)
+        if self.retries < 1:
+            raise ValueError("retries must be >= 1")
+        if self.extra_seconds <= 0:
+            raise ValueError("extra_seconds must be > 0")
+
+    def affected_ranks(self, mesh: "DeviceMesh") -> Optional[FrozenSet[int]]:
+        if self.rank is not None:
+            return frozenset({self.rank})
+        return None  # every rank
+
+    def matches_event(self, kind: str, stream: str, name: str) -> bool:
+        return _matches_dim_comm(self.dim, kind, stream, name)
+
+    def fresh_state(self) -> dict:
+        return {"left": self.retries}
+
+    def perturb(self, duration: float, state: dict) -> float:
+        if state["left"] <= 0:
+            return duration
+        state["left"] -= 1
+        return duration + self.extra_seconds
+
+    @property
+    def culprit_rank(self) -> Optional[int]:
+        return self.rank
+
+    @property
+    def expected_attribution(self) -> Optional[str]:
+        return "communication"
+
+    def describe(self) -> str:
+        who = f" rank={self.rank}" if self.rank is not None else ""
+        return (f"retry dim={self.dim}{who} first {self.retries} "
+                f"+{self.extra_seconds:g}s")
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind_label, "dim": self.dim,
+                "retries": self.retries,
+                "extra_seconds": self.extra_seconds, "rank": self.rank}
+
+
+def make_modifier(fault, mesh: "DeviceMesh") -> "DurationModifier":
+    """Engine duration modifier for one fault (lazy per-rank state)."""
+    ranks = fault.affected_ranks(mesh)
+    state: Dict[int, dict] = {}
+
+    def modifier(rank: int, stream: str, kind: str, name: str,
+                 duration: float) -> float:
+        if ranks is not None and rank not in ranks:
+            return duration
+        if not fault.matches_event(kind, stream, name):
+            return duration
+        return fault.perturb(
+            duration, state.setdefault(rank, fault.fresh_state()))
+
+    return modifier
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered set of faults injected together."""
+
+    faults: Tuple[object, ...] = ()
+
+    def __iter__(self) -> Iterator[object]:
+        return iter(self.faults)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def validate(self, mesh: "DeviceMesh") -> None:
+        """Raise ``ValueError`` for faults outside the mesh."""
+        for fault in self.faults:
+            ranks = fault.affected_ranks(mesh)
+            if ranks is None:
+                continue
+            bad = [r for r in ranks if not 0 <= r < mesh.world_size]
+            if bad:
+                raise ValueError(
+                    f"fault {fault.describe()!r} targets ranks {sorted(bad)} "
+                    f"outside world [0, {mesh.world_size})")
+
+    def install(self, sim: "Simulator", mesh: "DeviceMesh") -> None:
+        """Register every fault as a duration modifier on the simulator."""
+        self.validate(mesh)
+        for fault in self.faults:
+            sim.add_duration_modifier(make_modifier(fault, mesh))
+
+    def expected_detection(self) -> Tuple[Optional[int], Optional[str]]:
+        """(rank, attribution) the Section 6.1 search should pin, if the
+        plan has one unambiguous compute-side culprit; (None, None)
+        otherwise (comm faults are group-visible, not rank-exact)."""
+        culprits = {
+            f.culprit_rank for f in self.faults
+            if f.expected_attribution == "compute"
+            and f.culprit_rank is not None
+        }
+        if len(culprits) == 1:
+            return next(iter(culprits)), "compute"
+        return None, None
+
+    def describe(self) -> str:
+        if not self.faults:
+            return "no faults"
+        return "; ".join(f.describe() for f in self.faults)
+
+    def to_dicts(self) -> list:
+        return [f.to_dict() for f in self.faults]
+
+
+#: ``--fault`` spec types -> constructor + typed field parsers.
+_SPEC_TYPES = {
+    "straggler": (ComputeStraggler,
+                  {"rank": int, "extra": ("extra_seconds", float),
+                   "scale": float}),
+    "link": (DegradedLink,
+             {"dim": str, "scale": float, "group": int, "rank": int}),
+    "hang": (HungRank,
+             {"rank": int, "seconds": ("hang_seconds", float),
+              "timeout": ("timeout_seconds", float)}),
+    "jitter": (PeriodicJitter,
+               {"rank": int, "period": int,
+                "extra": ("extra_seconds", float)}),
+    "retry": (CollectiveRetry,
+              {"dim": str, "retries": int,
+               "extra": ("extra_seconds", float), "rank": int}),
+}
+
+
+def parse_fault_spec(spec: str):
+    """Parse one CLI fault spec, e.g. ``straggler:rank=6,extra=0.5``.
+
+    Format: ``<type>:key=value[,key=value...]`` with types
+    ``straggler | link | hang | jitter | retry`` (see ``docs/faults.md``
+    for every key).  Raises ``ValueError`` with a usage hint on any
+    malformed spec.
+    """
+    head, _, rest = spec.partition(":")
+    entry = _SPEC_TYPES.get(head.strip())
+    if entry is None:
+        raise ValueError(
+            f"unknown fault type {head.strip()!r}; choose from "
+            f"{sorted(_SPEC_TYPES)}")
+    cls, fields = entry
+    kwargs = {}
+    for part in filter(None, (p.strip() for p in rest.split(","))):
+        key, eq, value = part.partition("=")
+        key = key.strip()
+        if not eq or key not in fields:
+            raise ValueError(
+                f"bad {head.strip()!r} field {part!r}; expected one of "
+                f"{sorted(fields)}")
+        target = fields[key]
+        name, conv = target if isinstance(target, tuple) else (key, target)
+        try:
+            kwargs[name] = conv(value.strip())
+        except ValueError:
+            raise ValueError(
+                f"cannot parse {part!r} as {conv.__name__}") from None
+    try:
+        return cls(**kwargs)
+    except (TypeError, ValueError) as err:
+        raise ValueError(f"invalid fault spec {spec!r}: {err}") from None

@@ -19,7 +19,8 @@ import json
 from typing import TYPE_CHECKING, Optional, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
-    from repro.verify.fuzz import FuzzResult
+    from repro.faults.goodput import GoodputReport
+    from repro.verify.fuzz import FaultFuzzResult, FuzzResult
     from repro.verify.oracles import OracleResult
 
 import numpy as np
@@ -216,28 +217,74 @@ def slow_rank_report(rep: SlowRankReport) -> dict:
     }
 
 
+def faults_report(gp: "GoodputReport", parallel: ParallelConfig,
+                  job: JobConfig) -> dict:
+    """Goodput and detection outcome of one fault-injected step (the
+    Section 6.1 loop closed): effective throughput vs. the healthy
+    baseline, per-stream exposed-comm delta, and whether the top-down
+    search localised the injected fault."""
+
+    def _step_dict(rep) -> dict:
+        return {
+            "step_seconds": rep.step_seconds,
+            "tokens_per_second": rep.tokens_per_second,
+            "tflops_per_gpu": rep.tflops_per_gpu,
+            "mfu": rep.mfu,
+            "exposed_fsdp_seconds": rep.exposed_fsdp_seconds,
+        }
+
+    return {
+        "schema": _schema("faults"),
+        "parallel": _parallel_dict(parallel),
+        "job": _job_dict(job),
+        "plan": gp.plan.describe(),
+        "faults": gp.plan.to_dicts(),
+        "injection": gp.injection.to_dict(),
+        "healthy": _step_dict(gp.healthy),
+        "faulted": _step_dict(gp.faulted),
+        "goodput": {
+            "fraction": gp.goodput_fraction,
+            "step_time_inflation": gp.step_time_inflation,
+        },
+        "exposed_comm_delta_seconds": dict(
+            sorted(gp.exposed_comm_delta_seconds.items())),
+        "detection": (gp.detection.to_dict()
+                      if gp.detection is not None else None),
+    }
+
+
 def verify_report(
-    fuzz: "FuzzResult",
+    fuzz: Optional["FuzzResult"],
     oracles: Sequence["OracleResult"] = (),
     step_invariants: Optional[dict] = None,
+    fault_fuzz: Optional["FaultFuzzResult"] = None,
 ) -> dict:
     """The verification subsystem's outcome (Section 6.2 methodology).
 
-    ``ok`` aggregates the fuzz campaign, every oracle, and (when run) the
-    step-graph timeline invariants; each fuzz failure carries its minimal
-    shrunk reproducer, so re-running ``repro verify --seed <seed>`` (or
-    building the shrunk config directly) reproduces the finding.
+    ``ok`` aggregates the fuzz campaign (schedule-property and/or
+    fault-randomizing), every oracle, and (when run) the step-graph
+    timeline invariants; each fuzz failure carries its minimal shrunk
+    reproducer, so re-running ``repro verify --seed <seed>`` (or building
+    the shrunk config directly) reproduces the finding.  Either fuzz
+    campaign may be omitted (None); its key is then absent.
     """
     oracle_dicts = [o.to_dict() for o in oracles]
-    ok = fuzz.ok and all(o["ok"] for o in oracle_dicts)
+    ok = all(o["ok"] for o in oracle_dicts)
+    if fuzz is not None:
+        ok = ok and fuzz.ok
+    if fault_fuzz is not None:
+        ok = ok and fault_fuzz.ok
     if step_invariants is not None:
         ok = ok and step_invariants.get("ok", False)
     out = {
         "schema": _schema("verify"),
         "ok": ok,
-        "fuzz": fuzz.to_dict(),
         "oracles": oracle_dicts,
     }
+    if fuzz is not None:
+        out["fuzz"] = fuzz.to_dict()
+    if fault_fuzz is not None:
+        out["fault_fuzz"] = fault_fuzz.to_dict()
     if step_invariants is not None:
         out["step_invariants"] = step_invariants
     return out

@@ -139,6 +139,10 @@ def trace_event_dicts(
         }
         if e.group:
             row["args"]["group"] = list(e.group)
+        if e.tags:
+            # Fault injection tags perturbed events "faulted"; surfacing
+            # the tags in args makes them searchable in the Perfetto UI.
+            row["args"]["tags"] = list(e.tags)
         rows.append(row)
     rows.extend(_flow_events(events, tids))
     return rows

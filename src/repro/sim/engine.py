@@ -12,14 +12,27 @@ of communication streams (``p2p``, ``fsdp``, ``cp``...).  Work on different
 streams of the same rank may overlap, which is how the simulator expresses
 communication/computation overlap (e.g. FSDP all-gather prefetch hidden
 under forward compute, Section 7.3.1).
+
+Fault injection composes with this overlap through *duration modifiers*
+(:meth:`Simulator.add_duration_modifier`): every submitted task's duration
+passes through the registered modifier chain, so a degraded link or a
+throttled GPU (:mod:`repro.faults`) stretches exactly the events it
+matches — including each participant's contribution to a collective — and
+any event a modifier perturbed is tagged ``"faulted"`` in the trace.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 StreamKey = Tuple[int, str]
+
+#: Duration-modifier hook: ``(rank, stream, kind, name, duration)`` -> new
+#: duration.  Modifiers may be stateful closures (one-shot hangs, periodic
+#: jitter); they run in registration order, each seeing the previous one's
+#: output.
+DurationModifier = Callable[[int, str, str, str, float], float]
 
 
 @dataclass(frozen=True)
@@ -35,6 +48,8 @@ class TraceEvent:
         start: Start timestamp in seconds.
         end: End timestamp in seconds.
         group: Optional tuple of participant ranks for collectives.
+        tags: Free-form labels; the engine adds ``"faulted"`` to any event
+            whose duration a registered modifier changed.
     """
 
     name: str
@@ -44,6 +59,7 @@ class TraceEvent:
     start: float
     end: float
     group: Tuple[int, ...] = ()
+    tags: Tuple[str, ...] = ()
 
     @property
     def duration(self) -> float:
@@ -69,6 +85,37 @@ class Simulator:
     def __init__(self) -> None:
         self._free_at: Dict[StreamKey, float] = {}
         self._events: List[TraceEvent] = []
+        self._modifiers: List[DurationModifier] = []
+
+    # ------------------------------------------------------------------
+    # Fault hooks
+    # ------------------------------------------------------------------
+
+    def add_duration_modifier(self, modifier: DurationModifier) -> None:
+        """Register a per-rank duration modifier (fault injection).
+
+        Every subsequent :meth:`run` and :meth:`run_collective` duration
+        flows through the chain; see :data:`DurationModifier`.
+        """
+        self._modifiers.append(modifier)
+
+    def _modified_duration(
+        self, rank: int, stream: str, kind: str, name: str, duration: float
+    ) -> Tuple[float, bool]:
+        """Duration after the modifier chain, plus whether it changed."""
+        out = duration
+        for modifier in self._modifiers:
+            out = modifier(rank, stream, kind, name, out)
+        if out < 0:
+            raise ValueError(
+                f"duration modifier made task {name!r} negative ({out})")
+        return out, out != duration
+
+    @staticmethod
+    def _tagged(tags: Tuple[str, ...], faulted: bool) -> Tuple[str, ...]:
+        if faulted and "faulted" not in tags:
+            return tags + ("faulted",)
+        return tags
 
     # ------------------------------------------------------------------
     # Submission API
@@ -83,6 +130,7 @@ class Simulator:
         kind: str = "compute",
         after: Optional[Sequence[TraceEvent]] = None,
         not_before: float = 0.0,
+        tags: Tuple[str, ...] = (),
     ) -> TraceEvent:
         """Run one task on a single rank's stream and return its event.
 
@@ -91,6 +139,8 @@ class Simulator:
         """
         if duration < 0:
             raise ValueError(f"negative duration for task {name!r}")
+        duration, faulted = self._modified_duration(
+            rank, stream, kind, name, duration)
         key = (rank, stream)
         ready = max(
             self._free_at.get(key, 0.0),
@@ -100,6 +150,7 @@ class Simulator:
         event = TraceEvent(
             name=name, kind=kind, rank=rank, stream=stream,
             start=ready, end=ready + duration,
+            tags=self._tagged(tuple(tags), faulted),
         )
         self._free_at[key] = event.end
         self._events.append(event)
@@ -123,6 +174,11 @@ class Simulator:
         possible: fast ranks show long collectives).  ``skew`` adds a
         per-rank extra delay before joining, used for fault injection.
 
+        Registered duration modifiers apply per participant: the payload
+        transfer takes the **maximum** of the per-rank modified durations,
+        so one rank's degraded link slows the whole collective, and only
+        the perturbed participants are tagged ``"faulted"``.
+
         Returns one event per rank spanning [join, collective end], so a
         rank's event duration includes its wait for stragglers.
         """
@@ -132,6 +188,11 @@ class Simulator:
             raise ValueError(f"duplicate ranks in collective {name!r}")
         after = after or {}
         skew = skew or {}
+        rank_durations = {}
+        rank_faulted = {}
+        for rank in ranks:
+            rank_durations[rank], rank_faulted[rank] = \
+                self._modified_duration(rank, stream, kind, name, duration)
         join_times = {}
         for rank in ranks:
             key = (rank, stream)
@@ -140,12 +201,13 @@ class Simulator:
                 max(self._free_at.get(key, 0.0), deps_end) + skew.get(rank, 0.0)
             )
         start = max(join_times.values())
-        end = start + duration
+        end = start + max(rank_durations.values())
         events = {}
         for rank in ranks:
             event = TraceEvent(
                 name=name, kind=kind, rank=rank, stream=stream,
                 start=join_times[rank], end=end, group=tuple(ranks),
+                tags=self._tagged((), rank_faulted[rank]),
             )
             self._free_at[(rank, stream)] = end
             self._events.append(event)

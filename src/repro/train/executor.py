@@ -84,6 +84,7 @@ def execute_graph(
     start_times: Optional[Mapping[int, float]] = None,
     rank_compute_scale: Optional[Mapping[int, float]] = None,
     metrics: Optional[MetricsRegistry] = None,
+    op_tags: Optional[Mapping[int, Tuple[str, ...]]] = None,
 ) -> GraphExecution:
     """Interpret a step graph onto the simulator.
 
@@ -98,6 +99,10 @@ def execute_graph(
             are deliberately not scaled.
         metrics: Registry for op counts, op durations, and exposed-P2P
             wait seconds (keyed by PP rank).
+        op_tags: Trace tags per op uid — how a fault-perturbed graph
+            (:func:`repro.faults.inject.apply_fault_plan`) marks its
+            rewritten ops ``"faulted"`` in the timeline.  Tagged ops are
+            also counted in the ``faults.injected_ops`` metric.
     """
     if rank_compute_scale and any(
         s <= 0 for s in rank_compute_scale.values()
@@ -106,6 +111,7 @@ def execute_graph(
     sim = sim or Simulator()
     start_times = start_times or {}
     rank_compute_scale = rank_compute_scale or {}
+    op_tags = op_tags or {}
 
     if metrics is not None:
         op_count = metrics.counter(
@@ -117,6 +123,9 @@ def execute_graph(
         exposed_p2p = metrics.counter(
             "pp.exposed_p2p_seconds", unit="s",
             description="compute-stream time lost waiting for P2P input")
+        injected_ops = metrics.counter(
+            "faults.injected_ops", unit="ops",
+            description="fault-perturbed ops executed, by rank")
 
     events: Dict[int, TraceEvent] = {}
     waits: List[TraceEvent] = []
@@ -160,6 +169,7 @@ def execute_graph(
                 duration = op.duration
                 if op.kind is StepOpKind.COMPUTE:
                     duration *= rank_compute_scale.get(rank, 1.0)
+                tags = op_tags.get(op.uid, ())
                 event = sim.run(
                     rank=rank,
                     stream=op.stream,
@@ -168,7 +178,10 @@ def execute_graph(
                     kind=_EVENT_KIND.get(op.kind, "comm"),
                     after=deps,
                     not_before=floor,
+                    tags=tags,
                 )
+                if metrics is not None and tags:
+                    injected_ops.inc(1, rank=rank)
                 if metrics is not None and op.pipeline_op is not None:
                     kind_label = op.pipeline_op.kind.name.lower()
                     op_count.inc(1, rank=rank, kind=kind_label)

@@ -17,7 +17,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import (avoids a cycle)
+    from repro.faults.inject import InjectionReport
+    from repro.faults.models import FaultPlan
 
 from repro.hardware.cluster import ClusterSpec
 from repro.model.config import TextModelConfig
@@ -71,6 +75,9 @@ class StepReport:
     #: The interpreted step graph (events by uid), for timeline
     #: verification (:func:`repro.verify.invariants.run_step_invariants`).
     execution: Optional[GraphExecution] = None
+    #: What fault injection rewrote, when the step ran under a fault plan
+    #: (:func:`repro.faults.inject.apply_fault_plan`); None when healthy.
+    fault_injection: Optional["InjectionReport"] = None
 
     @property
     def tflops_per_gpu(self) -> float:
@@ -135,6 +142,7 @@ def simulate_step(
     attention_straggler: float = 1.0,
     sim: Optional[Simulator] = None,
     metrics: Optional[MetricsRegistry] = None,
+    fault_plan: Optional["FaultPlan"] = None,
 ) -> StepReport:
     """Simulate one optimizer step and report throughput and memory.
 
@@ -159,6 +167,11 @@ def simulate_step(
         metrics: Registry the interpreter and this function report step
             metrics into (per-rank busy/idle/exposed seconds, bubble
             ratios, exposed FSDP/optimizer gauges, peak memory).
+        fault_plan: Declarative faults (:class:`repro.faults.FaultPlan`)
+            applied to the lowered graph before execution — the step-graph
+            half of the Section 6.1 fault-injection loop.  Perturbed ops
+            are tagged ``"faulted"`` in the trace and summarized in
+            :attr:`StepReport.fault_injection`.
 
     The reported decomposition is exact on the timeline:
     ``step_seconds = pipeline_seconds + exposed_fsdp_seconds +
@@ -198,7 +211,18 @@ def simulate_step(
         optimizer_cost=lambda ppr: cost.optimizer_seconds(
             layout.layers_on_rank(ppr) * layer_params(model) / parallel.tp),
     )
-    execution = execute_graph(graph, sim=sim, metrics=metrics)
+    injection: Optional["InjectionReport"] = None
+    op_tags = None
+    if fault_plan is not None and len(fault_plan):
+        # Imported lazily: repro.faults imports this module for goodput.
+        from repro.faults.inject import apply_fault_plan
+        from repro.parallel.mesh import DeviceMesh
+
+        graph, injection = apply_fault_plan(
+            graph, fault_plan, DeviceMesh(parallel))
+        op_tags = injection.tags_by_uid
+    execution = execute_graph(graph, sim=sim, metrics=metrics,
+                              op_tags=op_tags)
     run = summarize_pipeline_execution(execution, schedule,
                                        cost.p2p_seconds())
 
@@ -287,4 +311,5 @@ def simulate_step(
         peak_flops=cluster.gpu.peak_flops,
         tokens_per_step=job.tokens_per_step,
         execution=execution,
+        fault_injection=injection,
     )

@@ -14,16 +14,33 @@ configurations in the same order on every machine, so a failure report's
 The ``build`` hook exists for the tests and for CI gates: injecting a
 deliberately corrupted schedule builder must make the harness report the
 corruption and shrink it — that is how the harness itself is verified.
+
+A second campaign, :func:`run_fault_fuzz`, fuzzes the *fault-injection
+loop* instead of schedule structure: it samples a mesh, a compute
+straggler, and benign noise faults, and checks that the Section 6.1
+top-down search still localises the straggler exactly.  Failures shrink
+to the minimal noise-fault set that breaks localisation.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Set, Tuple
 
 import numpy as np
 
-from repro.parallel.config import ZeroStage
+from repro.debug.workload import WorkloadSpec
+from repro.faults.detect import DetectionScore, score_detection
+from repro.faults.models import (
+    CollectiveRetry,
+    ComputeStraggler,
+    DegradedLink,
+    FaultPlan,
+    PeriodicJitter,
+)
+from repro.parallel.config import ParallelConfig, ZeroStage
+from repro.parallel.mesh import DeviceMesh
 from repro.pp.analysis import ScheduleShape
 from repro.pp.layout import build_layout
 from repro.pp.schedule import PipelineSchedule, build_flexible_schedule
@@ -300,5 +317,234 @@ def run_fuzz(
         cases=cases,
         failed_cases=failed_cases,
         checks_run=checks_run,
+        failures=tuple(failures),
+    )
+
+# ----------------------------------------------------------------------
+# Fault-randomizing campaign: fuzz the Section 6.1 localisation loop
+# ----------------------------------------------------------------------
+
+#: Mesh pool for fault fuzzing: (tp, cp, pp, dp) shapes spanning every
+#: dimension pairing the top-down search descends through.
+FAULT_FUZZ_MESHES: Tuple[Tuple[int, int, int, int], ...] = (
+    (4, 2, 1, 1),
+    (2, 2, 2, 1),
+    (2, 1, 2, 2),
+    (2, 2, 2, 2),
+    (1, 2, 2, 2),
+    (4, 1, 2, 1),
+    (2, 2, 1, 2),
+    (1, 4, 2, 1),
+)
+
+#: Small workload, but with enough compute ops that a straggler's excess
+#: dominates every benign noise fault the sampler can draw (see below).
+FAULT_FUZZ_WORKLOAD = WorkloadSpec(steps=2, layers=3)
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """One sampled fault-localisation case.
+
+    The victim is a :class:`~repro.faults.models.ComputeStraggler` adding
+    ``extra_seconds`` per compute op; ``noise`` holds benign faults
+    (jitter, mildly degraded links, transient retries) whose combined
+    lateness is well under one victim op, so exact localisation must
+    survive them.  Hangs are deliberately absent from noise: a multi-second
+    stall legitimately out-blames the victim.
+    """
+
+    tp: int
+    cp: int
+    pp: int
+    dp: int
+    victim: int
+    extra_seconds: float
+    noise: Tuple[object, ...] = ()
+
+    @property
+    def parallel(self) -> ParallelConfig:
+        return ParallelConfig(tp=self.tp, cp=self.cp, pp=self.pp, dp=self.dp)
+
+    @property
+    def plan(self) -> FaultPlan:
+        return FaultPlan(
+            (ComputeStraggler(rank=self.victim,
+                              extra_seconds=self.extra_seconds),)
+            + self.noise)
+
+    @property
+    def cost(self) -> int:
+        """Size measure the shrinker minimises: the noise-fault count."""
+        return len(self.noise)
+
+    def describe(self) -> str:
+        mesh = f"tp={self.tp} cp={self.cp} pp={self.pp} dp={self.dp}"
+        noise = "; ".join(f.describe() for f in self.noise)
+        return (f"{mesh} victim={self.victim} "
+                f"extra={self.extra_seconds:g}s noise=[{noise}]")
+
+    def to_dict(self) -> dict:
+        return {
+            "mesh": {"tp": self.tp, "cp": self.cp, "pp": self.pp,
+                     "dp": self.dp},
+            "victim": self.victim,
+            "extra_seconds": self.extra_seconds,
+            "noise": [f.to_dict() for f in self.noise],
+        }
+
+
+def sample_fault_scenario(rng: np.random.Generator) -> FaultScenario:
+    """Draw one scenario: a mesh from the pool, a victim rank, a victim
+    strength in [0.4, 0.8) s/op, and 0-2 benign noise faults (total
+    lateness bounded around 0.2 s — an order of magnitude under the
+    victim's first-op excess)."""
+    tp, cp, pp, dp = FAULT_FUZZ_MESHES[
+        int(rng.integers(len(FAULT_FUZZ_MESHES)))]
+    world = tp * cp * pp * dp
+    victim = int(rng.integers(world))
+    extra = 0.4 + 0.4 * float(rng.random())
+    multi_dims = [d for d, size in
+                  (("tp", tp), ("cp", cp), ("pp", pp), ("dp", dp))
+                  if size > 1]
+    noise: List[object] = []
+    for _ in range(int(rng.integers(0, 3))):
+        kind = int(rng.integers(3))
+        if kind == 0:
+            noise.append(PeriodicJitter(
+                rank=int(rng.integers(world)),
+                period=int(rng.integers(2, 5)),
+                extra_seconds=0.01 + 0.03 * float(rng.random())))
+        elif kind == 1:
+            dim = multi_dims[int(rng.integers(len(multi_dims)))]
+            noise.append(DegradedLink(
+                dim=dim, rank=int(rng.integers(world)),
+                scale=1.05 + 0.1 * float(rng.random())))
+        else:
+            dim = multi_dims[int(rng.integers(len(multi_dims)))]
+            noise.append(CollectiveRetry(
+                dim=dim, retries=int(rng.integers(1, 3)),
+                extra_seconds=0.02 + 0.03 * float(rng.random())))
+    return FaultScenario(tp=tp, cp=cp, pp=pp, dp=dp, victim=victim,
+                         extra_seconds=extra, noise=tuple(noise))
+
+
+def check_fault_scenario(
+    scenario: FaultScenario,
+    spec: WorkloadSpec = FAULT_FUZZ_WORKLOAD,
+) -> Tuple[bool, DetectionScore]:
+    """Run the localisation loop on one scenario.
+
+    ok means the search pinned exactly the victim rank *and* attributed
+    it to compute — the property the noise faults must not break.
+    """
+    mesh = DeviceMesh(scenario.parallel)
+    score, _ = score_detection(mesh, scenario.plan, spec=spec)
+    ok = (score.detected_rank == scenario.victim
+          and score.attribution == "compute")
+    return ok, score
+
+
+def shrink_fault_scenario(
+    scenario: FaultScenario,
+    failing: Callable[[FaultScenario], bool],
+) -> FaultScenario:
+    """Greedily drop noise faults while the scenario still fails —
+    yields the minimal noise set that breaks localisation."""
+    if not failing(scenario):
+        raise ValueError(f"scenario {scenario.describe()} does not fail")
+    current = scenario
+    improved = True
+    while improved:
+        improved = False
+        for i in range(len(current.noise)):
+            candidate = dataclasses.replace(
+                current,
+                noise=current.noise[:i] + current.noise[i + 1:])
+            if failing(candidate):
+                current = candidate
+                improved = True
+                break
+    return current
+
+
+@dataclass(frozen=True)
+class FaultFuzzFailure:
+    """One localisation miss with its minimal shrunk reproducer."""
+
+    scenario: FaultScenario
+    score: DetectionScore
+    shrunk: FaultScenario
+    shrunk_score: DetectionScore
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario.to_dict(),
+            "score": self.score.to_dict(),
+            "shrunk_scenario": self.shrunk.to_dict(),
+            "shrunk_score": self.shrunk_score.to_dict(),
+        }
+
+
+@dataclass(frozen=True)
+class FaultFuzzResult:
+    """Outcome of one fault-randomizing campaign."""
+
+    seed: int
+    cases: int
+    failed_cases: int
+    failures: Tuple[FaultFuzzFailure, ...]
+
+    @property
+    def ok(self) -> bool:
+        return self.failed_cases == 0
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "cases": self.cases,
+            "failed_cases": self.failed_cases,
+            "ok": self.ok,
+            "failures": [f.to_dict() for f in self.failures],
+        }
+
+
+def run_fault_fuzz(
+    cases: int,
+    seed: int = 0,
+    spec: WorkloadSpec = FAULT_FUZZ_WORKLOAD,
+    max_failures: int = 10,
+) -> FaultFuzzResult:
+    """Fuzz ``cases`` fault scenarios and shrink every localisation miss.
+
+    Deterministic like :func:`run_fuzz`: the same (cases, seed) visits
+    the same scenarios everywhere, so a failure's seed plus its shrunk
+    scenario is a complete reproduction recipe.
+    """
+    if cases < 1:
+        raise ValueError("cases must be >= 1")
+    rng = np.random.default_rng(seed)
+    failures: List[FaultFuzzFailure] = []
+    failed_cases = 0
+    for _ in range(cases):
+        scenario = sample_fault_scenario(rng)
+        ok, score = check_fault_scenario(scenario, spec)
+        if ok:
+            continue
+        failed_cases += 1
+        if len(failures) >= max_failures:
+            continue
+        shrunk = shrink_fault_scenario(
+            scenario, lambda s: not check_fault_scenario(s, spec)[0])
+        failures.append(FaultFuzzFailure(
+            scenario=scenario,
+            score=score,
+            shrunk=shrunk,
+            shrunk_score=check_fault_scenario(shrunk, spec)[1],
+        ))
+    return FaultFuzzResult(
+        seed=seed,
+        cases=cases,
+        failed_cases=failed_cases,
         failures=tuple(failures),
     )
