@@ -8,20 +8,27 @@ Commands:
 * ``ordering``  — score all parallelism-dimension orderings (Section 5.2).
 * ``imbalance`` — run the Figure 14 fleet-imbalance simulation.
 * ``trace``     — run a simulation and export its Perfetto timeline.
-* ``faults``    — inject a declarative fault plan into one step, report
-  goodput vs. the healthy baseline, and score the Section 6.1 slow-rank
-  localisation against the injected truth (see ``docs/faults.md``).
+* ``faults``    — inject a declarative fault plan into one step (or a
+  named ``--preset``), report goodput vs. the healthy baseline, and
+  score the Section 6.1 slow-rank localisation against the injected
+  truth (see ``docs/faults.md``).
 * ``verify``    — run the verification subsystem: differential oracles
   plus a seeded invariant fuzz over schedule configurations — or, with
   ``--faults``, a fault-randomizing fuzz of the localisation loop;
   exits 1 when any violation is found (see ``docs/verification.md``).
+* ``run``       — simulate a multi-step run under a seeded failure
+  process with a checkpoint/restart policy (``none``, ``fixed:N``, or
+  Young/Daly-optimal) and report goodput over wall-clock
+  (see ``docs/resilience.md``).
 
 Observability surface (see ``docs/observability.md``):
 
-* ``--json`` on ``plan``/``step``/``phases``/``imbalance`` emits the
-  stable-schema reports from :mod:`repro.obs.report` instead of text;
-* ``--trace PATH`` on ``step``/``phases`` writes the simulated timeline
-  as Chrome ``trace_event`` JSON, openable in ``ui.perfetto.dev``;
+* ``--json`` on ``plan``/``step``/``phases``/``imbalance``/``faults``/
+  ``verify``/``run`` emits the stable-schema reports from
+  :mod:`repro.obs.report` instead of text;
+* ``--trace PATH`` on ``step``/``phases``/``faults``/``verify``/``run``
+  writes the simulated timeline as Chrome ``trace_event`` JSON, openable
+  in ``ui.perfetto.dev``;
 * usage errors (unknown model or phase, inconsistent sizes) exit with
   code 2 and a one-line message on stderr.
 """
@@ -277,8 +284,8 @@ def cmd_faults(args: argparse.Namespace) -> int:
     """Run one step healthy and under a fault plan, then report goodput
     and the localisation verdict."""
     from repro.faults import (
-        ComputeStraggler,
         FaultPlan,
+        fault_preset,
         parse_fault_spec,
         run_goodput,
     )
@@ -294,12 +301,12 @@ def cmd_faults(args: argparse.Namespace) -> int:
             faults = tuple(parse_fault_spec(s) for s in args.fault)
         except ValueError as err:
             _fail(str(err))
+        plan = FaultPlan(faults)
     else:
-        # Default scenario: a 25%-throttled GPU on the second-to-last
-        # rank (the paper's running Figure 8 example shape).
-        faults = (ComputeStraggler(rank=max(par.world_size - 2, 0),
-                                   extra_seconds=0.0, scale=1.25),)
-    plan = FaultPlan(faults)
+        try:
+            plan = fault_preset(args.preset, par.world_size)
+        except ValueError as err:
+            _fail(str(err))
     metrics = MetricsRegistry()
     faulted_sim = Simulator() if args.trace else None
     try:
@@ -341,6 +348,72 @@ def cmd_faults(args: argparse.Namespace) -> int:
               f"after {d.levels_descended} levels")
     if args.trace:
         print(f"trace written:    {args.trace} (open in ui.perfetto.dev)")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Simulate a multi-step run under failures and report goodput."""
+    from repro.obs.metrics import MetricsRegistry
+    from repro.resilience import RunConfig, parse_policy, simulate_run
+
+    cluster = grand_teton(args.ngpu)
+    job = JobConfig(seq=args.seq, gbs=args.gbs, ngpu=args.ngpu)
+    model = _model(args.model)
+    try:
+        policy = parse_policy(args.policy)
+        config = RunConfig(
+            steps=args.steps,
+            mtbf_seconds=args.mtbf,
+            policy=policy,
+            seed=args.seed,
+            elastic=not args.wait_for_replacement,
+            replacement_seconds=args.replacement,
+        )
+    except ValueError as err:
+        _fail(str(err))
+    metrics = MetricsRegistry()
+    try:
+        result = simulate_run(model, job, cluster, config, metrics=metrics)
+    except ValueError as err:
+        _fail(str(err))
+    if args.trace:
+        from repro.obs.trace import export_chrome_trace
+
+        export_chrome_trace(
+            result.sim, args.trace,
+            extra_metadata={"policy": policy.describe(),
+                            "seed": config.seed})
+    if args.json:
+        from repro.obs.report import resilience_report
+
+        _print_json(resilience_report(result))
+        return 0
+    c = result.counters
+    interval = (f"every {result.interval_steps} steps"
+                if result.interval_steps is not None else "never")
+    status = ("completed" if result.completed
+              else f"TRUNCATED: {result.truncated_reason}")
+    print(f"policy:          {policy.describe()}")
+    print(f"checkpoints:     {interval} "
+          f"({c['checkpoints']} written, {c['restarts']} restarts)")
+    print(f"steps committed: {result.steps_completed}/{config.steps} "
+          f"({status})")
+    print(f"elapsed:         {result.elapsed_seconds:,.1f} s "
+          f"(ideal {result.ideal_seconds:,.1f} s)")
+    print(f"goodput:         {result.goodput_fraction:.1%}  "
+          f"({result.tokens_per_second:,.0f} tokens/s achieved)")
+    print(f"failures:        {len(result.failures)} "
+          f"(node loss {c['node_losses']}, "
+          f"straggler {c['transient_stragglers']}, "
+          f"retry ladders {c['retry_ladders']}, "
+          f"retry exhaustions {c['retry_exhaustions']}; "
+          f"{c['replans']} replans)")
+    total = max(result.elapsed_seconds, 1e-12)
+    for name, value in result.buckets.items():
+        if value > 0:
+            print(f"  {name:<11s} {value:>10,.1f} s  ({value / total:.1%})")
+    if args.trace:
+        print(f"trace written:   {args.trace} (open in ui.perfetto.dev)")
     return 0
 
 
@@ -577,7 +650,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "hang:rank=2,seconds=5,timeout=2  "
                         "jitter:rank=1,period=2,extra=0.05  "
                         "retry:dim=dp,retries=2,extra=0.05 "
-                        "(default: straggler:rank=<world-2>,scale=1.25)")
+                        "(overrides --preset)")
+    p.add_argument("--preset", default="straggler-default", metavar="NAME",
+                   help="named fault scenario from repro.faults."
+                        "FAULT_PRESETS, used when no --fault is given "
+                        "(default: straggler-default — a 25%%-throttled "
+                        "GPU on the second-to-last rank)")
     p.add_argument("--no-detect", action="store_true",
                    help="skip the Section 6.1 localisation pass")
     p.add_argument("--json", action="store_true",
@@ -586,6 +664,38 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the faulted step timeline as Perfetto "
                         "trace_event JSON (faulted ops tagged)")
     p.set_defaults(func=cmd_faults)
+
+    p = sub.add_parser(
+        "run",
+        help="simulate a multi-step run under failures; report goodput")
+    _add_job_args(p)
+    # Small default fleet: 4 nodes of the paper's 8b shape keeps the
+    # per-policy comparison fast while still exercising node-level loss.
+    p.set_defaults(model="8b", seq=8192, gbs=32, ngpu=32)
+    p.add_argument("--steps", type=int, default=200,
+                   help="optimizer steps the run must commit")
+    p.add_argument("--mtbf", type=float, default=300.0, metavar="SECONDS",
+                   help="fleet mean time between failures")
+    p.add_argument("--policy", default="young-daly",
+                   help="checkpoint policy: none | young-daly | "
+                        "fixed:<steps>")
+    p.add_argument("--seed", type=int, default=0,
+                   help="failure-process seed; same seed -> identical "
+                        "failure sequence across policies")
+    p.add_argument("--wait-for-replacement", action="store_true",
+                   help="on permanent node loss, wait for a spare instead "
+                        "of elastically replanning on the shrunken fleet")
+    p.add_argument("--replacement", type=float, default=300.0,
+                   metavar="SECONDS",
+                   help="node replacement latency (with "
+                        "--wait-for-replacement)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the repro.resilience/v1 JSON report")
+    p.add_argument("--trace", metavar="PATH",
+                   help="write the run timeline (steps, checkpoints, "
+                        "retry ladders, failure markers) as Perfetto "
+                        "trace_event JSON")
+    p.set_defaults(func=cmd_run)
 
     p = sub.add_parser(
         "verify",

@@ -10,12 +10,15 @@ tokens/s, MFU, and exposed communication?).  See ``docs/faults.md``.
 """
 
 from repro.faults.models import (
+    FAULT_PRESETS,
     CollectiveRetry,
     ComputeStraggler,
     DegradedLink,
     FaultPlan,
     HungRank,
     PeriodicJitter,
+    fault_from_dict,
+    fault_preset,
     parse_fault_spec,
 )
 from repro.faults.inject import InjectionReport, apply_fault_plan
@@ -28,6 +31,9 @@ from repro.faults.goodput import (
 )
 
 __all__ = [
+    "FAULT_PRESETS",
+    "fault_from_dict",
+    "fault_preset",
     "CollectiveRetry",
     "ComputeStraggler",
     "DegradedLink",

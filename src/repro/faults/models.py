@@ -33,15 +33,18 @@ instance can be installed into many simulators without sharing state.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import (
     TYPE_CHECKING,
     Dict,
     FrozenSet,
     Iterator,
+    Mapping,
     Optional,
     Tuple,
 )
+
+from repro.sim.collectives import DEFAULT_COLLECTIVE_TIMEOUT_SECONDS
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.parallel.mesh import DeviceMesh
@@ -189,7 +192,11 @@ class HungRank:
 
     Models an NCCL-timeout-then-recover hang: the first compute op after
     onset pays ``min(hang_seconds, timeout_seconds)`` extra, then the
-    rank runs healthy again.
+    rank runs healthy again.  ``timeout_seconds=None`` means the shared
+    watchdog default, :data:`repro.sim.collectives.
+    DEFAULT_COLLECTIVE_TIMEOUT_SECONDS` — the same constant that bounds
+    a failed attempt under :class:`repro.sim.collectives.RetryPolicy` —
+    so no hang is ever unbounded.
     """
 
     rank: int
@@ -207,11 +214,16 @@ class HungRank:
             raise ValueError("timeout_seconds must be > 0 when set")
 
     @property
+    def effective_timeout_seconds(self) -> float:
+        """The watchdog bound: explicit, or the shared default."""
+        if self.timeout_seconds is None:
+            return DEFAULT_COLLECTIVE_TIMEOUT_SECONDS
+        return self.timeout_seconds
+
+    @property
     def stall_seconds(self) -> float:
         """Effective one-shot stall after the timeout cap."""
-        if self.timeout_seconds is None:
-            return self.hang_seconds
-        return min(self.hang_seconds, self.timeout_seconds)
+        return min(self.hang_seconds, self.effective_timeout_seconds)
 
     def affected_ranks(self, mesh: "DeviceMesh") -> Optional[FrozenSet[int]]:
         return frozenset({self.rank})
@@ -478,3 +490,54 @@ def parse_fault_spec(spec: str):
         return cls(**kwargs)
     except (TypeError, ValueError) as err:
         raise ValueError(f"invalid fault spec {spec!r}: {err}") from None
+
+
+#: ``kind`` label (as emitted by ``to_dict``) -> fault class.
+_KIND_LABELS = {cls.kind_label: cls for cls, _ in _SPEC_TYPES.values()}
+
+
+def fault_from_dict(data: Mapping):
+    """Rebuild a fault model from its ``to_dict()`` form.
+
+    The inverse of each model's ``to_dict``: derived keys (e.g.
+    ``HungRank``'s ``stall_seconds``) are ignored, so any serialised
+    fault round-trips to an equal instance.  Raises ``ValueError`` on an
+    unknown ``kind``.
+    """
+    kind = data.get("kind")
+    cls = _KIND_LABELS.get(kind)
+    if cls is None:
+        raise ValueError(
+            f"unknown fault kind {kind!r}; choose from {sorted(_KIND_LABELS)}")
+    kwargs = {f.name: data[f.name] for f in fields(cls) if f.name in data}
+    try:
+        return cls(**kwargs)
+    except (TypeError, ValueError) as err:
+        raise ValueError(f"invalid fault dict {dict(data)!r}: {err}") from None
+
+
+def _straggler_default(world_size: int) -> FaultPlan:
+    # A 25%-throttled GPU on the second-to-last rank — the paper's
+    # running Figure 8 example shape.
+    return FaultPlan((
+        ComputeStraggler(rank=max(world_size - 2, 0),
+                         extra_seconds=0.0, scale=1.25),
+    ))
+
+
+#: Named fault scenarios usable from code and ``repro faults --preset``.
+FAULT_PRESETS: Dict[str, "object"] = {
+    "straggler-default": _straggler_default,
+}
+
+
+def fault_preset(name: str, world_size: int) -> FaultPlan:
+    """Build a named preset :class:`FaultPlan` for a given world size."""
+    if world_size < 1:
+        raise ValueError("world_size must be >= 1")
+    builder = FAULT_PRESETS.get(name)
+    if builder is None:
+        raise ValueError(
+            f"unknown fault preset {name!r}; choose from "
+            f"{sorted(FAULT_PRESETS)}")
+    return builder(world_size)

@@ -30,6 +30,10 @@ class ClusterSpec:
         oversubscription: Bandwidth-reduction factor applied to inter-node
             traffic that crosses the spine (Section 8.2 recommends
             oversubscribed upper tiers).  1.0 means full bisection.
+        storage_bandwidth_per_node: Sustained bytes/s one node can push
+            to (or pull from) the checkpoint store.  Defaults to 8 GB/s,
+            a distributed-blob-store figure well below the 400G NIC so
+            storage — not the network — bounds checkpoint time.
     """
 
     gpu: GpuSpec = H100_HBM3
@@ -38,12 +42,15 @@ class ClusterSpec:
     intra_node_link: LinkSpec = NVLINK_H100
     inter_node_link: LinkSpec = ROCE_400G
     oversubscription: float = 1.0
+    storage_bandwidth_per_node: float = 8e9
 
     def __post_init__(self) -> None:
         if self.gpus_per_node <= 0 or self.num_nodes <= 0:
             raise ValueError("gpus_per_node and num_nodes must be positive")
         if self.oversubscription < 1.0:
             raise ValueError("oversubscription factor must be >= 1.0")
+        if self.storage_bandwidth_per_node <= 0:
+            raise ValueError("storage_bandwidth_per_node must be positive")
 
     @property
     def num_gpus(self) -> int:
@@ -84,6 +91,16 @@ class ClusterSpec:
         """Effective per-rank inter-node bandwidth (bytes/s), after
         oversubscription."""
         return self.inter_node_link.bandwidth / self.oversubscription
+
+    def checkpoint_bandwidth_per_node(self) -> float:
+        """Bytes/s one node sustains against the checkpoint store.
+
+        Checkpoint traffic rides the scale-out NIC to the store, so it is
+        bounded by whichever is slower: the store itself or the
+        (oversubscribed) inter-node link.
+        """
+        return min(self.storage_bandwidth_per_node,
+                   self.inter_node_bandwidth())
 
     def _check_rank(self, rank: int) -> None:
         if not 0 <= rank < self.num_gpus:

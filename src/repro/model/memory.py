@@ -123,3 +123,15 @@ def optimizer_state_bytes_per_param() -> int:
 def full_model_bytes(cfg: TextModelConfig, dtype_bytes: int = BF16_BYTES) -> float:
     """Bytes of the whole unsharded model in the given dtype."""
     return dtype_bytes * model_params(cfg)
+
+
+def training_state_bytes(cfg: TextModelConfig) -> float:
+    """Global checkpoint payload: BF16 weights plus full optimizer state.
+
+    This is what a run must persist to resume exactly — the quantity the
+    checkpoint policies in :mod:`repro.resilience` price against storage
+    bandwidth.  Activations and gradients are excluded: both are
+    recomputed/re-reduced after a restart.
+    """
+    per_param = BF16_BYTES + optimizer_state_bytes_per_param()
+    return per_param * model_params(cfg)

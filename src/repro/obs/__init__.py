@@ -46,6 +46,7 @@ _REPORT_NAMES = (
     "phases_report",
     "imbalance_report",
     "slow_rank_report",
+    "resilience_report",
     "render_json",
 )
 

@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING, Optional, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.faults.goodput import GoodputReport
+    from repro.resilience.run import RunResult
     from repro.verify.fuzz import FaultFuzzResult, FuzzResult
     from repro.verify.oracles import OracleResult
 
@@ -250,6 +251,55 @@ def faults_report(gp: "GoodputReport", parallel: ParallelConfig,
             sorted(gp.exposed_comm_delta_seconds.items())),
         "detection": (gp.detection.to_dict()
                       if gp.detection is not None else None),
+    }
+
+
+def resilience_report(result: "RunResult") -> dict:
+    """Goodput-over-wallclock outcome of one multi-step resilient run.
+
+    Schema ``repro.resilience/v1`` is pinned independently of the global
+    :data:`SCHEMA_VERSION`: the resilience subsystem shipped against v1
+    and its golden (``tests/golden/resilience_run.json``) byte-compares
+    this builder's output, so the tag only moves when *these* fields
+    change shape — not when the step/plan reports evolve.
+    """
+    cfg = result.config
+    return {
+        "schema": "repro.resilience/v1",
+        "parallel": _parallel_dict(result.initial_plan.parallel),
+        "job": _job_dict(result.initial_plan.job),
+        "config": {
+            "steps": cfg.steps,
+            "mtbf_seconds": cfg.mtbf_seconds,
+            "seed": cfg.seed,
+            "elastic": cfg.elastic,
+            "replacement_seconds": cfg.replacement_seconds,
+            "restart_overhead_seconds": cfg.restart_overhead_seconds,
+            "node_loss_fraction": cfg.node_loss_fraction,
+            "retry_fraction": cfg.retry_fraction,
+            "retry_success_p": cfg.retry_success_p,
+            "retry_policy": cfg.retry_policy.to_dict(),
+        },
+        "policy": dict(cfg.policy.to_dict(),
+                       description=cfg.policy.describe()),
+        "interval_steps": result.interval_steps,
+        "ideal_step_seconds": result.ideal_step_seconds,
+        "ideal_seconds": result.ideal_seconds,
+        "elapsed_seconds": result.elapsed_seconds,
+        "steps_completed": result.steps_completed,
+        "completed": result.completed,
+        "truncated_reason": result.truncated_reason,
+        "goodput": {
+            "fraction": result.goodput_fraction,
+            "tokens_per_step": result.tokens_per_step,
+            "achieved_tokens": result.achieved_tokens,
+            "ideal_tokens": result.ideal_tokens,
+            "tokens_per_second": result.tokens_per_second,
+        },
+        "buckets_seconds": dict(result.buckets),
+        "counters": dict(result.counters),
+        "failures": [dict(f) for f in result.failures],
+        "segments": [dict(s) for s in result.segments],
     }
 
 

@@ -8,7 +8,9 @@ written here reads like a Kineto/nsys capture in ``ui.perfetto.dev``:
 * **stream → thread** (``tid``), with ``compute`` pinned to tid 0 so it
   sorts first, like the default CUDA stream;
 * **event kind → category** (``cat``): ``compute``, ``comm``,
-  ``exposed_comm``;
+  ``exposed_comm``; zero-duration ``marker`` events (failure and replan
+  markers from :mod:`repro.resilience.run`) become instant events
+  (``ph: "i"``), which Perfetto renders as vertical ticks;
 * **collective group → flow events**: each collective instance gets one
   flow id, drawn from the earliest-joining participant to every other
   member, which renders as the Figure 8 "who waited for whom" arrows.
@@ -137,6 +139,12 @@ def trace_event_dicts(
             "tid": tids[(e.rank, e.stream)],
             "args": {"stream": e.stream},
         }
+        if e.kind == "marker":
+            # Markers are points in time, not spans: instant events,
+            # scoped to their thread so they draw on the right track.
+            del row["dur"]
+            row["ph"] = "i"
+            row["s"] = "t"
         if e.group:
             row["args"]["group"] = list(e.group)
         if e.tags:
@@ -272,6 +280,10 @@ def validate_trace(obj: object) -> List[str]:
             if not isinstance(dur, (int, float)) or dur < 0:
                 problems.append(
                     f"{where}: 'X' event needs non-negative 'dur'")
+        elif ph == "i":
+            if e.get("s") not in (None, "t", "p", "g"):
+                problems.append(
+                    f"{where}: instant event scope must be 't'|'p'|'g'")
         elif ph in ("s", "t", "f"):
             if not isinstance(e.get("id"), (int, str)):
                 problems.append(f"{where}: flow event needs 'id'")

@@ -12,6 +12,7 @@ from repro.parallel.memory import RankMemory, estimate_rank_memory
 from repro.parallel.planner import (
     Plan,
     plan_parallelism,
+    replan_for_gpu_count,
     arithmetic_intensity_2d,
     hardware_flops_per_byte,
     MEMORY_HEADROOM,
@@ -47,6 +48,7 @@ __all__ = [
     "estimate_rank_memory",
     "Plan",
     "plan_parallelism",
+    "replan_for_gpu_count",
     "arithmetic_intensity_2d",
     "hardware_flops_per_byte",
     "MEMORY_HEADROOM",

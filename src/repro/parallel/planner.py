@@ -316,6 +316,21 @@ def plan_parallelism(
     )
     if not cost_aware:
         return plan
+    return _cost_aware_rerank(
+        model, job, cluster, plan, rationale, tp_min, node, max_pp, capacity)
+
+
+def _cost_aware_rerank(
+    model: TextModelConfig,
+    job: JobConfig,
+    cluster: ClusterSpec,
+    plan: Plan,
+    rationale: List[str],
+    tp_min: int,
+    node: int,
+    max_pp: int,
+    capacity: float,
+) -> Plan:
 
     # --- Cost-aware re-ranking -----------------------------------------
     # Price every (tp, pp) pair on the simulated timeline and let
@@ -357,3 +372,41 @@ def plan_parallelism(
             f"{len(feasible)} feasible of {len(candidates)} candidates"],
         candidates=candidates,
     )
+
+
+def replan_for_gpu_count(
+    model: TextModelConfig,
+    job: JobConfig,
+    cluster: ClusterSpec,
+    max_ngpu: int,
+    max_pp: int = 64,
+    cost_aware: bool = False,
+) -> Plan:
+    """Replan after permanent capacity loss: the elastic-restart path.
+
+    Finds the largest node-aligned GPU count ``<= max_ngpu`` for which
+    Section 5.1 yields a schedulable plan, stepping down one node at a
+    time past counts the divisibility constraints reject (e.g. a gbs the
+    shrunken dp no longer divides).  The job keeps its gbs and sequence
+    length — the paper's phases fix the token budget per step, so losing
+    nodes shows up as a slower step, not a smaller batch.
+
+    Raises ``ValueError`` when no node-aligned count down to one node
+    admits a plan.
+    """
+    node = cluster.gpus_per_node
+    for ngpu in range(max_ngpu - max_ngpu % node, 0, -node):
+        shrunk_job = replace(job, ngpu=ngpu)
+        shrunk_cluster = replace(cluster, num_nodes=ngpu // node)
+        try:
+            plan = plan_parallelism(model, shrunk_job, shrunk_cluster,
+                                    max_pp=max_pp, cost_aware=cost_aware)
+            # A plan is only usable if the schedule can actually split
+            # the batch into whole micro-batches.
+            shrunk_job.micro_batches(plan.parallel)
+        except ValueError:
+            continue
+        return plan
+    raise ValueError(
+        f"no feasible plan at or below {max_ngpu} GPUs "
+        f"({node} per node) for this job")

@@ -1,0 +1,54 @@
+"""Run-level resilience: checkpoint/restart policy, retries, replanning.
+
+The paper trains on 16K H100s, where failures are routine; this package
+adds the first time axis above the single optimizer step.  A seeded
+failure process (:mod:`repro.resilience.failures`) drives a multi-step
+run simulator (:mod:`repro.resilience.run`) whose recovery behaviour is
+a policy object (:mod:`repro.resilience.policy`): when to checkpoint
+(never / fixed / Young-Daly-optimal), how collectives retry
+(:class:`repro.sim.collectives.RetryPolicy`), and whether permanent node
+loss triggers an elastic replan or a wait for replacement.  Reports are
+goodput-over-wallclock (``repro run``); see ``docs/resilience.md``.
+"""
+
+from repro.resilience.failures import (
+    FAILURE_KINDS,
+    FailureEvent,
+    FailureProcess,
+)
+from repro.resilience.policy import (
+    CheckpointPolicy,
+    FixedInterval,
+    NoCheckpoint,
+    YoungDaly,
+    checkpoint_bytes,
+    checkpoint_read_seconds,
+    checkpoint_write_seconds,
+    parse_policy,
+)
+from repro.resilience.run import (
+    BUCKETS,
+    FleetSegment,
+    RunConfig,
+    RunResult,
+    simulate_run,
+)
+
+__all__ = [
+    "FAILURE_KINDS",
+    "FailureEvent",
+    "FailureProcess",
+    "CheckpointPolicy",
+    "FixedInterval",
+    "NoCheckpoint",
+    "YoungDaly",
+    "checkpoint_bytes",
+    "checkpoint_read_seconds",
+    "checkpoint_write_seconds",
+    "parse_policy",
+    "BUCKETS",
+    "FleetSegment",
+    "RunConfig",
+    "RunResult",
+    "simulate_run",
+]

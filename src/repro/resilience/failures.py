@@ -1,0 +1,134 @@
+"""Seeded stochastic failure process for multi-step runs.
+
+Failures arrive as a Poisson process at the fleet MTBF (exponential
+inter-arrival times), on a simulated clock — nothing here reads the wall
+clock.  Each arrival is classified into one of three production failure
+shapes (Section 6.1's operational reality at 16K GPUs):
+
+* ``node_loss`` — a host drops out permanently: the run aborts, restarts
+  from its last checkpoint, and either replans on the shrunken fleet or
+  waits for a replacement (:mod:`repro.resilience.run`);
+* ``transient_straggler`` — one GPU throttles for a step (the
+  ``straggler-default`` preset shape) and recovers;
+* ``collective_retry`` — a transient network fault fails one or more
+  collective attempts; the retry ladder of
+  :class:`repro.sim.collectives.RetryPolicy` absorbs it unless the
+  attempt count exceeds the budget, which escalates to an abort.
+
+Determinism contract: :meth:`FailureProcess.next_failure` consumes a
+fixed number of RNG draws per event and takes no state-dependent
+arguments, so every checkpoint policy evaluated against the same seed
+sees the *identical* absolute failure sequence — the property that makes
+policy comparisons (and the golden report) exact rather than noisy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Failure taxonomy, in classification order.
+FAILURE_KINDS = ("node_loss", "transient_straggler", "collective_retry")
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One failure arrival, location-free until applied to a fleet.
+
+    ``where_fraction`` is a uniform draw in [0, 1) the consumer scales
+    onto whatever is being hit (a node index for ``node_loss``, a rank
+    for ``transient_straggler``) — keeping the event valid across
+    replans that change the fleet size.
+    """
+
+    time_seconds: float
+    kind: str
+    where_fraction: float
+    #: ``collective_retry`` only: how many attempts the fault eats.
+    failed_attempts: int
+
+    def node_index(self, num_nodes: int) -> int:
+        """The node this failure lands on, for a fleet of ``num_nodes``."""
+        if num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        return min(int(self.where_fraction * num_nodes), num_nodes - 1)
+
+    def rank_index(self, world_size: int) -> int:
+        """The rank this failure lands on, for a given world size."""
+        if world_size < 1:
+            raise ValueError("world_size must be >= 1")
+        return min(int(self.where_fraction * world_size), world_size - 1)
+
+
+class FailureProcess:
+    """Poisson failure arrivals with a fixed per-event draw budget.
+
+    Args:
+        mtbf_seconds: Fleet-level mean time between failures (of any
+            kind).  The paper's operational premise: at 16K GPUs this is
+            hours, not days.
+        seed: RNG seed; same seed → same absolute failure sequence.
+        node_loss_fraction: Probability an arrival is a permanent node
+            loss.
+        retry_fraction: Probability an arrival is a transient network
+            fault (collective retries).  The remainder are transient
+            stragglers.
+        retry_success_p: Geometric parameter for how many attempts a
+            network fault eats; small values make retry-budget
+            exhaustion (escalation to abort) more likely.
+    """
+
+    def __init__(
+        self,
+        mtbf_seconds: float,
+        seed: int = 0,
+        node_loss_fraction: float = 0.4,
+        retry_fraction: float = 0.3,
+        retry_success_p: float = 0.6,
+    ) -> None:
+        if mtbf_seconds <= 0:
+            raise ValueError("mtbf_seconds must be > 0")
+        if not 0.0 <= node_loss_fraction <= 1.0:
+            raise ValueError("node_loss_fraction must be in [0, 1]")
+        if not 0.0 <= retry_fraction <= 1.0 - node_loss_fraction:
+            raise ValueError(
+                "retry_fraction must fit in [0, 1 - node_loss_fraction]")
+        if not 0.0 < retry_success_p <= 1.0:
+            raise ValueError("retry_success_p must be in (0, 1]")
+        self.mtbf_seconds = mtbf_seconds
+        self.seed = seed
+        self.node_loss_fraction = node_loss_fraction
+        self.retry_fraction = retry_fraction
+        self.retry_success_p = retry_success_p
+        self._rng = np.random.default_rng(seed)
+        self._clock = 0.0
+
+    def next_failure(self) -> FailureEvent:
+        """Draw the next arrival on the absolute failure clock."""
+        gap = float(self._rng.exponential(self.mtbf_seconds))
+        u_kind = float(self._rng.random())
+        where = float(self._rng.random())
+        attempts = int(self._rng.geometric(self.retry_success_p))
+        self._clock += gap
+        if u_kind < self.node_loss_fraction:
+            kind = "node_loss"
+        elif u_kind < self.node_loss_fraction + self.retry_fraction:
+            kind = "collective_retry"
+        else:
+            kind = "transient_straggler"
+        return FailureEvent(
+            time_seconds=self._clock,
+            kind=kind,
+            where_fraction=where,
+            failed_attempts=attempts,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "mtbf_seconds": self.mtbf_seconds,
+            "seed": self.seed,
+            "node_loss_fraction": self.node_loss_fraction,
+            "retry_fraction": self.retry_fraction,
+            "retry_success_p": self.retry_success_p,
+        }

@@ -1,0 +1,165 @@
+"""Checkpoint/restart policies and checkpoint cost pricing.
+
+A policy answers one question: *after how many steps should the run pay
+for a checkpoint?*  Its inputs are the three quantities the classical
+analysis needs — healthy step time, checkpoint write time, and fleet
+MTBF — and its output is an interval in whole steps (or ``None`` for the
+no-checkpoint baseline).
+
+The checkpoint write itself is priced from first principles rather than
+assumed: the payload is the training state the run must persist to
+resume exactly (:func:`repro.model.memory.training_state_bytes` — BF16
+weights plus full Adam state), sharded evenly across the nodes doing the
+writing, against the per-node checkpoint bandwidth of the cluster
+(:meth:`repro.hardware.cluster.ClusterSpec.checkpoint_bandwidth_per_node`).
+
+:class:`YoungDaly` implements the classical optimum
+``W_opt = sqrt(2 * C * MTBF)`` (Young 1974, Daly 2006): checkpoint when
+the expected rework saved equals the checkpoint cost paid.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.hardware.cluster import ClusterSpec
+from repro.model.config import TextModelConfig
+from repro.model.memory import training_state_bytes
+
+
+def checkpoint_bytes(model: TextModelConfig) -> float:
+    """Global checkpoint payload in bytes (weights + optimizer state)."""
+    return training_state_bytes(model)
+
+
+def checkpoint_write_seconds(
+    model: TextModelConfig, cluster: ClusterSpec, ngpu: int
+) -> float:
+    """Seconds to persist one checkpoint from an ``ngpu``-GPU fleet.
+
+    The state is sharded across the fleet (every rank owns a disjoint
+    optimizer shard under ZeRO), so all nodes write their share in
+    parallel and the wall time is the per-node share over the per-node
+    checkpoint bandwidth.
+    """
+    if ngpu < 1:
+        raise ValueError("ngpu must be >= 1")
+    nodes = max(ngpu // cluster.gpus_per_node, 1)
+    per_node = checkpoint_bytes(model) / nodes
+    return per_node / cluster.checkpoint_bandwidth_per_node()
+
+
+def checkpoint_read_seconds(
+    model: TextModelConfig, cluster: ClusterSpec, ngpu: int
+) -> float:
+    """Seconds to restore a checkpoint onto an ``ngpu``-GPU fleet.
+
+    Symmetric to the write: every node pulls its shard in parallel.  A
+    shrunken fleet reads the same global payload over fewer nodes, so
+    restores get slower as capacity is lost — which the elastic-replan
+    path in :mod:`repro.resilience.run` prices per segment.
+    """
+    return checkpoint_write_seconds(model, cluster, ngpu)
+
+
+@dataclass(frozen=True)
+class NoCheckpoint:
+    """Baseline: never checkpoint; any failure restarts from step 0."""
+
+    kind_label = "none"
+
+    def interval_steps(
+        self, step_seconds: float, checkpoint_seconds: float,
+        mtbf_seconds: float,
+    ) -> Optional[int]:
+        return None
+
+    def describe(self) -> str:
+        return "no checkpoints (restart from scratch on failure)"
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind_label}
+
+
+@dataclass(frozen=True)
+class FixedInterval:
+    """Checkpoint every ``every_steps`` steps, MTBF-blind."""
+
+    every_steps: int
+
+    kind_label = "fixed"
+
+    def __post_init__(self) -> None:
+        if self.every_steps < 1:
+            raise ValueError("every_steps must be >= 1")
+
+    def interval_steps(
+        self, step_seconds: float, checkpoint_seconds: float,
+        mtbf_seconds: float,
+    ) -> Optional[int]:
+        return self.every_steps
+
+    def describe(self) -> str:
+        return f"fixed interval: every {self.every_steps} steps"
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind_label, "every_steps": self.every_steps}
+
+
+@dataclass(frozen=True)
+class YoungDaly:
+    """Young/Daly-optimal interval: ``W_opt = sqrt(2 * C * MTBF)``.
+
+    ``W_opt`` is the optimal amount of *work* between checkpoints; the
+    policy rounds it to whole steps (at least one).  Checkpointing more
+    often wastes write time; less often wastes expected rework — the
+    optimum balances the two, which is exactly what the acceptance test
+    in ``tests/test_resilience_run.py`` pins against both extremes.
+    """
+
+    kind_label = "young_daly"
+
+    def interval_steps(
+        self, step_seconds: float, checkpoint_seconds: float,
+        mtbf_seconds: float,
+    ) -> Optional[int]:
+        if step_seconds <= 0:
+            raise ValueError("step_seconds must be > 0")
+        if checkpoint_seconds < 0 or mtbf_seconds <= 0:
+            raise ValueError(
+                "need checkpoint_seconds >= 0 and mtbf_seconds > 0")
+        w_opt = math.sqrt(2.0 * checkpoint_seconds * mtbf_seconds)
+        return max(1, round(w_opt / step_seconds))
+
+    def describe(self) -> str:
+        return "Young/Daly-optimal interval: sqrt(2 * C * MTBF)"
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind_label}
+
+
+CheckpointPolicy = Union[NoCheckpoint, FixedInterval, YoungDaly]
+
+
+def parse_policy(spec: str) -> CheckpointPolicy:
+    """Parse a CLI policy spec: ``none``, ``young-daly``, or ``fixed:N``.
+
+    Raises ``ValueError`` with a usage hint on any malformed spec.
+    """
+    head, _, rest = spec.partition(":")
+    head = head.strip()
+    if head == "none":
+        return NoCheckpoint()
+    if head in ("young-daly", "young_daly"):
+        return YoungDaly()
+    if head == "fixed":
+        try:
+            return FixedInterval(every_steps=int(rest.strip()))
+        except ValueError:
+            raise ValueError(
+                f"bad fixed-interval policy {spec!r}; expected fixed:<steps>"
+            ) from None
+    raise ValueError(
+        f"unknown policy {spec!r}; choose none | young-daly | fixed:<steps>")

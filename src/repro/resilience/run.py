@@ -1,0 +1,498 @@
+"""Multi-step run simulator: the first time axis above the step.
+
+Composes the single-step simulator (:func:`repro.train.step.simulate_step`
+prices what a step costs on a given fleet) with a seeded failure process
+(:mod:`repro.resilience.failures`), a checkpoint policy
+(:mod:`repro.resilience.policy`), and two recovery strategies for
+permanent node loss — elastic replanning
+(:func:`repro.parallel.planner.replan_for_gpu_count`: continue degraded
+on the shrunken fleet) or wait-for-replacement.
+
+The output answers the operators' question from Section 6.1 at 16K GPUs:
+*what fraction of GPU wall-clock turned into tokens?*  Every second of
+the run lands in exactly one accounting bucket:
+
+========================  ==============================================
+``productive``            committed steps, at the healthy full-fleet rate
+``degraded``              extra step time paid on a shrunken fleet
+``fault``                 transient-straggler inflation of committed steps
+``retry``                 collective timeout/backoff ladders
+``rework``                uncommitted work lost to a failure
+``checkpoint``            checkpoint writes
+``restart``               restart overhead + checkpoint restores
+``waiting``               idle fleet waiting for a node replacement
+========================  ==============================================
+
+so ``sum(buckets) == elapsed`` exactly (a pinned test invariant).
+
+The run timeline is recorded into a :class:`repro.sim.engine.Simulator`
+on rank 0 — steps on the ``compute`` stream, checkpoint/restart I/O on
+``io``, retry ladders on ``dp`` (it is the gradient sync that rides the
+scale-out network) — so ``repro run --trace`` exports the whole run as a
+Perfetto timeline with ``retry``/``checkpoint``/``restart`` tags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from repro.faults.models import fault_preset
+from repro.hardware.cluster import ClusterSpec
+from repro.model.config import TextModelConfig
+from repro.obs.metrics import MetricsRegistry
+from repro.parallel.config import JobConfig
+from repro.parallel.planner import Plan, plan_parallelism, replan_for_gpu_count
+from repro.resilience.failures import FailureProcess
+from repro.resilience.policy import (
+    CheckpointPolicy,
+    YoungDaly,
+    checkpoint_read_seconds,
+    checkpoint_write_seconds,
+)
+from repro.sim.collectives import DEFAULT_RETRY_POLICY, RetryPolicy
+from repro.sim.engine import Simulator
+from repro.train.step import simulate_step
+
+#: Wall-clock bucket names, in report order.
+BUCKETS = ("productive", "degraded", "fault", "retry",
+           "rework", "checkpoint", "restart", "waiting")
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Everything a multi-step run needs beyond (model, job, cluster)."""
+
+    steps: int
+    mtbf_seconds: float
+    policy: CheckpointPolicy = field(default_factory=YoungDaly)
+    seed: int = 0
+    #: On permanent node loss: replan on the shrunken fleet (True) or
+    #: keep the plan and wait ``replacement_seconds`` for a spare (False).
+    elastic: bool = True
+    replacement_seconds: float = 1800.0
+    #: Fixed restart cost per abort: scheduler round-trip, process
+    #: launch, NCCL (re)initialisation — paid before any restore I/O.
+    restart_overhead_seconds: float = 120.0
+    retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY
+    node_loss_fraction: float = 0.4
+    retry_fraction: float = 0.3
+    retry_success_p: float = 0.6
+    #: Safety valve: a no-checkpoint run under a harsh MTBF may never
+    #: finish; stop (``completed=False``) after this many step attempts.
+    max_step_attempts: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.steps < 1:
+            raise ValueError("steps must be >= 1")
+        if self.mtbf_seconds <= 0:
+            raise ValueError("mtbf_seconds must be > 0")
+        if self.replacement_seconds < 0 or self.restart_overhead_seconds < 0:
+            raise ValueError("recovery costs must be >= 0")
+
+    @property
+    def attempt_limit(self) -> int:
+        if self.max_step_attempts is not None:
+            return self.max_step_attempts
+        return max(50 * self.steps, 1000)
+
+
+@dataclass(frozen=True)
+class FleetSegment:
+    """Pricing of one fleet capacity, reused across its lifetime."""
+
+    capacity_ngpu: int
+    plan: Plan
+    step_seconds: float
+    straggler_extra_seconds: float
+    checkpoint_write_seconds: float
+    checkpoint_read_seconds: float
+
+    def to_dict(self) -> dict:
+        par = self.plan.parallel
+        return {
+            "capacity_ngpu": self.capacity_ngpu,
+            "plan_ngpu": par.world_size,
+            "parallel": {"tp": par.tp, "cp": par.cp, "pp": par.pp,
+                         "dp": par.dp, "zero": par.zero.value},
+            "schedule": self.plan.schedule,
+            "step_seconds": self.step_seconds,
+            "straggler_extra_seconds": self.straggler_extra_seconds,
+            "checkpoint_write_seconds": self.checkpoint_write_seconds,
+            "checkpoint_read_seconds": self.checkpoint_read_seconds,
+        }
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated multi-step run."""
+
+    config: RunConfig
+    initial_plan: Plan
+    tokens_per_step: int
+    ideal_step_seconds: float
+    interval_steps: Optional[int]
+    steps_completed: int
+    completed: bool
+    truncated_reason: Optional[str]
+    elapsed_seconds: float
+    buckets: Dict[str, float]
+    counters: Dict[str, int]
+    failures: List[dict]
+    segments: List[dict]
+    sim: Simulator
+
+    @property
+    def ideal_seconds(self) -> float:
+        """Wall-clock of a failure-free full-fleet run."""
+        return self.config.steps * self.ideal_step_seconds
+
+    @property
+    def goodput_fraction(self) -> float:
+        """Committed work at the ideal rate, over elapsed wall-clock."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return (self.steps_completed * self.ideal_step_seconds
+                / self.elapsed_seconds)
+
+    @property
+    def achieved_tokens(self) -> int:
+        return self.steps_completed * self.tokens_per_step
+
+    @property
+    def ideal_tokens(self) -> float:
+        """Tokens an ideal run would have produced in the same elapsed."""
+        if self.ideal_step_seconds <= 0:
+            return 0.0
+        return (self.elapsed_seconds / self.ideal_step_seconds
+                * self.tokens_per_step)
+
+    @property
+    def tokens_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.achieved_tokens / self.elapsed_seconds
+
+
+def _price_segment(
+    model: TextModelConfig,
+    job: JobConfig,
+    cluster: ClusterSpec,
+    capacity_ngpu: int,
+    plan: Plan,
+) -> FleetSegment:
+    """Price a fleet capacity: healthy step, straggler step, checkpoint."""
+    seg_job = plan.job
+    healthy = simulate_step(model, plan.parallel, seg_job, cluster,
+                            schedule_kind=plan.schedule)
+    straggled = simulate_step(
+        model, plan.parallel, seg_job, cluster, schedule_kind=plan.schedule,
+        fault_plan=fault_preset("straggler-default",
+                                plan.parallel.world_size))
+    ngpu = plan.parallel.world_size
+    return FleetSegment(
+        capacity_ngpu=capacity_ngpu,
+        plan=plan,
+        step_seconds=healthy.step_seconds,
+        straggler_extra_seconds=max(
+            straggled.step_seconds - healthy.step_seconds, 0.0),
+        checkpoint_write_seconds=checkpoint_write_seconds(
+            model, cluster, ngpu),
+        checkpoint_read_seconds=checkpoint_read_seconds(
+            model, cluster, ngpu),
+    )
+
+
+def simulate_run(
+    model: TextModelConfig,
+    job: JobConfig,
+    cluster: ClusterSpec,
+    config: RunConfig,
+    sim: Optional[Simulator] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> RunResult:
+    """Simulate ``config.steps`` optimizer steps under failures.
+
+    The checkpoint interval is derived once, from the *initial* fleet's
+    step and checkpoint prices — matching practice, where the interval is
+    an operator setting, not something retuned mid-incident.
+
+    Failure semantics per arrival kind:
+
+    * ``transient_straggler`` inflates the in-flight step by the priced
+      ``straggler-default`` delta, then the fleet runs healthy again;
+    * ``collective_retry`` plays the retry ladder of
+      ``config.retry_policy`` on the timeline (timeout attempts tagged
+      ``retry``, gaps tagged ``retry``+``backoff``); an arrival whose
+      attempt count exceeds the budget escalates to an abort;
+    * ``node_loss`` aborts the step, permanently removes one node, and
+      either replans (``elastic=True``) or waits for a replacement.
+
+    Every abort pays ``restart_overhead_seconds``, restores the last
+    checkpoint (priced per segment) if one exists, and resumes from the
+    last committed step — from step 0 under :class:`NoCheckpoint`.
+    """
+    sim = sim if sim is not None else Simulator()
+    proc = FailureProcess(
+        config.mtbf_seconds, seed=config.seed,
+        node_loss_fraction=config.node_loss_fraction,
+        retry_fraction=config.retry_fraction,
+        retry_success_p=config.retry_success_p,
+    )
+    initial_plan = plan_parallelism(model, job, cluster)
+    segments: Dict[int, FleetSegment] = {}
+
+    def segment_for(capacity: int) -> FleetSegment:
+        if capacity not in segments:
+            if capacity == job.ngpu:
+                plan = initial_plan
+            else:
+                plan = replan_for_gpu_count(
+                    model, replace(job, ngpu=capacity), cluster, capacity)
+            segments[capacity] = _price_segment(
+                model, job, cluster, capacity, plan)
+        return segments[capacity]
+
+    seg = segment_for(job.ngpu)
+    ideal_step = seg.step_seconds
+    interval = config.policy.interval_steps(
+        seg.step_seconds, seg.checkpoint_write_seconds, config.mtbf_seconds)
+
+    buckets = {name: 0.0 for name in BUCKETS}
+    counters = {
+        "steps_attempted": 0, "checkpoints": 0, "restarts": 0,
+        "replans": 0, "retry_ladders": 0, "retry_attempts": 0,
+        "node_losses": 0, "transient_stragglers": 0, "retry_exhaustions": 0,
+    }
+    failures: List[dict] = []
+    segment_log: List[dict] = [dict(seg.to_dict(), from_seconds=0.0)]
+
+    t = 0.0
+    prev = None  # last timeline event, for `after=` chaining
+    done = 0        # steps finished since the run began (incl. uncommitted)
+    committed = 0   # steps safe in the last checkpoint
+    capacity = job.ngpu
+    # (duration, productive, degraded, fault, retry) per uncommitted step.
+    pending: List[tuple] = []
+    pending_events = proc.next_failure()
+    truncated_reason: Optional[str] = None
+
+    def emit(stream: str, duration: float, name: str, kind: str,
+             tags: tuple) -> None:
+        nonlocal prev
+        prev = sim.run(0, stream, duration, name, kind=kind,
+                       after=[prev] if prev is not None else None, tags=tags)
+
+    def commit_pending() -> None:
+        nonlocal committed
+        for dur, prod, degr, fault, retry in pending:
+            buckets["productive"] += prod
+            buckets["degraded"] += degr
+            buckets["fault"] += fault
+            buckets["retry"] += retry
+        pending.clear()
+        committed = done
+
+    while done < config.steps:
+        if counters["steps_attempted"] >= config.attempt_limit:
+            truncated_reason = (
+                f"gave up after {counters['steps_attempted']} step attempts "
+                f"({done}/{config.steps} steps committed)")
+            break
+        counters["steps_attempted"] += 1
+        base = seg.step_seconds
+        transient_extra = 0.0
+        ladders: List[int] = []
+        abort = None  # (reason, FailureEvent)
+
+        def completion_time() -> float:
+            overhead = sum(
+                config.retry_policy.retry_overhead_seconds(k)
+                for k in ladders)
+            return t + base + transient_extra + overhead
+
+        # Absorb every failure landing before this step would complete;
+        # transient ones stretch the step (which can pull in more).
+        while abort is None and pending_events.time_seconds < completion_time():
+            ev = pending_events
+            pending_events = proc.next_failure()
+            failures.append({
+                "time_seconds": ev.time_seconds, "kind": ev.kind,
+                "failed_attempts": (ev.failed_attempts
+                                    if ev.kind == "collective_retry" else 0),
+                "during_outage": False,
+            })
+            if ev.kind == "transient_straggler":
+                counters["transient_stragglers"] += 1
+                transient_extra += seg.straggler_extra_seconds
+            elif ev.kind == "collective_retry":
+                if config.retry_policy.exhausted_by(ev.failed_attempts):
+                    counters["retry_exhaustions"] += 1
+                    abort = ("retry_exhausted", ev)
+                else:
+                    counters["retry_ladders"] += 1
+                    counters["retry_attempts"] += ev.failed_attempts
+                    ladders.append(ev.failed_attempts)
+            else:
+                counters["node_losses"] += 1
+                abort = ("node_loss", ev)
+
+        if abort is None:
+            # Retry ladders first (the gradient sync that stalled), then
+            # the step's compute span; both chained on the timeline.
+            retry_overhead = 0.0
+            for i, attempts in enumerate(ladders):
+                events = sim.run_collective(
+                    [0], "dp", 0.0, f"retry:step{done}.{i}",
+                    after={0: [prev]} if prev is not None else None,
+                    failed_attempts=attempts,
+                    retry_policy=config.retry_policy)
+                prev = events[0]
+                retry_overhead += (
+                    config.retry_policy.retry_overhead_seconds(attempts))
+            tags = ("step",)
+            # A replanned fleet is normally slower than the ideal one,
+            # but never let a surprisingly fast replan make the split
+            # negative: productive is capped at the ideal rate.
+            degraded_extra = max(base - ideal_step, 0.0)
+            productive = base - degraded_extra
+            if capacity < job.ngpu:
+                tags += ("degraded",)
+            if transient_extra > 0:
+                tags += ("transient_fault",)
+            emit("compute", base + transient_extra, f"step:{done}",
+                 "compute", tags)
+            t = completion_time()
+            pending.append((base + transient_extra + retry_overhead,
+                            productive, degraded_extra, transient_extra,
+                            retry_overhead))
+            done += 1
+            if (interval is not None and done < config.steps
+                    and done - committed >= interval):
+                emit("io", seg.checkpoint_write_seconds,
+                     f"checkpoint:{done}", "io", ("checkpoint",))
+                buckets["checkpoint"] += seg.checkpoint_write_seconds
+                counters["checkpoints"] += 1
+                t += seg.checkpoint_write_seconds
+                commit_pending()
+            continue
+
+        # ---- abort path -------------------------------------------------
+        reason, ev = abort
+        lost_partial = min(max(ev.time_seconds - t, 0.0),
+                           completion_time() - t)
+        if lost_partial > 0:
+            emit("compute", lost_partial, f"step:{done}", "compute",
+                 ("step", "rework"))
+            t += lost_partial
+        buckets["rework"] += lost_partial + sum(p[0] for p in pending)
+        pending.clear()
+        done = committed
+        emit("io", 0.0, f"failure:{reason}", "marker", ("failure", reason))
+
+        if reason == "node_loss":
+            if config.elastic:
+                new_capacity = capacity - cluster.gpus_per_node
+                try:
+                    seg = segment_for(new_capacity)
+                except ValueError:
+                    truncated_reason = (
+                        f"no feasible plan at {new_capacity} GPUs")
+                    break
+                capacity = new_capacity
+                counters["replans"] += 1
+                emit("io", 0.0, f"replan:{seg.plan.parallel.world_size}gpu",
+                     "marker", ("replan",))
+                segment_log.append(dict(seg.to_dict(), from_seconds=t))
+            else:
+                emit("io", config.replacement_seconds, "wait:replacement",
+                     "io", ("waiting",))
+                buckets["waiting"] += config.replacement_seconds
+                t += config.replacement_seconds
+
+        emit("io", config.restart_overhead_seconds,
+             f"restart:{counters['restarts']}", "io", ("restart",))
+        buckets["restart"] += config.restart_overhead_seconds
+        t += config.restart_overhead_seconds
+        if committed > 0:
+            emit("io", seg.checkpoint_read_seconds,
+                 f"restore:step{committed}", "io", ("restart", "restore"))
+            buckets["restart"] += seg.checkpoint_read_seconds
+            t += seg.checkpoint_read_seconds
+        counters["restarts"] += 1
+
+        # Failures that arrived while the fleet was already down coalesce
+        # into this outage: nothing was training (no work to lose) and
+        # repairs proceed in parallel.  Node losses still shrink an
+        # elastic fleet; transient faults during downtime are no-ops.
+        while (truncated_reason is None
+               and pending_events.time_seconds < t):
+            ev = pending_events
+            pending_events = proc.next_failure()
+            failures.append({
+                "time_seconds": ev.time_seconds, "kind": ev.kind,
+                "failed_attempts": (ev.failed_attempts
+                                    if ev.kind == "collective_retry" else 0),
+                "during_outage": True,
+            })
+            if ev.kind != "node_loss":
+                continue
+            counters["node_losses"] += 1
+            if not config.elastic:
+                continue
+            new_capacity = capacity - cluster.gpus_per_node
+            try:
+                seg = segment_for(new_capacity)
+            except ValueError:
+                truncated_reason = (
+                    f"no feasible plan at {new_capacity} GPUs")
+                break
+            capacity = new_capacity
+            counters["replans"] += 1
+            emit("io", 0.0, f"replan:{seg.plan.parallel.world_size}gpu",
+                 "marker", ("replan",))
+            segment_log.append(dict(seg.to_dict(), from_seconds=t))
+        if truncated_reason is not None:
+            break
+
+    completed = done >= config.steps
+    if completed:
+        # Run end materialises the final state: commit the tail steps.
+        commit_pending()
+    else:
+        # Truncated with work in flight: account it as rework.
+        buckets["rework"] += sum(p[0] for p in pending)
+        pending.clear()
+
+    result = RunResult(
+        config=config,
+        initial_plan=initial_plan,
+        tokens_per_step=job.tokens_per_step,
+        ideal_step_seconds=ideal_step,
+        interval_steps=interval,
+        steps_completed=committed,
+        completed=completed,
+        truncated_reason=truncated_reason,
+        elapsed_seconds=t,
+        buckets=buckets,
+        counters=counters,
+        failures=failures,
+        segments=segment_log,
+        sim=sim,
+    )
+    if metrics is not None:
+        gauges = metrics.gauge(
+            "run.seconds", unit="s",
+            description="run wall-clock, by accounting bucket")
+        for name, value in buckets.items():
+            gauges.set(value, bucket=name)
+        gauges.set(t, bucket="elapsed")
+        metrics.gauge(
+            "run.goodput_fraction", unit="ratio",
+            description="committed work at the ideal rate over elapsed",
+        ).set(result.goodput_fraction)
+        fail_counter = metrics.counter(
+            "run.failures", description="failure arrivals applied, by kind")
+        for row in failures:
+            fail_counter.inc(kind=row["kind"])
+    return result

@@ -15,7 +15,10 @@ Section 6.1 describes for production traces.
 
 from repro.sim.engine import Simulator, TraceEvent, StreamKey
 from repro.sim.collectives import (
+    DEFAULT_COLLECTIVE_TIMEOUT_SECONDS,
+    DEFAULT_RETRY_POLICY,
     CollectiveCost,
+    RetryPolicy,
     all_gather_time,
     reduce_scatter_time,
     all_reduce_time,
@@ -28,6 +31,9 @@ __all__ = [
     "Simulator",
     "TraceEvent",
     "StreamKey",
+    "DEFAULT_COLLECTIVE_TIMEOUT_SECONDS",
+    "DEFAULT_RETRY_POLICY",
+    "RetryPolicy",
     "CollectiveCost",
     "all_gather_time",
     "reduce_scatter_time",

@@ -25,6 +25,75 @@ from typing import Sequence
 from repro.hardware.cluster import ClusterSpec
 from repro.hardware.network import LinkSpec, effective_bandwidth, transfer_time
 
+#: Default collective watchdog timeout, in simulated seconds.  This is the
+#: single constant behind every timeout-shaped behaviour in the repo: a
+#: :class:`repro.faults.HungRank` with ``timeout_seconds=None`` stalls at
+#: most this long (NCCL-watchdog-then-recover), and a failed collective
+#: attempt under :class:`RetryPolicy` occupies its stream for exactly this
+#: long before backing off.  Real NCCL defaults to minutes; the simulated
+#: workloads run seconds-long steps, so the constant is scaled to match.
+DEFAULT_COLLECTIVE_TIMEOUT_SECONDS = 30.0
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff for failed collectives.
+
+    Models the runtime's recovery ladder for transient network faults: a
+    collective that does not complete within ``timeout_seconds`` is torn
+    down by the watchdog, the group backs off
+    ``backoff_base_seconds * backoff_multiplier**attempt`` (attempt 0 is
+    the first failure), and the collective is re-issued — at most
+    ``max_retries`` times before the job aborts and restarts from its
+    last checkpoint (:mod:`repro.resilience`).
+    """
+
+    max_retries: int = 3
+    timeout_seconds: float = DEFAULT_COLLECTIVE_TIMEOUT_SECONDS
+    backoff_base_seconds: float = 1.0
+    backoff_multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.timeout_seconds <= 0:
+            raise ValueError("timeout_seconds must be > 0")
+        if self.backoff_base_seconds < 0:
+            raise ValueError("backoff_base_seconds must be >= 0")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be >= 1")
+
+    def backoff_seconds(self, attempt: int) -> float:
+        """Backoff after the ``attempt``-th failure (0-based)."""
+        if attempt < 0:
+            raise ValueError("attempt must be >= 0")
+        return self.backoff_base_seconds * self.backoff_multiplier**attempt
+
+    def retry_overhead_seconds(self, failed_attempts: int) -> float:
+        """Total time ``failed_attempts`` timeouts + backoffs add before
+        the successful attempt starts."""
+        return sum(
+            self.timeout_seconds + self.backoff_seconds(k)
+            for k in range(failed_attempts)
+        )
+
+    def exhausted_by(self, failed_attempts: int) -> bool:
+        """Whether this many failures exceeds the retry budget (the
+        caller should abort-and-restart rather than retry again)."""
+        return failed_attempts > self.max_retries
+
+    def to_dict(self) -> dict:
+        return {
+            "max_retries": self.max_retries,
+            "timeout_seconds": self.timeout_seconds,
+            "backoff_base_seconds": self.backoff_base_seconds,
+            "backoff_multiplier": self.backoff_multiplier,
+        }
+
+
+#: The policy used when a caller requests retries without supplying one.
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
 
 @dataclass(frozen=True)
 class CollectiveCost:

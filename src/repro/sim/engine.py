@@ -26,6 +26,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.sim.collectives import DEFAULT_RETRY_POLICY, RetryPolicy
+
 StreamKey = Tuple[int, str]
 
 #: Duration-modifier hook: ``(rank, stream, kind, name, duration)`` -> new
@@ -165,6 +167,9 @@ class Simulator:
         after: Optional[Dict[int, Sequence[TraceEvent]]] = None,
         kind: str = "comm",
         skew: Optional[Dict[int, float]] = None,
+        tags: Tuple[str, ...] = (),
+        failed_attempts: int = 0,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> Dict[int, TraceEvent]:
         """Run a synchronising collective across ``ranks``.
 
@@ -179,9 +184,56 @@ class Simulator:
         so one rank's degraded link slows the whole collective, and only
         the perturbed participants are tagged ``"faulted"``.
 
-        Returns one event per rank spanning [join, collective end], so a
-        rank's event duration includes its wait for stragglers.
+        ``failed_attempts`` plays out the timeout→retry→backoff ladder of
+        ``retry_policy`` (default :data:`~repro.sim.collectives.
+        DEFAULT_RETRY_POLICY`) before the successful attempt: each failed
+        attempt occupies the stream for the policy's watchdog timeout and
+        is tagged ``"retry"``, each backoff gap is tagged
+        ``("retry", "backoff")``.  Raises ``ValueError`` if the policy's
+        retry budget cannot absorb that many failures — the caller is
+        expected to model a job abort instead (:mod:`repro.resilience`).
+
+        Returns one event per rank for the **successful** attempt,
+        spanning [join, collective end], so a rank's event duration
+        includes its wait for stragglers.
         """
+        if failed_attempts < 0:
+            raise ValueError("failed_attempts must be >= 0")
+        if failed_attempts:
+            policy = retry_policy or DEFAULT_RETRY_POLICY
+            if policy.exhausted_by(failed_attempts):
+                raise ValueError(
+                    f"collective {name!r}: {failed_attempts} failed attempts "
+                    f"exceed the retry budget (max_retries="
+                    f"{policy.max_retries}); model an abort instead")
+            for attempt in range(failed_attempts):
+                self._run_collective_once(
+                    ranks, stream, policy.timeout_seconds,
+                    f"{name}#try{attempt}", after, kind, skew,
+                    tags + ("retry",))
+                # Later attempts are gated by stream order alone.
+                after = None
+                skew = None
+                backoff = policy.backoff_seconds(attempt)
+                if backoff > 0:
+                    for rank in ranks:
+                        self.run(
+                            rank, stream, backoff, f"{name}#backoff{attempt}",
+                            kind=kind, tags=tags + ("retry", "backoff"))
+        return self._run_collective_once(
+            ranks, stream, duration, name, after, kind, skew, tags)
+
+    def _run_collective_once(
+        self,
+        ranks: Sequence[int],
+        stream: str,
+        duration: float,
+        name: str,
+        after: Optional[Dict[int, Sequence[TraceEvent]]],
+        kind: str,
+        skew: Optional[Dict[int, float]],
+        tags: Tuple[str, ...],
+    ) -> Dict[int, TraceEvent]:
         if not ranks:
             raise ValueError("collective needs at least one rank")
         if len(set(ranks)) != len(ranks):
@@ -207,7 +259,7 @@ class Simulator:
             event = TraceEvent(
                 name=name, kind=kind, rank=rank, stream=stream,
                 start=join_times[rank], end=end, group=tuple(ranks),
-                tags=self._tagged((), rank_faulted[rank]),
+                tags=self._tagged(tuple(tags), rank_faulted[rank]),
             )
             self._free_at[(rank, stream)] = end
             self._events.append(event)

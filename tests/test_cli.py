@@ -64,3 +64,20 @@ class TestImbalance:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestRun:
+    def test_failure_free_run_reports_goodput(self, capsys):
+        # An astronomically large MTBF: no failures land in 20 steps.
+        assert main(["run", "--steps", "20", "--mtbf", "1e9"]) == 0
+        out = capsys.readouterr().out
+        assert "steps committed: 20/20 (completed)" in out
+        assert "goodput:" in out
+        assert "failures:        0" in out
+
+    def test_policy_none_never_checkpoints(self, capsys):
+        assert main(["run", "--steps", "5", "--mtbf", "1e9",
+                     "--policy", "none"]) == 0
+        out = capsys.readouterr().out
+        assert "no checkpoints" in out
+        assert "never (0 written" in out

@@ -49,6 +49,16 @@ class TestJsonFlags:
         rep = _json_out(capsys)
         assert rep["schema"] == "repro.imbalance/v2"
 
+    def test_run_json(self, capsys):
+        assert main(["run", "--steps", "30", "--mtbf", "120", "--seed", "11",
+                     "--wait-for-replacement", "--json"]) == 0
+        rep = _json_out(capsys)
+        assert rep["schema"] == "repro.resilience/v1"
+        assert rep["config"]["steps"] == 30
+        assert rep["config"]["elastic"] is False
+        assert "productive" in rep["buckets_seconds"]
+        assert 0 < rep["goodput"]["fraction"] <= 1
+
 
 class TestTraceFlags:
     def test_step_trace_flag(self, tmp_path, capsys):
@@ -72,6 +82,21 @@ class TestTraceFlags:
         prefixes = {n.split("/")[0] for n in names}
         assert prefixes == {"short-context ramp-up", "short-context main",
                             "long-context"}
+
+    def test_run_trace_has_markers_retries_and_checkpoints(self, tmp_path,
+                                                           capsys):
+        path = tmp_path / "run.json"
+        assert main(["run", "--steps", "60", "--mtbf", "120", "--seed", "11",
+                     "--wait-for-replacement", "--trace", str(path)]) == 0
+        trace = json.loads(path.read_text())
+        assert_valid_trace(trace)
+        rows = trace["traceEvents"]
+        # Failure markers export as instant events; retry ladders and
+        # checkpoint writes keep their tags searchable in Perfetto.
+        assert any(r["ph"] == "i" for r in rows)
+        tags = [t for r in rows for t in r.get("args", {}).get("tags", ())]
+        assert "retry" in tags and "checkpoint" in tags and "restart" in tags
+        assert "trace written" in capsys.readouterr().out
 
     def test_trace_subcommand_workload(self, tmp_path, capsys):
         path = tmp_path / "wl.json"
@@ -127,6 +152,31 @@ class TestUsageErrors:
             ["trace", "--cmd", "workload", "--out", "/tmp/x.json"], capsys)
         assert rc == 2
         assert "512" in stderr
+
+    def test_malformed_fault_spec_exits_2(self, capsys):
+        rc, stderr = self._rc(
+            ["faults", "--fault", "straggler:rank=xx"], capsys)
+        assert rc == 2
+        assert stderr.startswith("repro: error:")
+        assert len(stderr.strip().splitlines()) == 1
+
+    def test_unknown_fault_type_exits_2(self, capsys):
+        rc, stderr = self._rc(["faults", "--fault", "gremlin:rank=1"], capsys)
+        assert rc == 2
+        assert "unknown fault type" in stderr
+
+    def test_unknown_fault_preset_exits_2(self, capsys):
+        rc, stderr = self._rc(["faults", "--preset", "nope"], capsys)
+        assert rc == 2
+        assert "unknown fault preset" in stderr
+
+    def test_bad_run_policy_exits_2(self, capsys):
+        rc, stderr = self._rc(["run", "--policy", "daily"], capsys)
+        assert rc == 2
+        assert "unknown policy" in stderr
+        rc, stderr = self._rc(["run", "--policy", "fixed:x"], capsys)
+        assert rc == 2
+        assert "fixed:<steps>" in stderr
 
     def test_unwritable_trace_path_exits_2(self, capsys):
         rc = main(["step", *SMALL_STEP,

@@ -18,6 +18,7 @@ from pathlib import Path
 import pytest
 
 from repro.faults import (
+    FAULT_PRESETS,
     CollectiveRetry,
     ComputeStraggler,
     DegradedLink,
@@ -25,9 +26,12 @@ from repro.faults import (
     HungRank,
     PeriodicJitter,
     apply_fault_plan,
+    fault_from_dict,
+    fault_preset,
     parse_fault_spec,
     run_goodput,
 )
+from repro.sim.collectives import DEFAULT_COLLECTIVE_TIMEOUT_SECONDS
 from repro.hardware.cluster import grand_teton
 from repro.model.config import LLAMA3_8B
 from repro.obs.metrics import MetricsRegistry
@@ -114,6 +118,20 @@ class TestFaultModels:
         assert fault.perturb(1.0, state) == 3.0  # min(5, 2) extra
         assert fault.perturb(1.0, state) == 1.0  # healthy afterwards
 
+    def test_hung_rank_defaults_to_the_shared_watchdog_timeout(self):
+        """``timeout_seconds=None`` means the collective watchdog default
+        — the same constant the retry ladder's attempts time out at."""
+        fault = HungRank(rank=0, hang_seconds=1e9)
+        assert (fault.effective_timeout_seconds
+                == DEFAULT_COLLECTIVE_TIMEOUT_SECONDS)
+        assert fault.stall_seconds == DEFAULT_COLLECTIVE_TIMEOUT_SECONDS
+        state = fault.fresh_state()
+        assert fault.perturb(1.0, state) \
+            == 1.0 + DEFAULT_COLLECTIVE_TIMEOUT_SECONDS
+        # A hang shorter than the watchdog is not stretched to it.
+        short = HungRank(rank=0, hang_seconds=0.25)
+        assert short.stall_seconds == 0.25
+
     def test_periodic_jitter_hits_every_period(self):
         fault = PeriodicJitter(rank=0, period=2, extra_seconds=0.1)
         state = fault.fresh_state()
@@ -169,6 +187,49 @@ class TestSpecParser:
     def test_malformed_specs_raise_value_error(self, bad):
         with pytest.raises(ValueError):
             parse_fault_spec(bad)
+
+    @pytest.mark.parametrize("spec", [
+        "straggler:rank=6,extra=0.5",
+        "link:dim=tp,group=0,scale=2.0",
+        "hang:rank=2,seconds=5,timeout=2",
+        "hang:rank=2,seconds=5",        # default watchdog timeout
+        "jitter:rank=1,period=2,extra=0.05",
+        "retry:dim=cp,retries=2,extra=0.05",
+    ])
+    def test_spec_to_dict_round_trips(self, spec):
+        """``parse -> to_dict -> fault_from_dict`` is the identity: the
+        dicts in ``repro faults --json`` reports rebuild the exact fault,
+        derived fields (e.g. ``stall_seconds``) notwithstanding."""
+        fault = parse_fault_spec(spec)
+        assert fault_from_dict(fault.to_dict()) == fault
+
+    def test_fault_from_dict_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            fault_from_dict({"kind": "gremlin", "rank": 0})
+
+
+class TestFaultPresets:
+    def test_straggler_default_matches_the_cli_scenario(self):
+        """The preset is the former hard-coded ``repro faults`` default:
+        a 25%-throttled GPU on the second-to-last rank."""
+        plan = fault_preset("straggler-default", 8)
+        assert plan.faults == (
+            ComputeStraggler(rank=6, extra_seconds=0.0, scale=1.25),)
+
+    def test_preset_scales_with_world_size(self):
+        assert fault_preset("straggler-default", 32).faults[0].rank == 30
+        assert fault_preset("straggler-default", 1).faults[0].rank == 0
+
+    def test_registry_is_consistent(self):
+        assert "straggler-default" in FAULT_PRESETS
+        for name in FAULT_PRESETS:
+            assert fault_preset(name, 8).faults
+
+    def test_unknown_preset_and_bad_world_size_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault preset"):
+            fault_preset("nope", 8)
+        with pytest.raises(ValueError):
+            fault_preset("straggler-default", 0)
 
 
 class TestWorkloadInjection:

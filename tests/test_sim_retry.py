@@ -1,0 +1,122 @@
+"""Collective timeout→retry→backoff semantics on the simulator timeline.
+
+A failed collective attempt occupies its stream for the retry policy's
+watchdog timeout (tagged ``retry``), each inter-attempt gap is a backoff
+event (tagged ``retry`` + ``backoff``), and the successful attempt runs
+last with the caller's own tags.  Because the ladder events are
+``comm``-kind with nothing overlapping them, they surface verbatim in the
+per-stream exposed-communication accounting — which is how ``repro run``
+reports charge retry time against goodput.
+"""
+
+import pytest
+
+from repro.faults.goodput import exposed_comm_by_stream
+from repro.sim.collectives import (
+    DEFAULT_COLLECTIVE_TIMEOUT_SECONDS,
+    DEFAULT_RETRY_POLICY,
+    RetryPolicy,
+)
+from repro.sim.engine import Simulator
+
+#: Small, hand-checkable ladder: timeout 2 s, backoffs 1 s then 2 s.
+POLICY = RetryPolicy(max_retries=3, timeout_seconds=2.0,
+                     backoff_base_seconds=1.0, backoff_multiplier=2.0)
+
+
+class TestRetryPolicy:
+    def test_default_timeout_is_the_shared_constant(self):
+        assert (DEFAULT_RETRY_POLICY.timeout_seconds
+                == DEFAULT_COLLECTIVE_TIMEOUT_SECONDS)
+
+    def test_backoff_grows_exponentially(self):
+        assert [POLICY.backoff_seconds(k) for k in range(3)] == [1.0, 2.0, 4.0]
+
+    def test_retry_overhead_sums_timeouts_and_backoffs(self):
+        # 2 failures: (2 + 1) + (2 + 2)
+        assert POLICY.retry_overhead_seconds(2) == pytest.approx(7.0)
+        assert POLICY.retry_overhead_seconds(0) == 0.0
+
+    def test_exhaustion_boundary(self):
+        assert not POLICY.exhausted_by(3)
+        assert POLICY.exhausted_by(4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout_seconds=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_base_seconds=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_multiplier=0.5)
+
+    def test_to_dict_round_trips(self):
+        assert RetryPolicy(**POLICY.to_dict()) == POLICY
+
+
+class TestRetryLadder:
+    def test_ladder_timing_names_and_tags(self):
+        sim = Simulator()
+        events = sim.run_collective([0, 1], "dp", 0.5, "grads",
+                                    failed_attempts=2, retry_policy=POLICY)
+        # try0 (2s) + backoff0 (1s) + try1 (2s) + backoff1 (2s) + success.
+        assert events[0].start == pytest.approx(7.0)
+        assert events[0].end == pytest.approx(7.5)
+        names = [e.name for e in sim.events_for(0, stream="dp")]
+        assert names == ["grads#try0", "grads#backoff0",
+                         "grads#try1", "grads#backoff1", "grads"]
+        by_name = {e.name: e for e in sim.events_for(1, stream="dp")}
+        assert by_name["grads#try0"].tags == ("retry",)
+        assert by_name["grads#backoff1"].tags == ("retry", "backoff")
+        assert by_name["grads"].tags == ()
+
+    def test_caller_tags_only_on_successful_attempt(self):
+        sim = Simulator()
+        sim.run_collective([0], "dp", 0.5, "grads", tags=("mine",),
+                           failed_attempts=1, retry_policy=POLICY)
+        by_name = {e.name: e for e in sim.events_for(0)}
+        assert by_name["grads"].tags == ("mine",)
+        assert by_name["grads#try0"].tags == ("mine", "retry")
+
+    def test_zero_attempts_is_a_plain_collective(self):
+        sim = Simulator()
+        events = sim.run_collective([0, 1], "dp", 0.5, "grads",
+                                    failed_attempts=0, retry_policy=POLICY)
+        assert len(sim.events) == 2
+        assert events[0].end == pytest.approx(0.5)
+
+    def test_after_gates_the_first_attempt(self):
+        sim = Simulator()
+        gate = sim.run(0, "compute", 3.0, "fwd")
+        sim.run_collective([0], "dp", 0.5, "grads", after={0: [gate]},
+                           failed_attempts=1, retry_policy=POLICY)
+        first = next(e for e in sim.events_for(0, stream="dp")
+                     if e.name == "grads#try0")
+        assert first.start == pytest.approx(3.0)
+
+    def test_exhausted_budget_raises(self):
+        sim = Simulator()
+        with pytest.raises(ValueError, match="retry budget"):
+            sim.run_collective([0], "dp", 0.5, "grads",
+                               failed_attempts=4, retry_policy=POLICY)
+        with pytest.raises(ValueError, match="must be >= 0"):
+            sim.run_collective([0], "dp", 0.5, "grads", failed_attempts=-1)
+
+    def test_retry_ladder_counts_as_exposed_comm(self):
+        """The whole ladder is comm time with no compute overlapping it,
+        so it lands in the per-stream exposed-comm accounting."""
+        sim = Simulator()
+        gate = sim.run(0, "compute", 1.0, "fwd")
+        sim.run_collective([0], "dp", 0.5, "grads", after={0: [gate]},
+                           failed_attempts=1, retry_policy=POLICY)
+        exposed = exposed_comm_by_stream(sim)
+        # try0 (2) + backoff0 (1) + success (0.5), all after compute ended.
+        assert exposed["dp"] == pytest.approx(3.5)
+
+    def test_overlapped_ladder_is_not_exposed(self):
+        sim = Simulator()
+        sim.run(0, "compute", 10.0, "fwd")
+        sim.run_collective([0], "dp", 0.5, "grads",
+                           failed_attempts=1, retry_policy=POLICY)
+        assert exposed_comm_by_stream(sim).get("dp", 0.0) == pytest.approx(0.0)
