@@ -7,7 +7,13 @@ Commands:
 * ``phases``    — plan the full production pre-training progression.
 * ``ordering``  — score all parallelism-dimension orderings (Section 5.2).
 * ``imbalance`` — run the Figure 14 fleet-imbalance simulation.
-* ``trace``     — run a simulation and export its Perfetto timeline.
+* ``trace``     — run a simulation and export its Perfetto timeline
+  (``--out PATH`` or ``--stdout`` for piping into ``repro analyze``).
+* ``analyze``   — trace analytics (see ``docs/analysis.md``): the
+  critical path of a simulated step (with exact makespan tiling and
+  per-op slack), run-vs-run diffing with regression blame
+  (``--diff BASELINE`` or ``--fault SPEC``), or constant-memory
+  streaming ingestion of a trace file (``--ingest PATH|-``).
 * ``faults``    — inject a declarative fault plan into one step (or a
   named ``--preset``), report goodput vs. the healthy baseline, and
   score the Section 6.1 slow-rank localisation against the injected
@@ -153,7 +159,7 @@ def cmd_step(args: argparse.Namespace) -> int:
     print(f"bubble ratio:   {rep.mean_bubble_ratio:.3f}")
     print(f"peak memory:    {rep.max_peak_memory_gb:.1f} GiB "
           f"(worst rank of {par.pp})")
-    if args.trace:
+    if isinstance(args.trace, str):
         print(f"trace written:  {args.trace} (open in ui.perfetto.dev)")
     return 0
 
@@ -199,7 +205,7 @@ def cmd_phases(args: argparse.Namespace) -> int:
         _print_json(phases_report(reports))
         return 0
     print(describe_pretraining(reports))
-    if args.trace:
+    if isinstance(args.trace, str):
         print(f"trace written: {args.trace} (open in ui.perfetto.dev)")
     return 0
 
@@ -243,12 +249,31 @@ def cmd_imbalance(args: argparse.Namespace) -> int:
 def cmd_trace(args: argparse.Namespace) -> int:
     """Run one simulation and export its timeline (``--cmd`` selects
     which): a training step, the phase progression, or the Figure 8
-    synthetic 4D workload with an optional injected straggler."""
+    synthetic 4D workload with an optional injected straggler.
+
+    With ``--stdout`` the trace JSON is the only thing written to
+    stdout (the human-readable summary moves to stderr), so the output
+    pipes cleanly into ``repro analyze --ingest -``.
+    """
+    if args.stdout and args.out:
+        _fail("--stdout and --out are mutually exclusive")
+    if not args.stdout and not args.out:
+        _fail("trace needs a destination: --out PATH or --stdout")
+    if args.stdout:
+        import contextlib
+
+        dest = sys.stdout
+        with contextlib.redirect_stdout(sys.stderr):
+            return _run_trace(args, dest)
+    return _run_trace(args, args.out)
+
+
+def _run_trace(args: argparse.Namespace, out) -> int:
     if args.cmd == "step":
-        args.trace, args.json = args.out, False
+        args.trace, args.json = out, False
         return cmd_step(args)
     if args.cmd == "phases":
-        args.trace, args.json, args.phase = args.out, False, None
+        args.trace, args.json, args.phase = out, False, None
         return cmd_phases(args)
 
     # --cmd workload: Section 6.1 end to end — run, export, localise.
@@ -272,11 +297,174 @@ def cmd_trace(args: argparse.Namespace) -> int:
         slowdown[args.slow_rank] = args.slowdown
     sim = run_synthetic_workload(mesh, WorkloadSpec(steps=args.steps),
                                  slowdown=slowdown)
-    export_chrome_trace(sim, args.out, mesh=mesh)
+    export_chrome_trace(sim, out, mesh=mesh)
     metrics = MetricsRegistry()
     report = identify_slow_rank(sim, mesh, metrics=metrics)
     print(report.describe())
-    print(f"trace written: {args.out} (open in ui.perfetto.dev)")
+    if isinstance(out, str):
+        print(f"trace written: {out} (open in ui.perfetto.dev)")
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Trace analytics: critical path of a simulated step, run-vs-run
+    diff with regression blame, or streaming ingestion of a trace file
+    (see ``docs/analysis.md``)."""
+    from repro.analysis import (
+        StreamingTraceAggregator,
+        diff_traces,
+        extract_critical_path,
+        iter_trace_events,
+    )
+    from repro.obs.report import analysis_report
+
+    if args.top < 1:
+        _fail(f"--top must be >= 1 (got {args.top})")
+    if not 0.0 < args.blame_threshold <= 1.0:
+        _fail(f"--blame-threshold must be in (0, 1] "
+              f"(got {args.blame_threshold})")
+
+    if args.ingest is not None:
+        for value, flag in ((args.diff, "--diff"), (args.fault, "--fault"),
+                            (args.trace, "--trace"),
+                            (args.critical_path, "--critical-path")):
+            if value:
+                _fail(f"--ingest cannot be combined with {flag} "
+                      "(ingestion is single-pass and graph-free)")
+        agg = StreamingTraceAggregator(top_k=args.top)
+        try:
+            source = sys.stdin if args.ingest == "-" else args.ingest
+            agg.consume(iter_trace_events(source))
+        except ValueError as err:
+            _fail(str(err))
+        if args.json:
+            _print_json(analysis_report(ingest=agg, top=args.top))
+            return 0
+        summary = agg.to_dict()
+        print(f"events:    {agg.n_events:,} across {agg.n_ranks} ranks")
+        print(f"makespan:  {agg.makespan:.3f} s")
+        for lane, s in summary["streams"].items():
+            print(f"  {lane:<24s} {s['count']:>9,d} events  "
+                  f"{s['total_seconds']:>12.3f} s total  "
+                  f"mean {s['mean_seconds']:.6f} s")
+        if summary["top_slowest"]:
+            print(f"top {len(summary['top_slowest'])} slowest:")
+            for row in summary["top_slowest"]:
+                print(f"  {row['duration_seconds']:>10.6f} s  {row['name']} "
+                      f"(rank {row['rank']}, {row['stream']}/{row['kind']})")
+        return 0
+
+    if args.diff and args.fault:
+        _fail("--diff and --fault are mutually exclusive (a --fault run "
+              "diffs against its own healthy baseline)")
+
+    from repro.obs.metrics import (
+        MetricsRegistry,
+        pp_rank_map,
+        record_critical_path_metrics,
+    )
+    from repro.train.step import simulate_step
+
+    cluster = grand_teton(args.ngpu)
+    job = JobConfig(seq=args.seq, gbs=args.gbs, ngpu=args.ngpu)
+    model = _model(args.model)
+    par = _step_parallel(args)
+    plan = None
+    if args.fault:
+        from repro.faults import FaultPlan, parse_fault_spec
+
+        try:
+            plan = FaultPlan(tuple(parse_fault_spec(s) for s in args.fault))
+        except ValueError as err:
+            _fail(str(err))
+    metrics = MetricsRegistry()
+    try:
+        rep = simulate_step(model, par, job, cluster,
+                            schedule_kind=args.schedule, metrics=metrics,
+                            fault_plan=plan)
+    except ValueError as err:
+        _fail(str(err))
+    cp = extract_critical_path(rep.execution.graph, rep.execution.events,
+                               makespan=rep.step_seconds)
+    record_critical_path_metrics(cp, metrics, rank_map=pp_rank_map(par))
+    diff = None
+    if args.diff:
+        from repro.obs.trace import remap_ranks
+
+        try:
+            baseline = list(iter_trace_events(args.diff))
+        except ValueError as err:
+            _fail(str(err))
+        # Exported traces carry global mesh ranks; remap the fresh run
+        # into the same rank space before aligning.
+        current = remap_ranks(rep.run.sim, pp_rank_map(par)).events
+        diff = diff_traces(baseline, current)
+    elif plan is not None:
+        healthy = simulate_step(model, par, job, cluster,
+                                schedule_kind=args.schedule)
+        diff = diff_traces(healthy.run.sim.events, rep.run.sim.events)
+    if args.trace:
+        from repro.obs.trace import (
+            critical_path_annotations,
+            export_chrome_trace,
+            remap_ranks,
+        )
+        from repro.parallel.mesh import DeviceMesh
+
+        rank_map = pp_rank_map(par)
+        out_sim = remap_ranks(rep.run.sim, rank_map)
+        annotations = critical_path_annotations(
+            out_sim.events, cp.entries, rank_map=rank_map)
+        export_chrome_trace(
+            out_sim, args.trace, mesh=DeviceMesh(par),
+            extra_metadata={"parallel": par.describe()},
+            extra_events=annotations)
+    if args.json:
+        _print_json(analysis_report(
+            parallel=par, job=job, critical_path=cp, diff=diff,
+            top=args.top, blame_threshold=args.blame_threshold))
+        return 0
+    print(f"step time:      {cp.makespan_seconds:.3f} s")
+    print(f"critical path:  {cp.n_ops} ops, tiles the makespan "
+          f"{'exactly' if cp.exact else 'INEXACTLY'}")
+    for stream, share in sorted(cp.share_by_stream.items(),
+                                key=lambda kv: (-kv[1], kv[0])):
+        print(f"  {stream:<8s} {cp.seconds_by_stream[stream]:>10.3f} s  "
+              f"({share:.1%} of step)")
+    if args.critical_path:
+        print("chain (chronological):")
+        for e in cp.entries:
+            print(f"  [{e.stream:<7s}] rank {e.rank:<3d} {e.name:<24s} "
+                  f"{e.duration:>10.6f} s  (slack {e.slack:.2e}, "
+                  f"via {e.via})")
+    else:
+        longest = sorted(cp.entries,
+                         key=lambda e: (-e.duration, e.start))[:args.top]
+        print(f"top {len(longest)} path ops by duration:")
+        for e in longest:
+            print(f"  {e.duration:>10.6f} s  {e.name} "
+                  f"(rank {e.rank}, {e.stream})")
+    if diff is not None:
+        print(f"regression:     {diff.regression_seconds:+.3f} s "
+              f"(baseline {diff.baseline_makespan:.3f} s -> "
+              f"current {diff.current_makespan:.3f} s)")
+        blamed = diff.blame(threshold=args.blame_threshold)
+        if blamed:
+            print(f"blame (buckets >= {args.blame_threshold:.0%} "
+                  "of the regression):")
+            for b in blamed:
+                names = ", ".join(o.name for o in b.top_ops)
+                print(f"  {b.kind}/{b.stream}: {b.delta_seconds:+.3f} s "
+                      f"over {b.n_ops} ops ({b.n_faulted} tagged faulted) "
+                      f"— worst: {names}")
+        else:
+            print("blame: no bucket above threshold")
+        if abs(diff.exposed_wait_delta_seconds) > 1e-9:
+            print(f"exposed waits:  "
+                  f"{diff.exposed_wait_delta_seconds:+.3f} s "
+                  "(downstream symptom, not bucketed)")
+    if args.trace:
+        print(f"trace written:  {args.trace} (open in ui.perfetto.dev)")
     return 0
 
 
@@ -622,8 +810,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cmd", default="step",
                    choices=("step", "phases", "workload"),
                    help="which simulation to trace")
-    p.add_argument("--out", required=True, metavar="PATH",
+    p.add_argument("--out", metavar="PATH",
                    help="output trace_event JSON path")
+    p.add_argument("--stdout", action="store_true",
+                   help="write the trace JSON to stdout (summary moves "
+                        "to stderr) for piping into `repro analyze "
+                        "--ingest -`")
     _add_job_args(p)
     _add_step_parallel_args(p)
     p.add_argument("--steps", type=int, default=3,
@@ -633,6 +825,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--slowdown", type=float, default=0.5,
                    help="workload: extra seconds per compute op")
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "analyze",
+        help="trace analytics: critical path, run diff/blame, ingestion")
+    _add_job_args(p)
+    _add_step_parallel_args(p)
+    p.add_argument("--critical-path", action="store_true",
+                   help="print the full chronological critical-path "
+                        "chain instead of the top-duration summary")
+    p.add_argument("--diff", metavar="BASELINE",
+                   help="diff the simulated step against a baseline "
+                        "trace_event JSON file of the same config and "
+                        "blame the regression")
+    p.add_argument("--fault", action="append", metavar="SPEC",
+                   help="inject a fault spec (repeatable, same grammar "
+                        "as `repro faults`) and diff against the healthy "
+                        "baseline")
+    p.add_argument("--ingest", metavar="PATH",
+                   help="stream-aggregate a trace_event JSON file in "
+                        "constant memory ('-' reads stdin) instead of "
+                        "simulating a step")
+    p.add_argument("--top", type=int, default=10, metavar="K",
+                   help="entries per ranked list (path ops, regressions, "
+                        "slowest events)")
+    p.add_argument("--blame-threshold", type=float, default=0.05,
+                   metavar="FRACTION",
+                   help="minimum share of the total regression a "
+                        "(kind, stream) bucket must own to be blamed")
+    p.add_argument("--json", action="store_true",
+                   help="emit the repro.analysis/v1 JSON report")
+    p.add_argument("--trace", metavar="PATH",
+                   help="write the step timeline with critical-path "
+                        "flow/instant annotations as Perfetto "
+                        "trace_event JSON")
+    p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser(
         "faults",

@@ -340,6 +340,60 @@ def record_simulator_metrics(
     return registry
 
 
+def record_critical_path_metrics(
+    report,
+    registry: Optional[MetricsRegistry] = None,
+    rank_map: Optional[Dict[int, int]] = None,
+) -> MetricsRegistry:
+    """Distill a critical-path report into planner-citable gauges.
+
+    ``report`` is duck-typed (``entries`` with ``stream``/``kind``/
+    ``rank``/``duration``, plus ``makespan_seconds``) so this module does
+    not import :mod:`repro.analysis`.  Writes:
+
+    * ``critical_path.makespan_seconds`` — the step time the path tiles;
+    * ``critical_path.seconds`` — path time per stream;
+    * ``critical_path.share`` — path share of the makespan per stream
+      (the "how compute-bound is this config" number);
+    * ``critical_path.ops`` — path op count per kind;
+    * ``critical_path.rank_seconds`` — path time per (mapped) rank, the
+      per-pipeline-stage view of where the step is bound.
+    """
+    registry = registry or MetricsRegistry()
+    rank_map = rank_map or {}
+    makespan = registry.gauge(
+        "critical_path.makespan_seconds", unit="s",
+        description="step makespan tiled by the critical path")
+    seconds = registry.gauge(
+        "critical_path.seconds", unit="s",
+        description="critical-path time per stream")
+    share = registry.gauge(
+        "critical_path.share", unit="ratio",
+        description="critical-path share of the makespan per stream")
+    ops = registry.counter(
+        "critical_path.ops", unit="ops",
+        description="critical-path op count per kind")
+    rank_seconds = registry.gauge(
+        "critical_path.rank_seconds", unit="s",
+        description="critical-path time per rank")
+    by_stream: Dict[str, float] = {}
+    by_rank: Dict[int, float] = {}
+    for entry in report.entries:
+        by_stream[entry.stream] = (
+            by_stream.get(entry.stream, 0.0) + entry.duration)
+        mapped = rank_map.get(entry.rank, entry.rank)
+        by_rank[mapped] = by_rank.get(mapped, 0.0) + entry.duration
+        ops.inc(1, kind=entry.kind)
+    total = report.makespan_seconds
+    makespan.set(total)
+    for stream, value in sorted(by_stream.items()):
+        seconds.set(value, stream=stream)
+        share.set(value / total if total > 0 else 0.0, stream=stream)
+    for rank, value in sorted(by_rank.items()):
+        rank_seconds.set(value, rank=rank)
+    return registry
+
+
 def _merged_intervals(spans) -> List[Tuple[float, float]]:
     """Merge possibly-overlapping (start, end) spans into disjoint ones."""
     merged: List[Tuple[float, float]] = []

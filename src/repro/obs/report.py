@@ -303,6 +303,41 @@ def resilience_report(result: "RunResult") -> dict:
     }
 
 
+def analysis_report(
+    parallel: Optional[ParallelConfig] = None,
+    job: Optional[JobConfig] = None,
+    critical_path=None,
+    diff=None,
+    ingest=None,
+    top: int = 10,
+    blame_threshold: float = 0.05,
+) -> dict:
+    """Trace-analytics outcome: critical path, run diff, or ingestion.
+
+    Schema ``repro.analysis/v1`` is pinned independently of the global
+    :data:`SCHEMA_VERSION` (same convention as ``repro.resilience/v1``):
+    the analytics subsystem shipped against v1 and its golden
+    (``tests/golden/analysis_step.json``) byte-compares this builder's
+    output.  Sections are present only when their analysis ran:
+    ``critical_path`` (a
+    :class:`repro.analysis.critical_path.CriticalPathReport`), ``diff``
+    (a :class:`repro.analysis.diff.TraceDiff`), and ``ingest`` (a
+    :class:`repro.analysis.streaming.StreamingTraceAggregator`).
+    """
+    out: dict = {"schema": "repro.analysis/v1"}
+    if parallel is not None:
+        out["parallel"] = _parallel_dict(parallel)
+    if job is not None:
+        out["job"] = _job_dict(job)
+    if critical_path is not None:
+        out["critical_path"] = critical_path.to_dict(top=top)
+    if diff is not None:
+        out["diff"] = diff.to_dict(top=top, threshold=blame_threshold)
+    if ingest is not None:
+        out["ingest"] = ingest.to_dict()
+    return out
+
+
 def verify_report(
     fuzz: Optional["FuzzResult"],
     oracles: Sequence["OracleResult"] = (),

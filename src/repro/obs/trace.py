@@ -156,11 +156,66 @@ def trace_event_dicts(
     return rows
 
 
+def critical_path_annotations(
+    events: Sequence[TraceEvent],
+    entries: Sequence,
+    rank_map: Optional[Dict[int, int]] = None,
+) -> List[dict]:
+    """Flow + instant rows marking a critical path in the Perfetto UI.
+
+    Args:
+        events: The exported timeline's events (post-remap if the trace
+            is remapped) — used to recover (rank, stream) -> tid.
+        entries: Chronological path entries from
+            :func:`repro.analysis.critical_path.extract_critical_path`
+            (duck-typed: ``rank``/``stream``/``start``/``end``).
+        rank_map: Applied to entry ranks when the entries are still in
+            executor rank space but ``events`` are remapped.
+
+    Returns rows to pass as ``extra_events`` to
+    :func:`export_chrome_trace`: one flow chain (``cat``
+    ``"critical_path"``, string id ``"critical-path"`` so it can never
+    collide with the integer collective flow ids) threading every path
+    op, plus an instant event at the makespan-defining op's end.
+    """
+    tids = _stream_tids(events)
+    rank_map = rank_map or {}
+    rows: List[dict] = []
+    n = len(entries)
+    common = {"cat": "critical_path", "name": "critical-path",
+              "id": "critical-path"}
+    for i, entry in enumerate(entries):
+        rank = rank_map.get(entry.rank, entry.rank)
+        tid = tids.get((rank, entry.stream), 0)
+        if n < 2:
+            break
+        if i == 0:
+            row = {**common, "ph": "s", "pid": rank, "tid": tid,
+                   "ts": entry.start * _US}
+        elif i == n - 1:
+            row = {**common, "ph": "f", "bp": "e", "pid": rank, "tid": tid,
+                   "ts": entry.start * _US}
+        else:
+            row = {**common, "ph": "t", "pid": rank, "tid": tid,
+                   "ts": entry.start * _US}
+        rows.append(row)
+    if entries:
+        last = entries[-1]
+        rank = rank_map.get(last.rank, last.rank)
+        rows.append({
+            "name": "critical-path:makespan", "cat": "critical_path",
+            "ph": "i", "s": "t", "pid": rank,
+            "tid": tids.get((rank, last.stream), 0), "ts": last.end * _US,
+        })
+    return rows
+
+
 def export_chrome_trace(
     sim: Simulator,
     path_or_file: Union[str, IO[str]],
     mesh: Optional["DeviceMesh"] = None,
     extra_metadata: Optional[dict] = None,
+    extra_events: Optional[List[dict]] = None,
 ) -> dict:
     """Write a timeline as a ``trace_event`` JSON object file.
 
@@ -170,11 +225,13 @@ def export_chrome_trace(
         mesh: Names each pid with its 4D coordinates when given.
         extra_metadata: Merged into the file's ``otherData`` section
             (e.g. the parallel config the trace came from).
+        extra_events: Extra rows appended to ``traceEvents`` (e.g.
+            :func:`critical_path_annotations`).
 
     Returns the written object (JSON-serializable dict).
     """
     obj = {
-        "traceEvents": trace_event_dicts(sim, mesh),
+        "traceEvents": trace_event_dicts(sim, mesh) + list(extra_events or ()),
         "displayTimeUnit": "ms",
         "otherData": {
             "source": "repro.obs.trace",
@@ -251,6 +308,7 @@ def validate_trace(obj: object) -> List[str]:
     else:
         return [f"trace must be a dict or list, got {type(obj).__name__}"]
 
+    flows: Dict[Tuple[object, object], List[str]] = {}
     for i, e in enumerate(events):
         where = f"event[{i}]"
         if not isinstance(e, dict):
@@ -284,11 +342,29 @@ def validate_trace(obj: object) -> List[str]:
             if e.get("s") not in (None, "t", "p", "g"):
                 problems.append(
                     f"{where}: instant event scope must be 't'|'p'|'g'")
+            if "dur" in e:
+                problems.append(
+                    f"{where}: instant event must not carry 'dur'")
         elif ph in ("s", "t", "f"):
             if not isinstance(e.get("id"), (int, str)):
                 problems.append(f"{where}: flow event needs 'id'")
+            else:
+                flows.setdefault((e.get("cat"), e["id"]), []).append(ph)
         else:
             problems.append(f"{where}: unsupported phase {ph!r}")
+    # Flow chains (collective arrows, critical-path threading) must be
+    # well-formed per (cat, id): exactly one start, at least one finish,
+    # and no step/finish before the start.
+    for (cat, flow_id), phases in flows.items():
+        label = f"flow (cat={cat!r}, id={flow_id!r})"
+        if phases[0] != "s":
+            problems.append(
+                f"{label}: first phase is {phases[0]!r}, expected 's'")
+        elif phases.count("s") != 1:
+            problems.append(
+                f"{label}: has {phases.count('s')} 's' events, expected 1")
+        elif "f" not in phases:
+            problems.append(f"{label}: never finishes (no 'f' event)")
     return problems
 
 

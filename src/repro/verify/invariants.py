@@ -53,6 +53,12 @@ events):
 ``fsdp-zero-pairing``
     ZeRO-3 re-gathers parameters once per round per stage; ZeRO-1/2
     gather exactly once per stage (Section 3.1.3 on the timeline).
+``critical-path-makespan``
+    The extracted critical path tiles the timeline exactly: it starts at
+    t=0, every link is bitwise contiguous (``next.start == prev.end``),
+    and it ends at the step makespan — so path durations sum to the
+    ``simulate_step`` step time with no float slop (the
+    :mod:`repro.analysis.critical_path` exactness guarantee).
 """
 
 from __future__ import annotations
@@ -546,6 +552,62 @@ def check_fsdp_zero_pairing(
     return out
 
 
+def check_critical_path_makespan(
+    graph: StepGraph, events: Dict[int, TraceEvent]
+) -> List[Violation]:
+    """The critical path tiles [0, makespan] with bitwise-contiguous
+    links — the exact (not approximate) decomposition of the step time.
+
+    Assumes the step was released at t=0 (true for every
+    ``simulate_step`` output; external release floors make the chain
+    legitimately inexact and are reported as violations here).
+    """
+    # Imported lazily: repro.analysis sits above repro.verify in the
+    # layering and this is the one place verify reaches up.
+    from repro.analysis.critical_path import extract_critical_path
+
+    out: List[Violation] = []
+    report = extract_critical_path(graph, events)
+    executed = [events[op.uid] for op in graph.ops() if op.uid in events]
+    if not executed:
+        return out
+    makespan = max(e.end for e in executed)
+    entries = report.entries
+    if not entries:
+        return [Violation(
+            "critical-path-makespan",
+            "no critical path extracted from a non-empty timeline",
+            {"makespan": makespan})]
+    if entries[0].start != 0.0:
+        out.append(Violation(
+            "critical-path-makespan",
+            f"critical path starts at {entries[0].start}, not 0.0 "
+            f"(origin op {entries[0].name!r}, via {entries[0].via!r})",
+            {"start": entries[0].start, "op": entries[0].name,
+             "via": entries[0].via}))
+    for prev, cur in zip(entries, entries[1:]):
+        if cur.start != prev.end:
+            out.append(Violation(
+                "critical-path-makespan",
+                f"critical path breaks between {prev.name!r} (end "
+                f"{prev.end}) and {cur.name!r} (start {cur.start}) — "
+                "links must be bitwise contiguous",
+                {"prev": prev.name, "prev_end": prev.end,
+                 "next": cur.name, "next_start": cur.start}))
+    if entries[-1].end != makespan:
+        out.append(Violation(
+            "critical-path-makespan",
+            f"critical path ends at {entries[-1].end}, but the step "
+            f"makespan is {makespan}",
+            {"end": entries[-1].end, "makespan": makespan}))
+    if not report.exact and not out:
+        out.append(Violation(
+            "critical-path-makespan",
+            "extractor flagged the chain inexact",
+            {"makespan": makespan}))
+    return out
+
+
 def run_step_invariants(
     graph: StepGraph,
     events: Dict[int, TraceEvent],
@@ -567,6 +629,8 @@ def run_step_invariants(
          check_fsdp_reduce_after_backward(graph, events)),
         ("optimizer-after-reduce",
          check_optimizer_after_reduce(graph, events)),
+        ("critical-path-makespan",
+         check_critical_path_makespan(graph, events)),
     ]
     if zero is not None and nc is not None:
         checks.append(("fsdp-zero-pairing",

@@ -1,0 +1,163 @@
+"""Tests for run-vs-run trace diffing and regression blame.
+
+The headline validation: inject a known ``repro.faults`` plan, diff the
+faulted step against its healthy baseline, and require the top blame
+bucket to name the faulted op kind/stream — on all three standard
+meshes.
+"""
+
+import pytest
+
+from repro.analysis import LightEvent, diff_traces
+from repro.faults import FaultPlan, parse_fault_spec
+from repro.hardware.cluster import grand_teton
+from repro.model.config import LLAMA3_8B
+from repro.parallel.config import JobConfig, ParallelConfig
+from repro.train.step import simulate_step
+
+#: The three standard 8-GPU meshes (the paper's running-example scale).
+MESHES = [
+    dict(tp=2, cp=1, pp=2, dp=2),
+    dict(tp=2, cp=2, pp=2, dp=1),
+    dict(tp=1, cp=1, pp=4, dp=2),
+]
+
+
+def _steps(mesh, spec):
+    par = ParallelConfig(**mesh)
+    job = JobConfig(seq=8192, gbs=8, ngpu=par.world_size)
+    cluster = grand_teton(job.ngpu)
+    healthy = simulate_step(LLAMA3_8B, par, job, cluster)
+    plan = FaultPlan((parse_fault_spec(spec),))
+    faulted = simulate_step(LLAMA3_8B, par, job, cluster, fault_plan=plan)
+    return healthy, faulted
+
+
+def _diff(mesh, spec):
+    healthy, faulted = _steps(mesh, spec)
+    return diff_traces(healthy.run.sim.events, faulted.run.sim.events)
+
+
+class TestBlameCorrectness:
+    @pytest.mark.parametrize("mesh", MESHES, ids=lambda m: str(m))
+    def test_straggler_blames_compute(self, mesh):
+        diff = _diff(mesh, "straggler:rank=2,extra=0.25")
+        blamed = diff.blame(threshold=0.05)
+        assert blamed, "a straggler must produce a blamable regression"
+        top = blamed[0]
+        assert top.kind == "compute"
+        assert top.stream == "compute"
+        assert top.n_faulted > 0
+        assert top.top_ops[0].faulted
+
+    @pytest.mark.parametrize("mesh", MESHES, ids=lambda m: str(m))
+    def test_degraded_dp_link_blames_fsdp_stream(self, mesh):
+        diff = _diff(mesh, "link:dim=dp,group=0,scale=4.0")
+        top = diff.blame(threshold=0.05)[0]
+        assert (top.kind, top.stream) == ("comm", "fsdp")
+        assert top.n_faulted > 0
+
+    @pytest.mark.parametrize(
+        "mesh", [m for m in MESHES if m["tp"] > 1], ids=lambda m: str(m))
+    def test_degraded_tp_link_blames_tp_stream(self, mesh):
+        diff = _diff(mesh, "link:dim=tp,group=0,scale=4.0")
+        top = diff.blame(threshold=0.05)[0]
+        assert (top.kind, top.stream) == ("comm", "tp")
+
+    def test_degraded_pp_link_blames_p2p_stream(self):
+        diff = _diff(MESHES[2], "link:dim=pp,group=0,scale=4.0")
+        top = diff.blame(threshold=0.05)[0]
+        assert (top.kind, top.stream) == ("comm", "p2p")
+
+
+class TestDiffMechanics:
+    def setup_method(self):
+        self.diff = _diff(MESHES[0], "straggler:rank=2,extra=0.25")
+
+    def test_regression_matches_makespans(self):
+        assert self.diff.regression_seconds == pytest.approx(
+            self.diff.current_makespan - self.diff.baseline_makespan)
+        assert self.diff.regression_seconds > 0
+
+    def test_identical_runs_diff_to_zero(self):
+        par = ParallelConfig(**MESHES[0])
+        job = JobConfig(seq=8192, gbs=8, ngpu=par.world_size)
+        rep = simulate_step(LLAMA3_8B, par, job, grand_teton(job.ngpu))
+        diff = diff_traces(rep.run.sim.events, rep.run.sim.events)
+        assert diff.regression_seconds == 0.0
+        assert all(d.delta_seconds == 0.0 for d in diff.deltas)
+        assert diff.blame() == []
+        assert diff.unmatched_baseline_ops == 0
+        assert diff.unmatched_current_ops == 0
+
+    def test_waits_not_bucketed(self):
+        # The straggler inflates downstream waits; they must show up in
+        # the diagnostic, not in any blame bucket.
+        assert self.diff.exposed_wait_delta_seconds > 0
+        assert all(b.kind != "exposed_comm" for b in self.diff.buckets())
+
+    def test_bucket_delta_sums_ops(self):
+        for b in self.diff.buckets():
+            members = [d for d in self.diff.deltas
+                       if (d.kind, d.stream) == (b.kind, b.stream)]
+            assert b.n_ops == len(members)
+            assert b.delta_seconds == pytest.approx(
+                sum(d.delta_seconds for d in members))
+            assert sum(v for _, v in b.by_rank) == pytest.approx(
+                b.delta_seconds)
+
+    def test_blame_threshold_filters(self):
+        loose = self.diff.blame(threshold=0.01)
+        tight = self.diff.blame(threshold=0.99)
+        assert len(tight) <= len(loose)
+        total = sum(b.delta_seconds for b in self.diff.buckets()
+                    if b.delta_seconds > 0)
+        for b in tight:
+            assert b.delta_seconds >= 0.99 * total
+
+    def test_to_dict_shape(self):
+        d = self.diff.to_dict(top=5)
+        assert d["regression_seconds"] > 0
+        assert d["blame"][0]["kind"] == "compute"
+        assert d["blame"][0]["share"] > 0.5
+        assert len(d["top_regressions"]) == 5
+        assert d["top_regressions"][0]["delta_seconds"] >= \
+            d["top_regressions"][-1]["delta_seconds"]
+
+
+class TestAlignment:
+    def _ev(self, name, start, end, rank=0, stream="compute",
+            kind="compute", tags=()):
+        return LightEvent(name=name, kind=kind, rank=rank, stream=stream,
+                          start=start, end=end, tags=tuple(tags))
+
+    def test_repeated_names_align_by_occurrence(self):
+        base = [self._ev("op", 0.0, 1.0), self._ev("op", 1.0, 2.0)]
+        cur = [self._ev("op", 0.0, 1.0), self._ev("op", 1.0, 3.0)]
+        diff = diff_traces(base, cur)
+        assert len(diff.deltas) == 2
+        by_occ = {d.occurrence: d.delta_seconds for d in diff.deltas}
+        assert by_occ == {0: 0.0, 1: 1.0}
+
+    def test_unmatched_ops_counted(self):
+        base = [self._ev("only-base", 0.0, 1.0)]
+        cur = [self._ev("only-cur", 0.0, 2.0),
+               self._ev("extra", 2.0, 3.0)]
+        diff = diff_traces(base, cur)
+        assert diff.deltas == ()
+        assert (diff.unmatched_baseline_ops,
+                diff.unmatched_baseline_seconds) == (1, 1.0)
+        assert (diff.unmatched_current_ops,
+                diff.unmatched_current_seconds) == (2, 3.0)
+
+    def test_faulted_tag_read_from_current(self):
+        base = [self._ev("op", 0.0, 1.0)]
+        cur = [self._ev("op", 0.0, 2.0, tags=("faulted",))]
+        diff = diff_traces(base, cur)
+        assert diff.deltas[0].faulted
+
+    def test_empty_inputs(self):
+        diff = diff_traces([], [])
+        assert diff.regression_seconds == 0.0
+        assert diff.buckets() == []
+        assert diff.blame() == []

@@ -1,0 +1,192 @@
+"""Tests for streaming trace ingestion and the constant-memory
+aggregator."""
+
+import io
+import json
+
+import pytest
+
+from repro.analysis.streaming import (
+    LightEvent,
+    StreamingTraceAggregator,
+    iter_trace_events,
+)
+from repro.obs.trace import export_chrome_trace
+from repro.sim.engine import Simulator
+
+
+def _sim():
+    sim = Simulator()
+    sim.run(0, "compute", 2.0, "fwd")
+    sim.run(0, "tp", 0.5, "tp:ag:x", kind="comm")
+    sim.run(1, "compute", 1.0, "bwd")
+    return sim
+
+
+class TestIterSources:
+    def setup_method(self):
+        self.sim = _sim()
+
+    def _check(self, events):
+        events = list(events)
+        assert len(events) == 3
+        assert {e.name for e in events} == {"fwd", "tp:ag:x", "bwd"}
+        by_name = {e.name: e for e in events}
+        assert by_name["fwd"].duration == pytest.approx(2.0)
+        assert by_name["tp:ag:x"].kind == "comm"
+        assert by_name["tp:ag:x"].stream == "tp"
+        assert by_name["bwd"].rank == 1
+
+    def test_live_simulator_events(self):
+        self._check(iter_trace_events(self.sim.events))
+
+    def test_trace_dict(self):
+        obj = export_chrome_trace(self.sim, io.StringIO())
+        self._check(iter_trace_events(obj))
+
+    def test_bare_row_list(self):
+        obj = export_chrome_trace(self.sim, io.StringIO())
+        self._check(iter_trace_events(obj["traceEvents"]))
+
+    def test_file_path(self, tmp_path):
+        path = tmp_path / "trace.json"
+        export_chrome_trace(self.sim, str(path))
+        self._check(iter_trace_events(str(path)))
+
+    def test_file_object_streamed(self, tmp_path):
+        path = tmp_path / "trace.json"
+        export_chrome_trace(self.sim, str(path))
+        with open(path, encoding="utf-8") as fh:
+            self._check(iter_trace_events(fh))
+
+    def test_round_trip_preserves_times(self, tmp_path):
+        path = tmp_path / "trace.json"
+        export_chrome_trace(self.sim, str(path))
+        by_name = {e.name: e for e in iter_trace_events(str(path))}
+        for e in self.sim.events:
+            assert by_name[e.name].start == pytest.approx(e.start)
+            assert by_name[e.name].end == pytest.approx(e.end)
+
+    def test_marker_rows_become_zero_duration(self):
+        rows = [{"name": "fail", "cat": "marker", "ph": "i", "s": "t",
+                 "pid": 3, "tid": 0, "ts": 2_000_000.0,
+                 "args": {"stream": "ctrl"}}]
+        (event,) = iter_trace_events(rows)
+        assert event.duration == 0.0
+        assert event.start == pytest.approx(2.0)
+        assert event.rank == 3
+
+    def test_metadata_and_flow_rows_skipped(self):
+        rows = [
+            {"name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+             "args": {"name": "rank 0"}},
+            {"name": "x", "ph": "s", "pid": 0, "tid": 0, "ts": 0.0,
+             "id": 1, "cat": "collective"},
+        ]
+        assert list(iter_trace_events(rows)) == []
+
+    def test_tags_preserved(self):
+        rows = [{"name": "x", "cat": "compute", "ph": "X", "pid": 0,
+                 "tid": 0, "ts": 0.0, "dur": 1.0,
+                 "args": {"stream": "compute", "tags": ["faulted"]}}]
+        (event,) = iter_trace_events(rows)
+        assert event.tags == ("faulted",)
+
+
+class TestMalformedInput:
+    def test_no_trace_events_array(self):
+        with pytest.raises(ValueError, match="traceEvents"):
+            list(iter_trace_events(io.StringIO('{"otherData": {}}')))
+
+    def test_unterminated_array(self):
+        stream = io.StringIO('{"traceEvents": [{"ph": "X", "name": "x", '
+                             '"pid": 0, "tid": 0, "ts": 0, "dur": 1}')
+        with pytest.raises(ValueError, match="unterminated"):
+            list(iter_trace_events(stream))
+
+    def test_non_object_row(self):
+        with pytest.raises(ValueError, match="expected object"):
+            list(iter_trace_events(io.StringIO('{"traceEvents": [42]}')))
+
+    def test_trace_events_not_a_list(self):
+        with pytest.raises(ValueError, match="not a list"):
+            list(iter_trace_events({"traceEvents": 42}))
+
+    def test_garbage_header_bounded(self):
+        # A large non-JSON head must fail, not buffer forever.
+        stream = io.StringIO("x" * (2 << 20))
+        with pytest.raises(ValueError, match="traceEvents"):
+            list(iter_trace_events(stream))
+
+
+class TestAggregator:
+    def test_counts_and_makespan(self):
+        agg = StreamingTraceAggregator(top_k=2).consume(_sim().events)
+        assert agg.n_events == 3
+        assert agg.n_ranks == 2
+        assert agg.makespan == pytest.approx(2.0)
+
+    def test_per_stream_kind_stats(self):
+        agg = StreamingTraceAggregator().consume(_sim().events)
+        d = agg.to_dict()
+        compute = d["streams"]["compute/compute"]
+        assert compute["count"] == 2
+        assert compute["total_seconds"] == pytest.approx(3.0)
+        assert compute["min_seconds"] == pytest.approx(1.0)
+        assert compute["max_seconds"] == pytest.approx(2.0)
+        assert compute["mean_seconds"] == pytest.approx(1.5)
+        assert d["streams"]["tp/comm"]["count"] == 1
+
+    def test_top_k_slowest(self):
+        agg = StreamingTraceAggregator(top_k=2).consume(_sim().events)
+        top = agg.top_slowest()
+        assert [t["name"] for t in top] == ["fwd", "bwd"]
+        assert top[0]["duration_seconds"] == pytest.approx(2.0)
+
+    def test_top_k_memory_bound(self):
+        agg = StreamingTraceAggregator(top_k=5)
+        for i in range(10_000):
+            agg.add(LightEvent(name=f"e{i}", kind="compute", rank=0,
+                               stream="compute", start=float(i),
+                               end=float(i) + (i % 7) / 10.0))
+        assert len(agg._heap) == 5
+        assert agg.n_events == 10_000
+        assert all(t["duration_seconds"] == pytest.approx(0.6)
+                   for t in agg.top_slowest())
+
+    def test_top_k_zero_disables_heap(self):
+        agg = StreamingTraceAggregator(top_k=0).consume(_sim().events)
+        assert agg.top_slowest() == []
+
+    def test_negative_top_k_rejected(self):
+        with pytest.raises(ValueError):
+            StreamingTraceAggregator(top_k=-1)
+
+    def test_to_dict_deterministic(self):
+        a = StreamingTraceAggregator(top_k=3).consume(_sim().events)
+        b = StreamingTraceAggregator(top_k=3).consume(_sim().events)
+        assert json.dumps(a.to_dict(), sort_keys=True) == \
+            json.dumps(b.to_dict(), sort_keys=True)
+
+
+class TestEndToEnd:
+    def test_aggregate_exported_step_trace(self, tmp_path):
+        from repro.hardware.cluster import grand_teton
+        from repro.model.config import LLAMA3_8B
+        from repro.parallel.config import JobConfig, ParallelConfig
+        from repro.train.step import simulate_step
+
+        par = ParallelConfig(tp=2, cp=1, pp=2, dp=2)
+        job = JobConfig(seq=8192, gbs=8, ngpu=8)
+        rep = simulate_step(LLAMA3_8B, par, job, grand_teton(8))
+        path = tmp_path / "step.json"
+        export_chrome_trace(rep.run.sim, str(path))
+        agg = StreamingTraceAggregator(top_k=5).consume(
+            iter_trace_events(str(path)))
+        assert agg.n_events == len(rep.run.sim.events)
+        assert agg.makespan == pytest.approx(rep.step_seconds)
+        # Live-simulator ingestion agrees with file ingestion.
+        live = StreamingTraceAggregator(top_k=5).consume(rep.run.sim.events)
+        assert live.n_events == agg.n_events
+        assert live.to_dict()["streams"].keys() == \
+            agg.to_dict()["streams"].keys()

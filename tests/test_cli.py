@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -81,3 +83,34 @@ class TestRun:
         out = capsys.readouterr().out
         assert "no checkpoints" in out
         assert "never (0 written" in out
+
+
+class TestTraceDestinations:
+    """`repro trace` destination handling (PR 6): --out, --stdout, and
+    the exit-2 usage errors when neither or both are given."""
+
+    def test_no_destination_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            main(["trace", "--cmd", "step", "--model", "8b", "--ngpu", "8",
+                  "--gbs", "8", "--tp", "2", "--pp", "2", "--dp", "2"])
+        assert err.value.code == 2
+        assert "destination" in capsys.readouterr().err
+
+    def test_both_destinations_exit_2(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            main(["trace", "--cmd", "step", "--model", "8b", "--ngpu", "8",
+                  "--gbs", "8", "--tp", "2", "--pp", "2", "--dp", "2",
+                  "--out", "x.json", "--stdout"])
+        assert err.value.code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_stdout_emits_json_trace(self, capsys):
+        assert main(["trace", "--cmd", "step", "--model", "8b",
+                     "--ngpu", "8", "--gbs", "8", "--tp", "2", "--pp", "2",
+                     "--dp", "2", "--stdout"]) == 0
+        captured = capsys.readouterr()
+        obj = json.loads(captured.out)
+        assert obj["traceEvents"]
+        # Human-readable step output is diverted to stderr, keeping
+        # stdout a clean JSON document for piping into `analyze`.
+        assert "step time" in captured.err

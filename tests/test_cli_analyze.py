@@ -1,0 +1,196 @@
+"""CLI tests for ``repro analyze`` and the ``repro.analysis/v1`` golden.
+
+The committed reference (``tests/golden/analysis_step.json``) is the
+``--json`` report of a faulted 8b step on the 8-GPU (tp=2, pp=2, dp=2)
+mesh, diffed against its healthy baseline.  It must stay **byte-stable**;
+regenerate after an intentional schema change with::
+
+    PYTHONPATH=src python tests/test_cli_analyze.py --regen
+"""
+
+import contextlib
+import io
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+GOLDEN = Path(__file__).parent / "golden" / "analysis_step.json"
+
+SMALL = ["--model", "8b", "--ngpu", "8", "--gbs", "8",
+         "--tp", "2", "--cp", "1", "--pp", "2", "--dp", "2"]
+
+GOLDEN_ARGS = ["analyze", *SMALL,
+               "--fault", "straggler:rank=2,extra=0.25",
+               "--top", "5", "--json"]
+
+
+def _stdout_of(argv) -> str:
+    buf = io.StringIO()
+    with contextlib.redirect_stdout(buf):
+        rc = main(argv)
+    assert rc == 0
+    return buf.getvalue()
+
+
+def _rc(argv, capsys) -> int:
+    """Exit code of a CLI invocation that may sys.exit."""
+    try:
+        return main(argv)
+    except SystemExit as err:
+        return int(err.code)
+    finally:
+        capsys.readouterr()
+
+
+class TestGolden:
+    def test_matches_golden_bytes(self):
+        assert _stdout_of(GOLDEN_ARGS) == GOLDEN.read_text(
+            encoding="utf-8"), (
+            "analysis report changed; if intentional, regenerate with "
+            "`PYTHONPATH=src python tests/test_cli_analyze.py --regen`")
+
+    def test_golden_schema_and_content(self):
+        obj = json.loads(GOLDEN.read_text(encoding="utf-8"))
+        assert obj["schema"] == "repro.analysis/v1"
+        assert obj["critical_path"]["exact"] is True
+        assert obj["critical_path"]["path_seconds"] == \
+            obj["critical_path"]["makespan_seconds"]
+        assert len(obj["critical_path"]["top_entries"]) == 5
+        top_blame = obj["diff"]["blame"][0]
+        assert (top_blame["kind"], top_blame["stream"]) == \
+            ("compute", "compute")
+        assert top_blame["n_faulted"] > 0
+
+    def test_report_is_deterministic(self):
+        assert _stdout_of(GOLDEN_ARGS) == _stdout_of(GOLDEN_ARGS)
+
+
+class TestAnalyzeModes:
+    def test_critical_path_text(self, capsys):
+        assert main(["analyze", *SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "tiles the makespan exactly" in out
+        assert "top 10 path ops" in out
+
+    def test_critical_path_chain(self, capsys):
+        assert main(["analyze", *SMALL, "--critical-path"]) == 0
+        out = capsys.readouterr().out
+        assert "chain (chronological):" in out
+        assert "via origin" in out
+
+    def test_fault_diff_text(self, capsys):
+        assert main(["analyze", *SMALL,
+                     "--fault", "straggler:rank=2,extra=0.25"]) == 0
+        out = capsys.readouterr().out
+        assert "regression:" in out
+        assert "compute/compute" in out
+        assert "tagged faulted" in out
+
+    def test_diff_against_exported_trace(self, tmp_path, capsys):
+        path = tmp_path / "base.json"
+        assert main(["trace", "--cmd", "step", *SMALL,
+                     "--out", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["analyze", *SMALL, "--diff", str(path), "--json"]) == 0
+        obj = json.loads(capsys.readouterr().out)
+        # Same config, same simulator: every aligned op diffs to zero.
+        assert obj["diff"]["regression_seconds"] == 0.0
+        assert obj["diff"]["n_matched"] > 0
+        assert obj["diff"]["unmatched"]["baseline"]["ops"] == 0
+        assert obj["diff"]["blame"] == []
+
+    def test_ingest_file(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        assert main(["trace", "--cmd", "step", *SMALL,
+                     "--out", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["analyze", "--ingest", str(path), "--top", "3",
+                     "--json"]) == 0
+        obj = json.loads(capsys.readouterr().out)
+        assert obj["schema"] == "repro.analysis/v1"
+        assert obj["ingest"]["n_events"] > 0
+        assert len(obj["ingest"]["top_slowest"]) == 3
+
+    def test_ingest_stdin_dash(self, tmp_path, capsys, monkeypatch):
+        path = tmp_path / "trace.json"
+        assert main(["trace", "--cmd", "step", *SMALL,
+                     "--out", str(path)]) == 0
+        capsys.readouterr()
+        import sys as _sys
+
+        with open(path, encoding="utf-8") as fh:
+            monkeypatch.setattr(_sys, "stdin", fh)
+            assert main(["analyze", "--ingest", "-", "--json"]) == 0
+        obj = json.loads(capsys.readouterr().out)
+        assert obj["ingest"]["n_events"] > 0
+
+    def test_trace_export_with_annotations(self, tmp_path, capsys):
+        from repro.obs.trace import validate_trace
+
+        path = tmp_path / "annotated.json"
+        assert main(["analyze", *SMALL, "--trace", str(path)]) == 0
+        capsys.readouterr()
+        obj = json.loads(path.read_text(encoding="utf-8"))
+        assert validate_trace(obj) == []
+        cp_rows = [r for r in obj["traceEvents"]
+                   if r.get("cat") == "critical_path"]
+        phases = [r["ph"] for r in cp_rows]
+        assert phases.count("s") == 1
+        assert phases.count("f") == 1
+        assert phases.count("i") == 1
+        assert any(r["name"] == "critical-path:makespan" for r in cp_rows)
+
+
+class TestUsageErrors:
+    """All analyze usage errors exit 2 (the PR 1 convention)."""
+
+    def test_top_zero(self, capsys):
+        assert _rc(["analyze", *SMALL, "--top", "0"], capsys) == 2
+
+    def test_bad_blame_threshold(self, capsys):
+        assert _rc(["analyze", *SMALL, "--blame-threshold", "1.5"],
+                   capsys) == 2
+
+    def test_ingest_with_diff(self, capsys):
+        assert _rc(["analyze", "--ingest", "x.json", "--diff", "y.json"],
+                   capsys) == 2
+
+    def test_ingest_with_fault(self, capsys):
+        assert _rc(["analyze", "--ingest", "x.json",
+                    "--fault", "straggler:rank=0"], capsys) == 2
+
+    def test_ingest_with_critical_path(self, capsys):
+        assert _rc(["analyze", "--ingest", "x.json", "--critical-path"],
+                   capsys) == 2
+
+    def test_diff_with_fault(self, capsys):
+        assert _rc(["analyze", *SMALL, "--diff", "x.json",
+                    "--fault", "straggler:rank=0"], capsys) == 2
+
+    def test_bad_fault_spec(self, capsys):
+        assert _rc(["analyze", *SMALL, "--fault", "bogus"], capsys) == 2
+
+    def test_world_size_mismatch(self, capsys):
+        assert _rc(["analyze", "--ngpu", "64", "--tp", "8", "--pp", "2",
+                    "--dp", "2"], capsys) == 2
+
+    def test_missing_ingest_file(self, capsys):
+        assert _rc(["analyze", "--ingest", "/nonexistent/trace.json"],
+                   capsys) == 2
+
+    def test_malformed_ingest_file(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"traceEvents": [{', encoding="utf-8")
+        assert _rc(["analyze", "--ingest", str(path)], capsys) == 2
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN.write_text(_stdout_of(GOLDEN_ARGS), encoding="utf-8")
+        print(f"wrote {GOLDEN}")
+    else:
+        print(__doc__)

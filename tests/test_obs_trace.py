@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.obs.trace import (
+    critical_path_annotations,
     export_chrome_trace,
     merge_timelines,
     remap_ranks,
@@ -169,3 +170,148 @@ class TestValidator:
     def test_assert_valid_trace_raises(self):
         with pytest.raises(ValueError, match="invalid trace_event"):
             assert_valid_trace([{"bogus": True}])
+
+
+class TestInstantValidation:
+    """Malformed instant (marker) events must be rejected (PR 6)."""
+
+    def _instant(self, **overrides):
+        row = {"name": "mark", "ph": "i", "pid": 0, "tid": 0,
+               "ts": 1.0, "s": "t"}
+        row.update(overrides)
+        return row
+
+    def test_well_formed_instant_accepted(self):
+        assert validate_trace([self._instant()]) == []
+
+    def test_instant_with_dur_rejected(self):
+        problems = validate_trace([self._instant(dur=5.0)])
+        assert any("must not carry 'dur'" in p for p in problems)
+
+    def test_instant_with_bad_scope_rejected(self):
+        problems = validate_trace([self._instant(s="galaxy")])
+        assert any("scope" in p for p in problems)
+
+
+class TestFlowChainValidation:
+    """Per-(cat, id) flow chains must be s ... t* ... f (PR 6)."""
+
+    def _flow(self, ph, ts, flow_id=7, cat="collective"):
+        return {"name": "x", "ph": ph, "pid": 0, "tid": 0, "ts": ts,
+                "id": flow_id, "cat": cat}
+
+    def test_well_formed_chain_accepted(self):
+        rows = [self._flow("s", 0.0), self._flow("t", 1.0),
+                self._flow("f", 2.0)]
+        assert validate_trace(rows) == []
+
+    def test_finish_before_start_rejected(self):
+        rows = [self._flow("f", 0.0), self._flow("s", 1.0)]
+        problems = validate_trace(rows)
+        assert any("expected 's'" in p for p in problems)
+
+    def test_duplicate_start_rejected(self):
+        rows = [self._flow("s", 0.0), self._flow("s", 1.0),
+                self._flow("f", 2.0)]
+        problems = validate_trace(rows)
+        assert any("'s' events, expected 1" in p for p in problems)
+
+    def test_missing_finish_rejected(self):
+        rows = [self._flow("s", 0.0), self._flow("t", 1.0)]
+        problems = validate_trace(rows)
+        assert any("never finishes" in p for p in problems)
+
+    def test_same_id_different_cat_are_distinct_chains(self):
+        rows = [self._flow("s", 0.0, cat="a"), self._flow("f", 1.0, cat="a"),
+                self._flow("s", 0.0, cat="b"), self._flow("f", 1.0, cat="b")]
+        assert validate_trace(rows) == []
+
+
+class TestCriticalPathAnnotations:
+    """Flow/instant rows from the analyzer must validate cleanly and
+    land on the right tracks."""
+
+    def setup_method(self):
+        from repro.analysis.critical_path import extract_critical_path
+        from repro.hardware.cluster import grand_teton
+        from repro.model.config import LLAMA3_8B
+        from repro.parallel.config import JobConfig
+        from repro.train.step import simulate_step
+
+        par = ParallelConfig(tp=2, cp=1, pp=2, dp=2)
+        job = JobConfig(seq=8192, gbs=8, ngpu=8)
+        rep = simulate_step(LLAMA3_8B, par, job, grand_teton(8))
+        self.sim = rep.run.sim
+        self.cp = extract_critical_path(rep.execution.graph,
+                                        rep.execution.events,
+                                        makespan=rep.step_seconds)
+        self.rows = critical_path_annotations(self.sim.events,
+                                              self.cp.entries)
+
+    def test_annotated_trace_validates_clean(self):
+        obj = export_chrome_trace(self.sim, __import__("io").StringIO(),
+                                  extra_events=self.rows)
+        assert validate_trace(obj) == []
+
+    def test_one_start_one_finish_one_instant(self):
+        phases = [r["ph"] for r in self.rows]
+        assert phases.count("s") == 1
+        assert phases.count("f") == 1
+        assert phases.count("i") == 1
+
+    def test_string_id_cannot_collide_with_collective_flows(self):
+        flow_ids = {r["id"] for r in self.rows if r["ph"] in ("s", "t", "f")}
+        assert flow_ids == {"critical-path"}
+
+    def test_instant_marks_makespan(self):
+        (instant,) = [r for r in self.rows if r["ph"] == "i"]
+        assert instant["name"] == "critical-path:makespan"
+        assert instant["ts"] == pytest.approx(
+            self.cp.makespan_seconds * 1e6)
+
+    def test_rank_map_rewrites_pids(self):
+        rows = critical_path_annotations(self.sim.events, self.cp.entries,
+                                         rank_map={r: r + 100 for r in
+                                                   range(4)})
+        assert all(r["pid"] >= 100 for r in rows)
+
+
+class TestNonContiguousRemap:
+    """merge_timelines + remap_ranks round-trips under rank maps with
+    holes (PR 6 satellite)."""
+
+    RANK_MAP = {0: 10, 1: 21, 2: 5}
+
+    def _sim(self):
+        sim = Simulator()
+        sim.run(0, "compute", 1.0, "fwd0")
+        sim.run(1, "compute", 2.0, "fwd1")
+        sim.run_collective([0, 1, 2], "tp", 0.5, "ag", kind="comm")
+        return sim
+
+    def test_remap_then_merge_preserves_makespan(self):
+        sim = self._sim()
+        remapped = remap_ranks(sim, self.RANK_MAP)
+        assert remapped.makespan() == sim.makespan()
+        assert {e.rank for e in remapped.events} == {10, 21, 5}
+        merged = merge_timelines([("a", sim), ("b", remapped)])
+        assert merged.makespan() == 2 * sim.makespan()
+
+    def test_groups_rewritten_through_holes(self):
+        remapped = remap_ranks(self._sim(), self.RANK_MAP)
+        coll = [e for e in remapped.events if e.group]
+        assert coll and all(e.group == (10, 21, 5) for e in coll)
+
+    def test_round_trip_inverse_map_restores_ranks(self):
+        sim = self._sim()
+        inverse = {v: k for k, v in self.RANK_MAP.items()}
+        restored = remap_ranks(remap_ranks(sim, self.RANK_MAP), inverse)
+        assert [e.rank for e in restored.events] == \
+            [e.rank for e in sim.events]
+        assert [e.start for e in restored.events] == \
+            [e.start for e in sim.events]
+
+    def test_exported_remap_validates_clean(self):
+        remapped = remap_ranks(self._sim(), self.RANK_MAP)
+        obj = export_chrome_trace(remapped, __import__("io").StringIO())
+        assert validate_trace(obj) == []
