@@ -615,23 +615,34 @@ def cmd_verify(args: argparse.Namespace) -> int:
 
     if args.fuzz < 1:
         _fail(f"--fuzz must be >= 1 (got {args.fuzz})")
+    if args.faults and args.engine:
+        _fail("--faults and --engine are mutually exclusive")
     oracles = [] if args.no_oracles else run_default_oracles(seed=args.seed)
-    fuzz = fault_fuzz = None
+    fuzz = fault_fuzz = engine_fuzz = None
     if args.faults:
         from repro.verify.fuzz import run_fault_fuzz
 
         fault_fuzz = run_fault_fuzz(args.fuzz, seed=args.seed)
+    elif args.engine:
+        from repro.verify.engine_fuzz import EngineFuzzConfig, run_engine_fuzz
+
+        engine_fuzz = run_engine_fuzz(
+            EngineFuzzConfig(cases=args.fuzz, seed=args.seed))
     else:
         fuzz = run_fuzz(args.fuzz, seed=args.seed, max_pp=args.max_pp,
                         max_nmb=args.max_nmb)
     step_inv = None if args.no_step_invariants else _step_invariants()
     report = verify_report(fuzz, oracles, step_invariants=step_inv,
-                           fault_fuzz=fault_fuzz)
+                           fault_fuzz=fault_fuzz, engine_fuzz=engine_fuzz)
     if args.trace:
         if fuzz is not None:
             _export_verify_trace(fuzz, args.trace)
-        else:
+        elif fault_fuzz is not None:
             _export_fault_fuzz_trace(fault_fuzz, args.trace)
+        else:
+            print("note: --trace has no effect with --engine (divergences "
+                  "are reported as shrunk submission sequences, not "
+                  "timelines)", file=sys.stderr)
     if args.json:
         _print_json(report)
     else:
@@ -657,6 +668,12 @@ def cmd_verify(args: argparse.Namespace) -> int:
                       f"{f.shrunk.describe()}")
                 print(f"    detected rank {f.shrunk_score.detected_rank} "
                       f"({f.shrunk_score.attribution})")
+        if engine_fuzz is not None:
+            print(f"engine fuzz: {engine_fuzz.cases_run} submission "
+                  f"sequences, seed {engine_fuzz.seed}: "
+                  f"{engine_fuzz.failed_cases} diverged from reference")
+            for f in engine_fuzz.failures:
+                print("  " + f.describe().replace("\n", "\n  "))
         if step_inv is not None:
             for mode in step_inv["modes"]:
                 status = "ok" if mode["ok"] else "FAIL"
@@ -940,6 +957,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--faults", action="store_true",
                    help="fuzz the fault-localisation loop instead of "
                         "schedule configs (--fuzz counts scenarios)")
+    p.add_argument("--engine", action="store_true",
+                   help="fuzz the fast simulator engine against the frozen "
+                        "reference engine instead of schedule configs "
+                        "(--fuzz counts submission sequences; divergences "
+                        "shrink to a minimal sequence)")
     p.add_argument("--no-oracles", action="store_true",
                    help="skip the differential-oracle battery")
     p.add_argument("--no-step-invariants", action="store_true",

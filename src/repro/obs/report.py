@@ -343,15 +343,17 @@ def verify_report(
     oracles: Sequence["OracleResult"] = (),
     step_invariants: Optional[dict] = None,
     fault_fuzz: Optional["FaultFuzzResult"] = None,
+    engine_fuzz: Optional["EngineFuzzResult"] = None,
 ) -> dict:
     """The verification subsystem's outcome (Section 6.2 methodology).
 
-    ``ok`` aggregates the fuzz campaign (schedule-property and/or
-    fault-randomizing), every oracle, and (when run) the step-graph
-    timeline invariants; each fuzz failure carries its minimal shrunk
-    reproducer, so re-running ``repro verify --seed <seed>`` (or building
-    the shrunk config directly) reproduces the finding.  Either fuzz
-    campaign may be omitted (None); its key is then absent.
+    ``ok`` aggregates the fuzz campaign (schedule-property,
+    fault-randomizing, and/or engine-differential), every oracle, and
+    (when run) the step-graph timeline invariants; each fuzz failure
+    carries its minimal shrunk reproducer, so re-running
+    ``repro verify --seed <seed>`` (or building the shrunk config
+    directly) reproduces the finding.  Any fuzz campaign may be omitted
+    (None); its key is then absent.
     """
     oracle_dicts = [o.to_dict() for o in oracles]
     ok = all(o["ok"] for o in oracle_dicts)
@@ -359,6 +361,8 @@ def verify_report(
         ok = ok and fuzz.ok
     if fault_fuzz is not None:
         ok = ok and fault_fuzz.ok
+    if engine_fuzz is not None:
+        ok = ok and engine_fuzz.ok
     if step_invariants is not None:
         ok = ok and step_invariants.get("ok", False)
     out = {
@@ -370,6 +374,8 @@ def verify_report(
         out["fuzz"] = fuzz.to_dict()
     if fault_fuzz is not None:
         out["fault_fuzz"] = fault_fuzz.to_dict()
+    if engine_fuzz is not None:
+        out["engine_fuzz"] = engine_fuzz.to_dict()
     if step_invariants is not None:
         out["step_invariants"] = step_invariants
     return out

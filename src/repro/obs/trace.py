@@ -24,7 +24,6 @@ available to callers who post-process traces.
 from __future__ import annotations
 
 import json
-from dataclasses import replace
 from typing import IO, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.parallel.mesh import DeviceMesh
@@ -256,8 +255,7 @@ def remap_ranks(sim: Simulator, rank_map: Dict[int, int]) -> Simulator:
     """
     out = Simulator()
     for e in sim.events:
-        out.record(replace(
-            e,
+        out.record(e.replace(
             rank=rank_map.get(e.rank, e.rank),
             group=tuple(rank_map.get(r, r) for r in e.group),
         ))
@@ -277,8 +275,7 @@ def merge_timelines(
     offset = 0.0
     for label, sim in phases:
         for e in sim.events:
-            merged.record(replace(
-                e,
+            merged.record(e.replace(
                 name=f"{label}/{e.name}" if label else e.name,
                 start=e.start + offset,
                 end=e.end + offset,

@@ -19,11 +19,35 @@ passes through the registered modifier chain, so a degraded link or a
 throttled GPU (:mod:`repro.faults`) stretches exactly the events it
 matches — including each participant's contribution to a collective — and
 any event a modifier perturbed is tagged ``"faulted"`` in the trace.
+
+**Fast path.**  This is the hot module under everything — step graphs,
+fault fuzzing, detection matrices, multi-step Poisson runs — so the
+implementation is tuned for raw submission throughput and O(1)-amortised
+inspection (see ``docs/engine.md``):
+
+* :class:`TraceEvent` is a ``__slots__`` record (no dataclass machinery on
+  the hot constructor path), with low-cardinality ``tags`` tuples interned
+  so a million-event trace shares a handful of tuple objects;
+* makespan, per-stream busy time, and per-rank event buckets are
+  maintained *incrementally on submit*, so :meth:`makespan`,
+  :meth:`busy_time`, :meth:`idle_time`, and :meth:`events_for` never scan
+  the full event list;
+* :meth:`run_collective` evaluates per-rank join times and payload
+  durations in one batched pass (and skips the per-rank modifier walk
+  entirely when no modifiers are registered), so paper-scale collectives
+  cost one Python loop, not four;
+* opt-in *rank-symmetry folding* (:class:`RankFold`) simulates one DP
+  replica and fans events out to all replicas lazily — a 131K-rank mesh
+  of identical replicas costs one replica's submissions.
+
+The semantics are pinned by a differential harness (``tests/harness``)
+that replays every seeded workload through the frozen pre-fast-path
+engine and asserts bitwise equality of every event field; keep any edit
+here inside that contract.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.sim.collectives import DEFAULT_RETRY_POLICY, RetryPolicy
@@ -36,10 +60,20 @@ StreamKey = Tuple[int, str]
 #: output.
 DurationModifier = Callable[[int, str, str, str, float], float]
 
+_EVENT_FIELDS = ("name", "kind", "rank", "stream", "start", "end",
+                 "group", "tags")
 
-@dataclass(frozen=True)
+
 class TraceEvent:
     """One completed task on one rank's stream.
+
+    A ``__slots__`` record rather than a dataclass: event construction is
+    the single hottest operation in the simulator, and slotted attribute
+    stores are ~3x faster than the frozen-dataclass ``__setattr__`` path.
+    Treat instances as immutable — the engine shares ``group`` and
+    ``tags`` tuples between events, and downstream consumers (trace
+    export, analysis, verification) all assume event fields never change.
+    Use :meth:`replace` to derive modified copies.
 
     Attributes:
         name: Operation name, e.g. ``"fwd:mb3:vs1"`` or ``"allgather:kv"``.
@@ -54,14 +88,20 @@ class TraceEvent:
             whose duration a registered modifier changed.
     """
 
-    name: str
-    kind: str
-    rank: int
-    stream: str
-    start: float
-    end: float
-    group: Tuple[int, ...] = ()
-    tags: Tuple[str, ...] = ()
+    __slots__ = _EVENT_FIELDS
+
+    def __init__(self, name: str, kind: str, rank: int, stream: str,
+                 start: float, end: float,
+                 group: Tuple[int, ...] = (),
+                 tags: Tuple[str, ...] = ()) -> None:
+        self.name = name
+        self.kind = kind
+        self.rank = rank
+        self.stream = stream
+        self.start = start
+        self.end = end
+        self.group = group
+        self.tags = tags
 
     @property
     def duration(self) -> float:
@@ -70,6 +110,87 @@ class TraceEvent:
     def overlaps(self, other: "TraceEvent") -> bool:
         """Whether two events overlap in wall-clock time."""
         return self.start < other.end and other.start < self.end
+
+    def replace(self, **changes: object) -> "TraceEvent":
+        """A copy with the given fields replaced (``dataclasses.replace``
+        equivalent for this slotted class)."""
+        for key in changes:
+            if key not in _EVENT_FIELDS:
+                raise TypeError(f"TraceEvent has no field {key!r}")
+        kwargs = {f: changes.get(f, getattr(self, f))
+                  for f in _EVENT_FIELDS}
+        return TraceEvent(**kwargs)
+
+    def _astuple(self) -> tuple:
+        return (self.name, self.kind, self.rank, self.stream,
+                self.start, self.end, self.group, self.tags)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceEvent):
+            return NotImplemented
+        return self._astuple() == other._astuple()
+
+    def __hash__(self) -> int:
+        return hash(self._astuple())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"TraceEvent(name={self.name!r}, kind={self.kind!r}, "
+                f"rank={self.rank}, stream={self.stream!r}, "
+                f"start={self.start}, end={self.end}, "
+                f"group={self.group}, tags={self.tags})")
+
+
+class RankFold:
+    """Opt-in rank-symmetry folding: simulate one replica, fan out many.
+
+    Data-parallel replicas of a training step execute *identical*
+    per-rank timelines whenever nothing couples them (no cross-replica
+    collectives, no replica-specific faults).  Folding exploits that:
+    the caller submits only the base replica (ranks ``0..stride-1``) and
+    the engine lazily projects the timeline onto all ``replicas``
+    copies — replica ``k`` holds ranks ``k*stride .. (k+1)*stride-1``,
+    with identical timings and rank-shifted collective groups.
+
+    The fold is a *contract*, not a check: the engine validates that no
+    submission names a rank outside the base replica, but it cannot know
+    whether the modelled workload really is replica-symmetric — that is
+    the caller's promise (and the differential harness proves the
+    projection itself exact by explicit per-replica replay).
+
+    Attributes:
+        replicas: Number of identical copies (>= 1).
+        stride: Ranks per replica; replica ``k`` spans
+            ``[k*stride, (k+1)*stride)``.
+    """
+
+    __slots__ = ("replicas", "stride")
+
+    def __init__(self, replicas: int, stride: int) -> None:
+        if replicas < 1:
+            raise ValueError("fold needs replicas >= 1")
+        if stride < 1:
+            raise ValueError("fold needs stride >= 1")
+        self.replicas = replicas
+        self.stride = stride
+
+    @property
+    def world_size(self) -> int:
+        return self.replicas * self.stride
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RankFold(replicas={self.replicas}, stride={self.stride})"
+
+
+class _StreamState:
+    """Incremental accounting for one (rank, stream) pair."""
+
+    __slots__ = ("free", "busy", "max_end", "events")
+
+    def __init__(self) -> None:
+        self.free = 0.0
+        self.busy = 0.0
+        self.max_end = 0.0
+        self.events: List[TraceEvent] = []
 
 
 class Simulator:
@@ -84,10 +205,16 @@ class Simulator:
         1.0
     """
 
-    def __init__(self) -> None:
-        self._free_at: Dict[StreamKey, float] = {}
+    def __init__(self, fold: Optional[RankFold] = None) -> None:
+        self._streams: Dict[StreamKey, _StreamState] = {}
         self._events: List[TraceEvent] = []
+        self._rank_events: Dict[int, List[TraceEvent]] = {}
         self._modifiers: List[DurationModifier] = []
+        self._max_end = 0.0
+        self._tag_intern: Dict[Tuple[str, ...], Tuple[str, ...]] = {}
+        self._fold = fold
+        #: Cache of the fanned-out event list: (base length, list).
+        self._fold_cache: Optional[Tuple[int, List[TraceEvent]]] = None
 
     # ------------------------------------------------------------------
     # Fault hooks
@@ -113,11 +240,49 @@ class Simulator:
                 f"duration modifier made task {name!r} negative ({out})")
         return out, out != duration
 
-    @staticmethod
-    def _tagged(tags: Tuple[str, ...], faulted: bool) -> Tuple[str, ...]:
+    def _tagged(self, tags: Tuple[str, ...], faulted: bool) -> Tuple[str, ...]:
         if faulted and "faulted" not in tags:
-            return tags + ("faulted",)
-        return tags
+            tags = tags + ("faulted",)
+        if not tags:
+            return tags
+        # Tags are low-cardinality; interning keeps million-event traces
+        # from holding a million identical ("faulted",) tuples.
+        interned = self._tag_intern.get(tags)
+        if interned is None:
+            interned = self._tag_intern[tags] = tags
+        return interned
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+
+    def _stream(self, rank: int, stream: str) -> _StreamState:
+        key = (rank, stream)
+        st = self._streams.get(key)
+        if st is None:
+            if self._fold is not None and not 0 <= rank < self._fold.stride:
+                raise ValueError(
+                    f"rank {rank} outside the folded base replica "
+                    f"[0, {self._fold.stride}) — submit base-replica ranks "
+                    f"only when folding")
+            st = self._streams[key] = _StreamState()
+        return st
+
+    def _commit(self, st: _StreamState, event: TraceEvent) -> None:
+        """Record one event into the incremental accounting."""
+        end = event.end
+        st.events.append(event)
+        st.busy += end - event.start
+        if end > st.max_end:
+            st.max_end = end
+        if end > self._max_end:
+            self._max_end = end
+        self._events.append(event)
+        rank = event.rank
+        bucket = self._rank_events.get(rank)
+        if bucket is None:
+            bucket = self._rank_events[rank] = []
+        bucket.append(event)
 
     # ------------------------------------------------------------------
     # Submission API
@@ -141,21 +306,24 @@ class Simulator:
         """
         if duration < 0:
             raise ValueError(f"negative duration for task {name!r}")
-        duration, faulted = self._modified_duration(
-            rank, stream, kind, name, duration)
-        key = (rank, stream)
-        ready = max(
-            self._free_at.get(key, 0.0),
-            not_before,
-            max((dep.end for dep in after or ()), default=0.0),
-        )
-        event = TraceEvent(
-            name=name, kind=kind, rank=rank, stream=stream,
-            start=ready, end=ready + duration,
-            tags=self._tagged(tuple(tags), faulted),
-        )
-        self._free_at[key] = event.end
-        self._events.append(event)
+        faulted = False
+        if self._modifiers:
+            duration, faulted = self._modified_duration(
+                rank, stream, kind, name, duration)
+        st = self._stream(rank, stream)
+        ready = st.free
+        if not_before > ready:
+            ready = not_before
+        if after:
+            for dep in after:
+                dep_end = dep.end
+                if dep_end > ready:
+                    ready = dep_end
+        tags = self._tagged(tuple(tags), faulted) if (tags or faulted) else ()
+        event = TraceEvent(name, kind, rank, stream, ready, ready + duration,
+                           (), tags)
+        st.free = event.end
+        self._commit(st, event)
         return event
 
     def run_collective(
@@ -238,38 +406,67 @@ class Simulator:
             raise ValueError("collective needs at least one rank")
         if len(set(ranks)) != len(ranks):
             raise ValueError(f"duplicate ranks in collective {name!r}")
-        after = after or {}
-        skew = skew or {}
-        rank_durations = {}
-        rank_faulted = {}
-        for rank in ranks:
-            rank_durations[rank], rank_faulted[rank] = \
+        # One batched pass per quantity, instead of the reference's four
+        # per-rank dict-building loops.  The common case — no modifiers,
+        # no deps, no skew — reduces to one stream lookup per rank and a
+        # single max() over the join times.
+        states = [self._stream(rank, stream) for rank in ranks]
+        if self._modifiers:
+            modified = [
                 self._modified_duration(rank, stream, kind, name, duration)
-        join_times = {}
-        for rank in ranks:
-            key = (rank, stream)
-            deps_end = max((dep.end for dep in after.get(rank, ())), default=0.0)
-            join_times[rank] = (
-                max(self._free_at.get(key, 0.0), deps_end) + skew.get(rank, 0.0)
-            )
-        start = max(join_times.values())
-        end = start + max(rank_durations.values())
-        events = {}
-        for rank in ranks:
-            event = TraceEvent(
-                name=name, kind=kind, rank=rank, stream=stream,
-                start=join_times[rank], end=end, group=tuple(ranks),
-                tags=self._tagged(tuple(tags), rank_faulted[rank]),
-            )
-            self._free_at[(rank, stream)] = end
-            self._events.append(event)
+                for rank in ranks
+            ]
+            payload = max(out for out, _ in modified)
+            any_faulted = any(faulted for _, faulted in modified)
+        else:
+            if duration < 0:
+                # Matches the reference path, where the (empty) modifier
+                # chain's output check rejects negative durations.
+                raise ValueError(
+                    f"duration modifier made task {name!r} negative "
+                    f"({duration})")
+            payload = duration
+            any_faulted = False
+
+        if after or skew:
+            after = after or {}
+            skew = skew or {}
+            empty: Tuple[TraceEvent, ...] = ()
+            join_times = []
+            for rank, st in zip(ranks, states):
+                join = st.free
+                for dep in after.get(rank, empty):
+                    if dep.end > join:
+                        join = dep.end
+                join_times.append(join + skew.get(rank, 0.0))
+        else:
+            join_times = [st.free for st in states]
+
+        start = max(join_times)
+        end = start + payload
+        group = tuple(ranks)
+        base_tags = self._tagged(tuple(tags), False) if tags else ()
+        faulted_tags = (self._tagged(tuple(tags), True)
+                        if any_faulted else base_tags)
+        events: Dict[int, TraceEvent] = {}
+        for i, rank in enumerate(ranks):
+            if any_faulted and modified[i][1]:
+                rank_tags = faulted_tags
+            else:
+                rank_tags = base_tags
+            event = TraceEvent(name, kind, rank, stream, join_times[i], end,
+                               group, rank_tags)
+            st = states[i]
+            st.free = end
+            self._commit(st, event)
             events[rank] = event
         return events
 
     def advance(self, rank: int, stream: str, until: float) -> None:
         """Force a stream to be busy until a given time (models stalls)."""
-        key = (rank, stream)
-        self._free_at[key] = max(self._free_at.get(key, 0.0), until)
+        st = self._stream(rank, stream)
+        if until > st.free:
+            st.free = until
 
     def record(self, event: TraceEvent) -> None:
         """Append an externally-timed event, advancing its stream.
@@ -279,9 +476,72 @@ class Simulator:
         """
         if event.end < event.start:
             raise ValueError(f"event {event.name!r} ends before it starts")
-        key = (event.rank, event.stream)
-        self._free_at[key] = max(self._free_at.get(key, 0.0), event.end)
-        self._events.append(event)
+        st = self._stream(event.rank, event.stream)
+        if event.end > st.free:
+            st.free = event.end
+        self._commit(st, event)
+
+    # ------------------------------------------------------------------
+    # Symmetry folding
+    # ------------------------------------------------------------------
+
+    @property
+    def fold(self) -> Optional[RankFold]:
+        """The active rank fold, or None when the engine is unfolded."""
+        return self._fold
+
+    def _shift_events(
+        self, base: Iterable[TraceEvent], offset: int,
+        group_cache: Dict[Tuple[Tuple[int, ...], int], Tuple[int, ...]],
+    ) -> List[TraceEvent]:
+        """Base-replica events projected onto the replica at ``offset``."""
+        if offset == 0:
+            return list(base)
+        out = []
+        append = out.append
+        for e in base:
+            group = e.group
+            if group:
+                key = (group, offset)
+                shifted = group_cache.get(key)
+                if shifted is None:
+                    shifted = group_cache[key] = tuple(
+                        r + offset for r in group)
+                group = shifted
+            append(TraceEvent(e.name, e.kind, e.rank + offset, e.stream,
+                              e.start, e.end, group, e.tags))
+        return out
+
+    def _fold_events(self) -> List[TraceEvent]:
+        """The fanned-out event list, replica-major, lazily cached.
+
+        Replica-major order (all of replica 0's events in submission
+        order, then replica 1's, ...) is the order an unfolded engine
+        produces when the caller replays the base submissions once per
+        replica — the equivalence the differential harness pins.
+        """
+        assert self._fold is not None
+        cached = self._fold_cache
+        if cached is not None and cached[0] == len(self._events):
+            return cached[1]
+        group_cache: Dict[Tuple[Tuple[int, ...], int], Tuple[int, ...]] = {}
+        out: List[TraceEvent] = []
+        for k in range(self._fold.replicas):
+            out.extend(self._shift_events(
+                self._events, k * self._fold.stride, group_cache))
+        self._fold_cache = (len(self._events), out)
+        return out
+
+    def _base_rank(self, rank: int) -> int:
+        """Map a folded global rank back onto the base replica."""
+        fold = self._fold
+        if fold is None:
+            return rank
+        if not 0 <= rank < fold.world_size:
+            # Outside the folded world: no events there, same as the
+            # unfolded engine's behaviour for a never-seen rank.
+            return rank
+        return rank % fold.stride
 
     # ------------------------------------------------------------------
     # Inspection API
@@ -289,32 +549,59 @@ class Simulator:
 
     @property
     def events(self) -> List[TraceEvent]:
-        """All recorded events, in submission order."""
+        """All recorded events, in submission order.
+
+        Under a :class:`RankFold` this is the fanned-out timeline,
+        replica-major; the returned list is cached between submissions,
+        so repeated access is cheap.
+        """
+        if self._fold is not None:
+            return list(self._fold_events())
         return list(self._events)
 
     def now(self, rank: int, stream: str) -> float:
         """Time at which a stream becomes free."""
-        return self._free_at.get((rank, stream), 0.0)
+        st = self._streams.get((self._base_rank(rank), stream))
+        return st.free if st is not None else 0.0
 
     def makespan(self, ranks: Optional[Iterable[int]] = None) -> float:
-        """Latest end time across the given ranks (or all ranks)."""
-        rank_set = set(ranks) if ranks is not None else None
-        ends = [
-            e.end for e in self._events
-            if rank_set is None or e.rank in rank_set
-        ]
-        return max(ends, default=0.0)
+        """Latest end time across the given ranks (or all ranks).
+
+        Maintained incrementally: the unfiltered call is O(1), the
+        filtered call is O(streams of those ranks) — never O(events).
+        """
+        if ranks is None:
+            return self._max_end
+        out = 0.0
+        seen = {self._base_rank(r) for r in ranks}
+        for (rank, _), st in self._streams.items():
+            if rank in seen and st.max_end > out:
+                out = st.max_end
+        return out
 
     def events_for(
         self, rank: int, stream: Optional[str] = None, kind: Optional[str] = None
     ) -> List[TraceEvent]:
-        """Events on one rank, optionally filtered by stream and kind."""
-        return [
-            e for e in self._events
-            if e.rank == rank
-            and (stream is None or e.stream == stream)
-            and (kind is None or e.kind == kind)
-        ]
+        """Events on one rank, optionally filtered by stream and kind.
+
+        Indexed per rank on submit, so the cost is O(that rank's events)
+        rather than a scan of the whole timeline.
+        """
+        base_rank = self._base_rank(rank)
+        bucket = self._rank_events.get(base_rank, [])
+        if stream is None and kind is None:
+            out = list(bucket)
+        else:
+            out = [
+                e for e in bucket
+                if (stream is None or e.stream == stream)
+                and (kind is None or e.kind == kind)
+            ]
+        if self._fold is not None and rank != base_rank:
+            group_cache: Dict[
+                Tuple[Tuple[int, ...], int], Tuple[int, ...]] = {}
+            out = self._shift_events(out, rank - base_rank, group_cache)
+        return out
 
     def overlapping_events(
         self,
@@ -328,24 +615,35 @@ class Simulator:
         can violate it — this is the raw check behind the
         ``stream-overlap`` invariant in :mod:`repro.verify.invariants`.
         """
-        by_stream: Dict[StreamKey, List[TraceEvent]] = {}
-        for e in self._events:
-            by_stream.setdefault((e.rank, e.stream), []).append(e)
         offenders: List[Tuple[TraceEvent, TraceEvent]] = []
-        for events in by_stream.values():
-            ordered = sorted(events, key=lambda e: (e.start, e.end))
+        for st in self._streams.values():
+            ordered = sorted(st.events, key=lambda e: (e.start, e.end))
             active: Optional[TraceEvent] = None  # max-end event so far
             for cur in ordered:
                 if active is not None and active.overlaps(cur):
                     offenders.append((active, cur))
                 if active is None or cur.end > active.end:
                     active = cur
+        if self._fold is not None and offenders:
+            group_cache: Dict[
+                Tuple[Tuple[int, ...], int], Tuple[int, ...]] = {}
+            fanned: List[Tuple[TraceEvent, TraceEvent]] = []
+            for k in range(self._fold.replicas):
+                offset = k * self._fold.stride
+                for a, b in offenders:
+                    pair = self._shift_events((a, b), offset, group_cache)
+                    fanned.append((pair[0], pair[1]))
+            return fanned
         return offenders
 
     def busy_time(self, rank: int, stream: str = "compute") -> float:
-        """Total busy duration on a stream (events never overlap per stream)."""
-        return sum(e.duration for e in self.events_for(rank, stream))
+        """Total busy duration on a stream (events never overlap per
+        stream).  Accumulated incrementally on submit — O(1)."""
+        st = self._streams.get((self._base_rank(rank), stream))
+        return st.busy if st is not None else 0.0
 
     def idle_time(self, rank: int, stream: str = "compute") -> float:
-        """Makespan minus busy time on one rank's stream."""
-        return self.makespan() - self.busy_time(rank, stream)
+        """Makespan minus busy time on one rank's stream — O(1), so
+        ``busy_time(r, s) + idle_time(r, s) == makespan()`` per stream by
+        construction."""
+        return self._max_end - self.busy_time(rank, stream)

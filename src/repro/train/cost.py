@@ -87,6 +87,19 @@ class CostModel:
         self._tp_group = list(range(parallel.tp))
         # A representative CP group: ranks at stride tp.
         self._cp_group = [i * parallel.tp for i in range(parallel.cp)]
+        # Memo table for the per-(op, mesh) kernels below.  Every public
+        # cost method is a pure function of the constructor arguments, and
+        # the step-graph lowering calls the layer/stage kernels once per
+        # (stage, microbatch, virtual stage) — thousands of identical
+        # evaluations on paper-scale schedules — so each distinct
+        # (method, args) pair is priced exactly once per model instance.
+        self._memo: dict = {}
+
+    def _memoized(self, key, compute):
+        out = self._memo.get(key)
+        if out is None:
+            out = self._memo[key] = compute()
+        return out
 
     # ------------------------------------------------------------------
     # Layer-level pieces
@@ -94,6 +107,9 @@ class CostModel:
 
     def layer_gemm_seconds(self) -> float:
         """TP-sharded GEMM time of one transformer layer's forward."""
+        return self._memoized("layer_gemm", self._layer_gemm_seconds)
+
+    def _layer_gemm_seconds(self) -> float:
         m = self.tokens
         d, f = self.model.dim, self.model.ffn_hidden
         tp = self.parallel.tp
@@ -110,6 +126,10 @@ class CostModel:
         over the token activations plus 4 over the FFN hidden.  These ops
         never reach tensor cores, so they cap sustained TFLOPs well below
         GEMM peak (the Section 8.1 "lightweight kernels" concern)."""
+        return self._memoized("layer_elementwise",
+                              self._layer_elementwise_seconds)
+
+    def _layer_elementwise_seconds(self) -> float:
         d = self.model.dim
         f = self.model.ffn_hidden
         tp = self.parallel.tp
@@ -136,6 +156,11 @@ class CostModel:
         """
         if mask_fraction is None:
             mask_fraction = self.mask_fraction
+        return self._memoized(
+            ("layer_attention", mask_fraction),
+            lambda: self._layer_attention_seconds(mask_fraction))
+
+    def _layer_attention_seconds(self, mask_fraction: float) -> float:
         rows = self.tokens * 1  # per micro-batch
         full_seq = self.job.seq * self.job.mbs
         area = int(mask_fraction * rows * full_seq)
@@ -148,6 +173,9 @@ class CostModel:
     def layer_tp_comm_seconds(self) -> float:
         """Per-layer exposed TP communication: AG + RS around attention and
         the same around the FFN (4 collectives, Section 5.2)."""
+        return self._memoized("layer_tp_comm", self._layer_tp_comm_seconds)
+
+    def _layer_tp_comm_seconds(self) -> float:
         if self.parallel.tp == 1:
             return 0.0
         act_bytes = 2.0 * self.tokens * self.model.dim
@@ -160,6 +188,9 @@ class CostModel:
     def layer_cp_comm_seconds(self) -> float:
         """Per-layer exposed CP communication: the KV all-gather (forward)
         or KV-grad reduce-scatter (backward) — same ring cost."""
+        return self._memoized("layer_cp_comm", self._layer_cp_comm_seconds)
+
+    def _layer_cp_comm_seconds(self) -> float:
         if self.parallel.cp == 1:
             return 0.0
         kv_bytes = (
@@ -190,6 +221,10 @@ class CostModel:
 
     def forward_seconds(self, stage: StageAssignment) -> StageCost:
         """Forward of one stage for one micro-batch."""
+        return self._memoized(("fwd", stage),
+                              lambda: self._forward_seconds(stage))
+
+    def _forward_seconds(self, stage: StageAssignment) -> StageCost:
         n = stage.n_layers
         compute = n * (self.layer_gemm_seconds()
                        + self.layer_attention_seconds()
@@ -214,6 +249,10 @@ class CostModel:
         activations — roughly the attention kernel plus the elementwise
         work, the production-style middle ground), or False.
         """
+        return self._memoized(("bwd", stage),
+                              lambda: self._backward_seconds(stage))
+
+    def _backward_seconds(self, stage: StageAssignment) -> StageCost:
         fwd = self.forward_seconds(stage)
         if self.recompute == "selective":
             extra = stage.n_layers * (
@@ -246,6 +285,9 @@ class CostModel:
         ``tp * cp >= gpus_per_node`` — the common case, making PP traffic
         inter-node (RoCE).
         """
+        return self._memoized("p2p", self._p2p_seconds)
+
+    def _p2p_seconds(self) -> float:
         stride = self.parallel.tp * self.parallel.cp
         dst = min(stride, self.cluster.num_gpus - 1)
         act_bytes = 2.0 * self.tokens * self.model.dim / self.parallel.tp
@@ -254,21 +296,25 @@ class CostModel:
     def fsdp_allgather_seconds(self, params_on_rank: float) -> float:
         """One FSDP parameter all-gather for this rank's shard (only the
         first is exposed; the rest overlap with compute, Section 7.3.1)."""
-        group = self._dp_cp_group()
-        if len(group) == 1:
-            return 0.0
-        bytes_total = 2.0 * params_on_rank
-        return all_gather_time(self.cluster, group, bytes_total,
-                               self.congestion).seconds
+        def compute() -> float:
+            group = self._dp_cp_group()
+            if len(group) == 1:
+                return 0.0
+            bytes_total = 2.0 * params_on_rank
+            return all_gather_time(self.cluster, group, bytes_total,
+                                   self.congestion).seconds
+        return self._memoized(("fsdp_ag", params_on_rank), compute)
 
     def fsdp_reduce_scatter_seconds(self, params_on_rank: float) -> float:
         """One gradient reduce-scatter (FP32 wire, Section 6.2)."""
-        group = self._dp_cp_group()
-        if len(group) == 1:
-            return 0.0
-        bytes_total = 4.0 * params_on_rank
-        return reduce_scatter_time(self.cluster, group, bytes_total,
-                                   self.congestion).seconds
+        def compute() -> float:
+            group = self._dp_cp_group()
+            if len(group) == 1:
+                return 0.0
+            bytes_total = 4.0 * params_on_rank
+            return reduce_scatter_time(self.cluster, group, bytes_total,
+                                       self.congestion).seconds
+        return self._memoized(("fsdp_rs", params_on_rank), compute)
 
     def optimizer_seconds(self, params_on_rank: float) -> float:
         """Sharded Adam step: memory-bound over master + moments."""

@@ -133,16 +133,34 @@ def execute_graph(
     pointers = [0] * len(programs)
     total_ops = sum(len(p) for p in programs)
     executed = 0
+    has_tags = bool(op_tags)
+    run = sim.run
 
+    # The ready-list walk below visits ranks round-robin and runs each
+    # rank's program as far as its dependencies allow.  The visiting
+    # order — and therefore the event submission order — is part of the
+    # engine's observable behaviour (traces and golden reports are
+    # byte-stable), so the optimisations here (hoisted per-rank lookups,
+    # inlined dependency checks) must never reorder submissions.
     while executed < total_ops:
         progressed = False
         for rank, prog in enumerate(programs):
-            while pointers[rank] < len(prog):
-                op = prog[pointers[rank]]
-                if any(uid not in events for uid in op.deps):
+            ptr = pointers[rank]
+            n_ops = len(prog)
+            if ptr >= n_ops:
+                continue
+            floor = start_times.get(rank, 0.0)
+            scale = rank_compute_scale.get(rank, 1.0)
+            while ptr < n_ops:
+                op = prog[ptr]
+                ready = True
+                for uid in op.deps:
+                    if uid not in events:
+                        ready = False
+                        break
+                if not ready:
                     break
                 deps = [events[uid] for uid in op.deps]
-                floor = start_times.get(rank, 0.0)
                 if op.wait_name is not None:
                     # Exposed wait: the gap between the rank being ready
                     # (own stream free, local inputs done) and the
@@ -168,9 +186,9 @@ def execute_graph(
                             exposed_p2p.inc(wait.duration, rank=rank)
                 duration = op.duration
                 if op.kind is StepOpKind.COMPUTE:
-                    duration *= rank_compute_scale.get(rank, 1.0)
-                tags = op_tags.get(op.uid, ())
-                event = sim.run(
+                    duration *= scale
+                tags = op_tags.get(op.uid, ()) if has_tags else ()
+                event = run(
                     rank=rank,
                     stream=op.stream,
                     duration=duration,
@@ -180,16 +198,19 @@ def execute_graph(
                     not_before=floor,
                     tags=tags,
                 )
-                if metrics is not None and tags:
-                    injected_ops.inc(1, rank=rank)
-                if metrics is not None and op.pipeline_op is not None:
-                    kind_label = op.pipeline_op.kind.name.lower()
-                    op_count.inc(1, rank=rank, kind=kind_label)
-                    op_seconds.observe(event.duration, kind=kind_label)
+                if metrics is not None:
+                    if tags:
+                        injected_ops.inc(1, rank=rank)
+                    if op.pipeline_op is not None:
+                        kind_label = op.pipeline_op.kind.name.lower()
+                        op_count.inc(1, rank=rank, kind=kind_label)
+                        op_seconds.observe(event.duration, kind=kind_label)
                 events[op.uid] = event
-                pointers[rank] += 1
+                ptr += 1
                 executed += 1
                 progressed = True
+            if ptr != pointers[rank]:
+                pointers[rank] = ptr
         if not progressed:
             blocked = [
                 (rank, prog[pointers[rank]].name)

@@ -12,11 +12,28 @@ Correctness as a first-class, reusable subsystem (see
   pipeline numerics vs. the order-matched sequential baseline.
 * :mod:`repro.verify.fuzz` — deterministic config fuzzer with shrinking
   to minimal reproducers.
+* :mod:`repro.verify.engine_fuzz` — differential engine fuzzer: random
+  submission sequences replayed through the fast engine and the frozen
+  reference engine (``tests/harness/reference_engine.py``), asserting
+  bitwise-equal observables, with greedy shrinking to a minimal
+  diverging sequence (``repro verify --engine``).
 
 The same machinery backs ``python -m repro verify`` (CI and local) and
 the test suite (``tests/test_verify_*.py``).
 """
 
+from repro.verify.engine_fuzz import (
+    EngineFuzzCase,
+    EngineFuzzConfig,
+    EngineFuzzFailure,
+    EngineFuzzResult,
+    check_case,
+    compare_engines,
+    load_reference_simulator,
+    run_engine_fuzz,
+    sample_case,
+    shrink_case,
+)
 from repro.verify.fuzz import (
     FuzzConfig,
     FuzzFailure,
@@ -46,25 +63,35 @@ from repro.verify.oracles import (
 )
 
 __all__ = [
+    "EngineFuzzCase",
+    "EngineFuzzConfig",
+    "EngineFuzzFailure",
+    "EngineFuzzResult",
     "FuzzConfig",
     "FuzzFailure",
     "FuzzResult",
     "InvariantReport",
     "OracleResult",
     "Violation",
+    "check_case",
     "check_config",
     "check_conservation",
+    "compare_engines",
     "check_program_order",
     "check_send_before_recv",
     "check_stream_overlap",
     "check_warmup_depth",
     "check_zero_schedule",
+    "load_reference_simulator",
     "oracle_afab_degeneration",
     "oracle_cp_attention",
     "oracle_pp_numerics",
     "run_default_oracles",
+    "run_engine_fuzz",
     "run_fuzz",
     "run_invariants",
+    "sample_case",
     "sample_config",
+    "shrink_case",
     "shrink_config",
 ]

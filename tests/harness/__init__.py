@@ -1,0 +1,24 @@
+"""Differential equivalence harness for the fast simulator engine.
+
+The fast path in :mod:`repro.sim.engine` is pinned to the exact
+semantics of the engine the repository shipped before the optimisation,
+frozen verbatim in :mod:`tests.harness.reference_engine`.  This package
+replays every seeded workload (:mod:`tests.harness.workloads`) through
+both engines and asserts **bitwise** equality of every
+:class:`TraceEvent` field, makespans, busy/idle accounting, and
+:mod:`repro.analysis` critical paths — see ``docs/engine.md`` for the
+contract and how to add a workload.
+"""
+
+from tests.harness.diffing import compare_simulators, diff_event_lists
+from tests.harness.reference_engine import (
+    ReferenceSimulator,
+    ReferenceTraceEvent,
+)
+
+__all__ = [
+    "ReferenceSimulator",
+    "ReferenceTraceEvent",
+    "compare_simulators",
+    "diff_event_lists",
+]

@@ -1,0 +1,28 @@
+"""Fixtures for the differential equivalence harness.
+
+``engine_pair`` is the satellite fixture the issue asks for: it is
+parametrized over every workload in
+:data:`tests.harness.workloads.DIFFERENTIAL_WORKLOADS`, runs the
+workload through both the frozen reference engine and the fast engine,
+and yields the two simulators for diffing.  Adding a row to
+``DIFFERENTIAL_WORKLOADS`` automatically adds a test case.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Simulator
+from tests.harness.reference_engine import ReferenceSimulator
+from tests.harness.workloads import DIFFERENTIAL_WORKLOADS
+
+
+@pytest.fixture(params=DIFFERENTIAL_WORKLOADS, ids=lambda w: w.name)
+def engine_pair(request):
+    """(reference_sim, fast_sim) after running one workload through both."""
+    workload = request.param
+    reference = ReferenceSimulator()
+    fast = Simulator()
+    workload.fn(reference)
+    workload.fn(fast)
+    return reference, fast

@@ -1,0 +1,261 @@
+"""Seeded differential workloads: every engine consumer, in miniature.
+
+Each workload is a function ``fn(sim) -> None`` that drives an engine
+exclusively through its public API — ``run``, ``run_collective``,
+``advance``, ``record``, ``add_duration_modifier`` — either directly or
+through one of the real consumers (the step-graph executor, the fault
+workload, the resilience run simulator).  The differential tests run
+each workload once against the frozen reference engine and once against
+the fast engine and diff every observable (see
+:mod:`tests.harness.diffing`).
+
+To add a workload: write a ``wl_*`` function taking a simulator, append
+a :class:`Workload` row to ``DIFFERENTIAL_WORKLOADS``, and it is picked
+up by the parametrized fixture in ``conftest.py`` automatically.  Keep
+workloads deterministic — randomness belongs in the engine fuzzer
+(``repro verify --engine``), which shrinks failures; these are the
+curated, named scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+from repro.debug.workload import WorkloadSpec, run_synthetic_workload
+from repro.faults.models import ComputeStraggler, DegradedLink, FaultPlan
+from repro.hardware.cluster import grand_teton
+from repro.model.config import LLAMA3_8B
+from repro.parallel.config import JobConfig, ParallelConfig, ZeroStage
+from repro.parallel.mesh import DeviceMesh
+from repro.pp.layout import build_layout
+from repro.pp.schedule import ScheduleShape, build_flexible_schedule
+from repro.resilience import NoCheckpoint, RunConfig, YoungDaly, simulate_run
+from repro.sim.collectives import RetryPolicy
+from repro.train.cost import StageCost
+from repro.train.executor import execute_pipeline
+from repro.train.step import simulate_step
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One named differential scenario."""
+
+    name: str
+    fn: Callable
+
+
+# ----------------------------------------------------------------------
+# Step graphs on the three standard meshes
+# ----------------------------------------------------------------------
+
+#: The three mesh shapes every step-graph scenario in the repo exercises:
+#: TP+PP+DP, the 4D shape with CP, and a deeper interleaved pipeline.
+STANDARD_MESHES: Tuple[Tuple[str, ParallelConfig, JobConfig, int], ...] = (
+    ("tp2_pp2_dp2", ParallelConfig(tp=2, pp=2, dp=2),
+     JobConfig(seq=8192, gbs=8, ngpu=8), 8),
+    ("tp2_cp2_pp2_dp2", ParallelConfig(tp=2, cp=2, pp=2, dp=2),
+     JobConfig(seq=8192, gbs=8, ngpu=16), 16),
+    ("tp4_pp4_dp2", ParallelConfig(tp=4, pp=4, dp=2),
+     JobConfig(seq=8192, gbs=16, ngpu=32), 32),
+)
+
+
+def _step_workload(parallel: ParallelConfig, job: JobConfig, ngpu: int,
+                   **kwargs):
+    def fn(sim) -> None:
+        simulate_step(LLAMA3_8B, parallel, job, grand_teton(ngpu),
+                      sim=sim, **kwargs)
+    return fn
+
+
+def wl_pipeline_interleaved(sim) -> None:
+    """Raw pipeline executor: interleaved schedule, synthetic costs."""
+    shape = ScheduleShape(pp=4, v=2, nc=2, nmb=8)
+    schedule = build_flexible_schedule(shape)
+    layout = build_layout(n_layers=16, pp=4, v=2)
+    execute_pipeline(
+        schedule, layout,
+        forward_cost=lambda s: StageCost(0.004 * s.n_layers, 0.001, 0.0005),
+        backward_cost=lambda s: StageCost(0.008 * s.n_layers, 0.001, 0.0005),
+        p2p_seconds=0.0003,
+        sim=sim,
+        start_times={0: 0.002},
+        rank_compute_scale={2: 1.3},
+    )
+
+
+# ----------------------------------------------------------------------
+# Fault plans and modifiers
+# ----------------------------------------------------------------------
+
+_MESH_8 = DeviceMesh(ParallelConfig(tp=2, cp=2, dp=2))
+_SPEC = WorkloadSpec(steps=2, layers=3)
+
+
+def wl_fault_plan(sim) -> None:
+    """Synthetic workload under a declarative fault plan (modifiers)."""
+    run_synthetic_workload(
+        _MESH_8, _SPEC, sim=sim,
+        faults=FaultPlan((
+            ComputeStraggler(rank=3, extra_seconds=0.4),
+            DegradedLink(dim="tp", group=0, scale=2.5),
+        )))
+
+
+def wl_slowdown(sim) -> None:
+    """Synthetic workload with the simple per-rank slowdown knob."""
+    run_synthetic_workload(_MESH_8, _SPEC, slowdown={1: 0.25, 6: 0.1},
+                           sim=sim)
+
+
+def wl_modifier_chains(sim) -> None:
+    """Stateful and mutually-cancelling modifier chains.
+
+    The doubling+halving pair restores the original duration bitwise
+    (``(d * 2.0) * 0.5 == d`` for normal floats), pinning the
+    ``out != duration`` faulted-tagging rule: restored events must NOT
+    be tagged.  The one-shot modifier fires on exactly one event,
+    exercising stateful-closure ordering.
+    """
+    fired = []
+
+    def one_shot(rank, stream, kind, name, duration):
+        if not fired and name == "victim":
+            fired.append(True)
+            return duration + 1.5
+        return duration
+
+    sim.add_duration_modifier(one_shot)
+    sim.add_duration_modifier(lambda r, s, k, n, d: d * 2.0)
+    sim.add_duration_modifier(lambda r, s, k, n, d: d * 0.5)
+    for rank in range(4):
+        sim.run(rank, "compute", 0.3, "warm")
+    sim.run(2, "compute", 0.2, "victim")
+    sim.run(2, "compute", 0.2, "victim")  # one-shot already consumed
+    sim.run_collective([0, 1, 2, 3], "comm", 0.1, "allreduce")
+
+
+# ----------------------------------------------------------------------
+# Retry ladders and collective edge shapes
+# ----------------------------------------------------------------------
+
+def wl_retry_ladders(sim) -> None:
+    """Collective timeout→retry→backoff ladders, default + custom policy."""
+    a = sim.run(0, "compute", 0.5, "fwd")
+    sim.run_collective([0, 1, 2, 3], "comm", 0.2, "ar0",
+                       after={0: [a]}, failed_attempts=1)
+    policy = RetryPolicy(max_retries=4, timeout_seconds=2.0,
+                         backoff_base_seconds=0.25, backoff_multiplier=3.0)
+    sim.run_collective([0, 1], "comm", 0.1, "ar1", failed_attempts=3,
+                       retry_policy=policy, tags=("grad",))
+    sim.run_collective([2, 3], "comm", 0.1, "ar2",
+                       skew={2: 0.05}, failed_attempts=2)
+
+
+def wl_skewed_collectives(sim) -> None:
+    """Deps, skew, tags, and single-rank collectives interleaved."""
+    deps = {r: [sim.run(r, "compute", 0.1 * (r + 1), f"fwd{r}")]
+            for r in range(4)}
+    sim.run_collective([0, 1, 2, 3], "comm", 0.3, "ag",
+                       after=deps, skew={1: 0.07}, tags=("fsdp",))
+    sim.run_collective([2], "comm", 0.2, "solo")
+    sim.run_collective([3, 0], "comm", 0.15, "pair")  # unsorted ranks
+    for r in range(4):
+        sim.run(r, "compute", 0.05, "tail", after=[deps[r][0]])
+
+
+# ----------------------------------------------------------------------
+# Timeline splicing edge cases
+# ----------------------------------------------------------------------
+
+def wl_record_splices(sim) -> None:
+    """record() splices interleaved with run(), advance(), zero-duration
+    tasks — the trace-merge code path."""
+    event_cls = type(sim.run(0, "compute", 0.2, "a"))
+    sim.record(event_cls("spliced", "comm", 0, "compute", 0.05, 0.45,
+                         (), ("merged",)))
+    b = sim.run(0, "compute", 0.1, "b")  # starts at the splice's end
+    sim.record(event_cls("zero", "compute", 1, "compute", 0.0, 0.0))
+    sim.run(1, "compute", 0.0, "zero2", after=[b])
+    sim.advance(1, "compute", 2.0)
+    sim.run(1, "compute", 0.1, "late")
+    sim.advance(2, "p2p", 0.5)  # advance on a never-used stream
+    sim.record(event_cls("back_in_time", "comm", 0, "compute", 0.0, 0.1))
+
+
+# ----------------------------------------------------------------------
+# Resilience runs (multi-step, retries, aborts, markers)
+# ----------------------------------------------------------------------
+
+def wl_resilience_run(sim) -> None:
+    """Multi-step resilience run: failure markers, retry ladders,
+    checkpoint/restart segments recorded into one timeline."""
+    simulate_run(
+        LLAMA3_8B, JobConfig(seq=8192, gbs=32, ngpu=32), grand_teton(32),
+        RunConfig(steps=25, mtbf_seconds=150.0, seed=11, elastic=False,
+                  replacement_seconds=300.0, policy=YoungDaly()),
+        sim=sim)
+
+
+def wl_resilience_no_checkpoint(sim) -> None:
+    simulate_run(
+        LLAMA3_8B, JobConfig(seq=8192, gbs=32, ngpu=32), grand_teton(32),
+        RunConfig(steps=15, mtbf_seconds=120.0, seed=3, elastic=True,
+                  policy=NoCheckpoint(), max_step_attempts=80),
+        sim=sim)
+
+
+DIFFERENTIAL_WORKLOADS: Tuple[Workload, ...] = tuple(
+    [Workload(f"step_{name}", _step_workload(par, job, ngpu))
+     for name, par, job, ngpu in STANDARD_MESHES]
+    + [
+        Workload("step_faulted", _step_workload(
+            *STANDARD_MESHES[0][1:],
+            fault_plan=FaultPlan((
+                ComputeStraggler(rank=2, extra_seconds=0.002),)))),
+        Workload("step_zero3_recompute", _step_workload(
+            ParallelConfig(tp=2, pp=2, dp=2, zero=ZeroStage.ZERO_3),
+            JobConfig(seq=8192, gbs=8, ngpu=8), 8, recompute=True)),
+        Workload("pipeline_interleaved", wl_pipeline_interleaved),
+        Workload("fault_plan", wl_fault_plan),
+        Workload("slowdown", wl_slowdown),
+        Workload("modifier_chains", wl_modifier_chains),
+        Workload("retry_ladders", wl_retry_ladders),
+        Workload("skewed_collectives", wl_skewed_collectives),
+        Workload("record_splices", wl_record_splices),
+        Workload("resilience_run", wl_resilience_run),
+        Workload("resilience_no_checkpoint", wl_resilience_no_checkpoint),
+    ]
+)
+
+
+# ----------------------------------------------------------------------
+# Rank-symmetry folding scenarios
+# ----------------------------------------------------------------------
+
+def wl_fold_replica(sim, offset: int) -> None:
+    """One DP replica's worth of submissions, shifted by ``offset``.
+
+    The fold tests submit this once (offset 0) into a folded fast
+    engine and once per replica (offset = k * stride) into the
+    reference, then diff the fanned-out timelines.
+    """
+    ranks = [offset + r for r in range(4)]
+    prev = {}
+    for step in range(3):
+        for r in ranks:
+            prev[r] = sim.run(r, "compute", 0.2 + 0.01 * (r - offset),
+                              f"fwd:s{step}")
+        sim.run_collective(ranks, "tp", 0.05, f"ag:s{step}",
+                           after={r: [prev[r]] for r in ranks})
+        sim.run_collective(ranks[:2], "tp", 0.03, f"rs_a:s{step}")
+        sim.run_collective(ranks[2:], "tp", 0.03, f"rs_b:s{step}")
+    sim.run(ranks[1], "compute", 0.0, "zero")
+
+
+#: (name, replicas, stride, fn(sim, offset)).
+FOLD_WORKLOADS: Tuple[Tuple[str, int, int, Callable], ...] = (
+    ("dp8_replicas", 8, 4, wl_fold_replica),
+    ("dp1_degenerate", 1, 4, wl_fold_replica),
+)

@@ -106,8 +106,6 @@ class TestInvariantSuite:
                     if v.check == "critical-path-makespan"]
 
     def test_check_flags_tampered_timeline(self):
-        from dataclasses import replace
-
         from repro.verify.invariants import check_critical_path_makespan
 
         rep = _step()
@@ -115,9 +113,8 @@ class TestInvariantSuite:
         # Shift the terminal event later: the chain can no longer reach it
         # through contiguous links.
         uid = max(events, key=lambda u: events[u].end)
-        events[uid] = replace(events[uid],
-                              start=events[uid].start + 0.5,
-                              end=events[uid].end + 0.5)
+        events[uid] = events[uid].replace(start=events[uid].start + 0.5,
+                                          end=events[uid].end + 0.5)
         violations = check_critical_path_makespan(rep.execution.graph, events)
         assert violations
         assert all(v.check == "critical-path-makespan" for v in violations)

@@ -1,0 +1,237 @@
+"""Edge-case semantics of the fast engine, pinned as regression tests.
+
+Each class pins one corner the differential harness found load-bearing
+while rewriting the engine: record() splices interleaved with run(),
+advance() beyond and behind the frontier, zero-duration tasks, modifier
+chains that restore the original duration (must NOT be tagged
+``faulted`` — the rule is ``modified != original``, not "modifiers
+ran"), collective group validation, ``TraceEvent.replace`` field
+checking, ``RankFold`` validation, and the incremental busy/idle
+accounting identity ``busy + idle == makespan`` under fault injection.
+"""
+
+import pytest
+
+from repro.faults.models import ComputeStraggler, DegradedLink, FaultPlan
+from repro.sim.engine import RankFold, Simulator, TraceEvent
+
+
+class TestRecordSplices:
+    def test_record_advances_the_stream_frontier(self):
+        sim = Simulator()
+        sim.run(0, "compute", 0.2, "a")
+        sim.record(TraceEvent("spliced", "comm", 0, "compute", 0.1, 0.9))
+        b = sim.run(0, "compute", 0.1, "b")
+        assert b.start == 0.9  # the splice pushed the frontier
+
+    def test_record_behind_the_frontier_does_not_rewind(self):
+        sim = Simulator()
+        sim.run(0, "compute", 1.0, "a")
+        sim.record(TraceEvent("early", "comm", 0, "compute", 0.0, 0.5))
+        b = sim.run(0, "compute", 0.1, "b")
+        assert b.start == 1.0
+
+    def test_record_counts_toward_busy_and_makespan(self):
+        sim = Simulator()
+        sim.record(TraceEvent("only", "comm", 3, "p2p", 1.0, 4.0))
+        assert sim.makespan() == 4.0
+        assert sim.busy_time(3, "p2p") == 3.0
+        assert [e.name for e in sim.events_for(3)] == ["only"]
+
+    def test_record_rejects_inverted_span(self):
+        with pytest.raises(ValueError, match="ends before it starts"):
+            Simulator().record(TraceEvent("bad", "comm", 0, "compute",
+                                          2.0, 1.0))
+
+    def test_overlap_checker_sees_recorded_events(self):
+        sim = Simulator()
+        sim.run(0, "compute", 1.0, "a")
+        sim.record(TraceEvent("intruder", "comm", 0, "compute", 0.5, 0.8))
+        pairs = sim.overlapping_events()
+        assert any({p[0].name, p[1].name} == {"a", "intruder"}
+                   for p in pairs)
+
+
+class TestAdvance:
+    def test_advance_past_existing_events(self):
+        sim = Simulator()
+        sim.run(0, "compute", 1.0, "a")
+        sim.advance(0, "compute", 10.0)
+        b = sim.run(0, "compute", 1.0, "b")
+        assert b.start == 10.0
+
+    def test_advance_backwards_is_a_noop(self):
+        sim = Simulator()
+        sim.run(0, "compute", 5.0, "a")
+        sim.advance(0, "compute", 2.0)
+        b = sim.run(0, "compute", 1.0, "b")
+        assert b.start == 5.0
+
+    def test_advance_adds_no_events_and_no_busy_time(self):
+        sim = Simulator()
+        sim.advance(1, "tp", 7.0)
+        assert sim.events == []
+        assert sim.busy_time(1, "tp") == 0.0
+        assert sim.now(1, "tp") == 7.0
+
+
+class TestZeroDuration:
+    def test_zero_duration_task_is_a_point_event(self):
+        sim = Simulator()
+        sim.run(0, "compute", 1.0, "a")
+        z = sim.run(0, "compute", 0.0, "zero")
+        assert z.start == z.end == 1.0
+        assert z.duration == 0.0
+
+    def test_zero_duration_still_orders_dependents(self):
+        sim = Simulator()
+        z = sim.run(0, "compute", 0.0, "zero", not_before=3.0)
+        b = sim.run(1, "compute", 1.0, "b", after=[z])
+        assert b.start == 3.0
+
+    def test_zero_duration_collective(self):
+        sim = Simulator()
+        sim.run(1, "tp", 2.0, "w")
+        events = sim.run_collective([0, 1], "tp", 0.0, "barrier")
+        # Each rank's span starts at its own join time; the slowest
+        # rank's event is the zero-width point.
+        assert events[0].start == 0.0
+        assert events[0].end == events[1].end == 2.0
+        assert events[1].duration == 0.0
+
+
+class TestModifierFaultTagging:
+    def test_restoring_chain_is_not_tagged_faulted(self):
+        # (d * 2.0) * 0.5 == d bitwise for normal floats: the chain ran
+        # but the duration is unchanged, so no "faulted" tag.
+        sim = Simulator()
+        sim.add_duration_modifier(lambda r, s, k, n, d: d * 2.0)
+        sim.add_duration_modifier(lambda r, s, k, n, d: d * 0.5)
+        e = sim.run(0, "compute", 0.3, "a")
+        assert e.end == pytest.approx(0.3)
+        assert "faulted" not in e.tags
+        events = sim.run_collective([0, 1], "tp", 0.1, "ag")
+        assert all("faulted" not in ev.tags for ev in events.values())
+
+    def test_changing_chain_is_tagged_faulted(self):
+        sim = Simulator()
+        sim.add_duration_modifier(lambda r, s, k, n, d: d * 2.0)
+        e = sim.run(0, "compute", 0.3, "a")
+        assert "faulted" in e.tags
+
+    def test_identity_modifier_is_not_tagged(self):
+        sim = Simulator()
+        sim.add_duration_modifier(lambda r, s, k, n, d: d)
+        assert "faulted" not in sim.run(0, "compute", 0.3, "a").tags
+
+    def test_negative_modified_duration_rejected(self):
+        sim = Simulator()
+        sim.add_duration_modifier(lambda r, s, k, n, d: d - 5.0)
+        with pytest.raises(ValueError, match="negative"):
+            sim.run(0, "compute", 1.0, "a")
+        with pytest.raises(ValueError, match="negative"):
+            sim.run_collective([0, 1], "tp", 1.0, "ag")
+
+    def test_faulted_tag_appends_to_existing_tags(self):
+        sim = Simulator()
+        sim.add_duration_modifier(lambda r, s, k, n, d: d + 1.0)
+        e = sim.run(0, "compute", 1.0, "a", tags=("grad",))
+        assert e.tags == ("grad", "faulted")
+
+
+class TestCollectiveValidation:
+    def test_duplicate_ranks_message_names_the_task(self):
+        with pytest.raises(ValueError, match="dup"):
+            Simulator().run_collective([2, 2], "tp", 1.0, "dup")
+
+    def test_empty_group_message(self):
+        with pytest.raises(ValueError, match="at least one rank"):
+            Simulator().run_collective([], "tp", 1.0, "empty")
+
+    def test_negative_duration_rejected_without_modifiers(self):
+        # The reference engine routes even the no-modifier case through
+        # the duration check; the fast path must keep raising.
+        with pytest.raises(ValueError, match="negative"):
+            Simulator().run_collective([0, 1], "tp", -0.5, "neg")
+
+
+class TestTraceEventReplace:
+    def test_replace_changes_only_named_fields(self):
+        e = TraceEvent("a", "compute", 0, "s", 0.0, 2.0, (0, 1), ("x",))
+        r = e.replace(name="b", end=3.0)
+        assert (r.name, r.end) == ("b", 3.0)
+        assert (r.kind, r.rank, r.stream, r.start, r.group, r.tags) == \
+            ("compute", 0, "s", 0.0, (0, 1), ("x",))
+        assert (e.name, e.end) == ("a", 2.0)  # original untouched
+
+    def test_replace_rejects_unknown_fields(self):
+        e = TraceEvent("a", "compute", 0, "s", 0.0, 1.0)
+        with pytest.raises(TypeError):
+            e.replace(durationn=2.0)
+
+    def test_equality_and_hash_are_by_value(self):
+        a = TraceEvent("a", "compute", 0, "s", 0.0, 1.0)
+        b = TraceEvent("a", "compute", 0, "s", 0.0, 1.0)
+        assert a == b and hash(a) == hash(b)
+        assert a != b.replace(end=2.0)
+
+
+class TestRankFoldValidation:
+    def test_rejects_nonpositive_shape(self):
+        with pytest.raises(ValueError):
+            RankFold(replicas=0, stride=4)
+        with pytest.raises(ValueError):
+            RankFold(replicas=2, stride=0)
+
+    def test_world_size(self):
+        assert RankFold(replicas=8, stride=4).world_size == 32
+
+
+class TestBusyIdleAccounting:
+    """The satellite regression: incremental busy/idle bookkeeping must
+    satisfy ``busy + idle == makespan`` per stream on a fault-injected
+    run — exactly, not approximately, because busy accumulates the same
+    ``end - start`` spans the makespan maximises over."""
+
+    def _faulted_sim(self):
+        from repro.debug.workload import WorkloadSpec, run_synthetic_workload
+        from repro.parallel.config import ParallelConfig
+        from repro.parallel.mesh import DeviceMesh
+
+        mesh = DeviceMesh(ParallelConfig(tp=2, cp=2, dp=2))
+        sim = Simulator()
+        run_synthetic_workload(
+            mesh, WorkloadSpec(steps=3, layers=4), sim=sim,
+            faults=FaultPlan((
+                ComputeStraggler(rank=5, extra_seconds=0.3),
+                DegradedLink(dim="tp", group=1, scale=3.0),
+            )))
+        return sim
+
+    def test_busy_plus_idle_equals_makespan_per_stream(self):
+        sim = self._faulted_sim()
+        makespan = sim.makespan()
+        assert makespan > 0
+        pairs = {(e.rank, e.stream) for e in sim.events}
+        assert pairs
+        for rank, stream in sorted(pairs):
+            busy = sim.busy_time(rank, stream)
+            idle = sim.idle_time(rank, stream)
+            assert busy + idle == makespan, (rank, stream)
+
+    def test_incremental_busy_matches_event_sum(self):
+        sim = self._faulted_sim()
+        for rank, stream in {(e.rank, e.stream) for e in sim.events}:
+            expected = sum(e.end - e.start for e in sim.events
+                           if e.rank == rank and e.stream == stream)
+            assert sim.busy_time(rank, stream) == expected, (rank, stream)
+
+    def test_accounting_survives_record_and_advance(self):
+        sim = Simulator()
+        sim.run(0, "compute", 1.5, "a")
+        sim.advance(0, "compute", 4.0)
+        sim.record(TraceEvent("spliced", "comm", 0, "compute", 4.0, 6.0))
+        sim.run(0, "compute", 0.5, "b")
+        assert sim.makespan() == 6.5
+        assert sim.busy_time(0, "compute") == 1.5 + 2.0 + 0.5
+        assert sim.idle_time(0, "compute") == 6.5 - 4.0

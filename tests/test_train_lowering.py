@@ -6,8 +6,6 @@ the timeline makespan (no scalar add-ons), and the step-graph invariant
 checkers pass on clean timelines and catch tampered ones.
 """
 
-import dataclasses
-
 import pytest
 
 from repro.hardware.cluster import grand_teton
@@ -114,8 +112,8 @@ class TestStepInvariants:
         uid = next(op.uid for op in rep.execution.graph.ops()
                    if op.kind is StepOpKind.FSDP_ALLGATHER)
         late = rep.step_seconds + 1.0
-        events[uid] = dataclasses.replace(
-            events[uid], start=late, end=late + events[uid].duration)
+        events[uid] = events[uid].replace(
+            start=late, end=late + events[uid].duration)
         inv = run_step_invariants(rep.execution.graph, events)
         assert not inv.ok
         assert {"fsdp-allgather-before-use", "step-dep-ordering"} <= {

@@ -140,8 +140,7 @@ class TestTimelineCheckers:
         op = next(op for op in events
                   if op.kind is OpKind.FORWARD and op.ppr == 1)
         ev = events[op]
-        events[op] = dataclasses.replace(
-            ev, start=ev.start - 1.0, end=ev.end - 1.0)
+        events[op] = ev.replace(start=ev.start - 1.0, end=ev.end - 1.0)
         tampered = dataclasses.replace(run, op_events=events)
         violations = check_send_before_recv(tampered)
         assert any("before its input" in v.message for v in violations)
@@ -166,7 +165,7 @@ class TestTimelineCheckers:
         # Force two events onto the same span of one stream.
         sim = run.sim
         ev = sim.events[0]
-        sim._events.append(dataclasses.replace(ev, name="intruder"))
+        sim.record(ev.replace(name="intruder"))
         assert check_stream_overlap(run)
 
 
