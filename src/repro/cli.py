@@ -26,6 +26,14 @@ Commands:
   process with a checkpoint/restart policy (``none``, ``fixed:N``, or
   Young/Daly-optimal) and report goodput over wall-clock
   (see ``docs/resilience.md``).
+* ``schedules`` — list every registered pipeline schedule (the
+  ``--schedule`` choices come from this registry; see
+  ``docs/schedules.md``).
+
+``--schedule KIND`` on ``step``/``trace``/``analyze``/``faults``/
+``run``/``verify`` picks any registered pipeline schedule;
+``plan --schedule`` additionally accepts ``all`` to sweep the schedule
+as a cost-aware planning axis.
 
 Observability surface (see ``docs/observability.md``):
 
@@ -53,6 +61,7 @@ from repro.model.config import TextModelConfig
 from repro.parallel.config import JobConfig, ParallelConfig, ZeroStage
 from repro.parallel.ordering import PAPER_ORDER, rank_orderings
 from repro.parallel.planner import plan_parallelism
+from repro.pp.registry import schedule_entries, schedule_kinds
 
 MODELS = {
     "8b": model_config.LLAMA3_8B,
@@ -107,14 +116,16 @@ def _add_step_parallel_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--dp", type=int, default=128)
     p.add_argument("--zero", type=int, default=2, choices=(1, 2, 3))
     p.add_argument("--schedule", default="flexible",
-                   choices=("flexible", "1f1b", "afab"))
+                   choices=schedule_kinds(),
+                   help="pipeline schedule kind (see `repro schedules`)")
 
 
 def cmd_plan(args: argparse.Namespace) -> int:
     cluster = grand_teton(args.ngpu)
     job = JobConfig(seq=args.seq, gbs=args.gbs, ngpu=args.ngpu)
     plan = plan_parallelism(_model(args.model), job, cluster,
-                            cost_aware=args.cost_aware)
+                            cost_aware=args.cost_aware,
+                            schedule_kind=args.schedule)
     if args.json:
         from repro.obs.report import plan_report
 
@@ -124,10 +135,12 @@ def cmd_plan(args: argparse.Namespace) -> int:
     if plan.candidates:
         print("candidates (simulated, best first):")
         for c in plan.candidates:
+            kind = c.get("schedule_kind")
+            suffix = f"  [{kind}]" if kind else ""
             if c["feasible"]:
                 print(f"  tp={c['tp']:<2d} pp={c['pp']:<3d} cp={c['cp']:<3d} "
                       f"dp={c['dp']:<4d} {c['tflops_per_gpu']:6.0f} "
-                      f"TFLOPs/GPU")
+                      f"TFLOPs/GPU{suffix}")
             else:
                 print(f"  tp={c['tp']:<2d} pp={c['pp']:<3d} infeasible: "
                       f"{c['reason']}")
@@ -144,7 +157,8 @@ def cmd_step(args: argparse.Namespace) -> int:
     par = _step_parallel(args)
     metrics = MetricsRegistry()
     rep = simulate_step(model, par, job, cluster,
-                        schedule_kind=args.schedule, metrics=metrics)
+                        schedule_kind=args.schedule, metrics=metrics,
+                        stage_preset=getattr(args, "stage_preset", None))
     if args.trace:
         _export_step_trace(rep, par, args.trace)
     if args.json:
@@ -561,7 +575,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         _fail(str(err))
     metrics = MetricsRegistry()
     try:
-        result = simulate_run(model, job, cluster, config, metrics=metrics)
+        result = simulate_run(model, job, cluster, config, metrics=metrics,
+                              schedule_kind=args.schedule)
     except ValueError as err:
         _fail(str(err))
     if args.trace:
@@ -629,8 +644,9 @@ def cmd_verify(args: argparse.Namespace) -> int:
         engine_fuzz = run_engine_fuzz(
             EngineFuzzConfig(cases=args.fuzz, seed=args.seed))
     else:
+        kinds = (args.schedule,) if args.schedule else None
         fuzz = run_fuzz(args.fuzz, seed=args.seed, max_pp=args.max_pp,
-                        max_nmb=args.max_nmb)
+                        max_nmb=args.max_nmb, kinds=kinds)
     step_inv = None if args.no_step_invariants else _step_invariants()
     report = verify_report(fuzz, oracles, step_invariants=step_inv,
                            fault_fuzz=fault_fuzz, engine_fuzz=engine_fuzz)
@@ -714,7 +730,7 @@ def _export_verify_trace(fuzz, path: str) -> None:
 
     from repro.obs.trace import export_chrome_trace
     from repro.pp.layout import build_layout
-    from repro.pp.schedule import build_flexible_schedule
+    from repro.pp.registry import schedule_entry
     from repro.train.cost import StageCost
     from repro.train.executor import execute_pipeline
     from repro.verify.fuzz import sample_config
@@ -723,7 +739,7 @@ def _export_verify_trace(fuzz, path: str) -> None:
         config = fuzz.failures[0].shrunk
     else:
         config = sample_config(np.random.default_rng(fuzz.seed))
-    schedule = build_flexible_schedule(config.shape)
+    schedule = schedule_entry(config.kind).builder(config.shape)
     layout = build_layout(config.pp * config.v, config.pp, config.v)
     run = execute_pipeline(
         schedule, layout,
@@ -760,6 +776,35 @@ def _export_fault_fuzz_trace(result, path: str) -> None:
                         "seed": result.seed})
 
 
+def cmd_schedules(args: argparse.Namespace) -> int:
+    """List every registered pipeline schedule with its registry
+    metadata — the single source of the ``--schedule`` choices."""
+    entries = schedule_entries()
+    if args.names:
+        for e in entries:
+            print(e.kind)
+        return 0
+    if args.json:
+        _print_json({
+            "schema": "repro.schedules/v1",
+            "schedules": [
+                {"kind": e.kind, "family": e.family,
+                 "split_backward": e.split_backward,
+                 "aliases": list(e.aliases),
+                 "description": e.description}
+                for e in entries
+            ],
+        })
+        return 0
+    for e in entries:
+        split = "split-backward" if e.split_backward else "fused-backward"
+        print(f"{e.kind:<20s} family={e.family:<5s} {split}")
+        print(f"  {e.description}")
+        if e.aliases:
+            print(f"  aliases: {', '.join(e.aliases)}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -773,6 +818,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cost-aware", action="store_true",
                    help="rank (tp, pp) candidates by simulated TFLOPs/GPU "
                         "instead of first-fit")
+    p.add_argument("--schedule", default=None,
+                   choices=schedule_kinds() + ("all",),
+                   help="pin the cost-aware candidate simulation to one "
+                        "registered schedule, or 'all' to sweep the "
+                        "schedule as a planning axis (default: the "
+                        "Section 3.1.3 family pick)")
     p.add_argument("--json", action="store_true",
                    help="emit the stable-schema JSON report")
     p.set_defaults(func=cmd_plan)
@@ -780,6 +831,11 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("step", help="simulate one training step")
     _add_job_args(p)
     _add_step_parallel_args(p)
+    p.add_argument("--stage-preset", default=None,
+                   choices=("mixed-fleet", "vit-encoder"),
+                   help="heterogeneous per-stage compute profile "
+                        "(mixed H100/H200/B200 fleet or a ViT-style "
+                        "front-loaded encoder)")
     p.add_argument("--json", action="store_true",
                    help="emit the stable-schema JSON report")
     p.add_argument("--trace", metavar="PATH",
@@ -933,6 +989,10 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="SECONDS",
                    help="node replacement latency (with "
                         "--wait-for-replacement)")
+    p.add_argument("--schedule", default=None, choices=schedule_kinds(),
+                   help="pin every fleet segment to one registered "
+                        "pipeline schedule (default: the planner's "
+                        "family pick)")
     p.add_argument("--json", action="store_true",
                    help="emit the repro.resilience/v1 JSON report")
     p.add_argument("--trace", metavar="PATH",
@@ -954,6 +1014,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="largest pipeline degree sampled")
     p.add_argument("--max-nmb", type=int, default=16,
                    help="largest micro-batch count sampled")
+    p.add_argument("--schedule", default=None, choices=schedule_kinds(),
+                   help="fuzz only this registered schedule kind "
+                        "(default: sample the kind per case from the "
+                        "full registry)")
     p.add_argument("--faults", action="store_true",
                    help="fuzz the fault-localisation loop instead of "
                         "schedule configs (--fuzz counts scenarios)")
@@ -972,6 +1036,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the first shrunk failure's timeline (or a "
                         "clean reference timeline) as Perfetto JSON")
     p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser(
+        "schedules",
+        help="list the registered pipeline schedules (--schedule choices)")
+    p.add_argument("--names", action="store_true",
+                   help="print one kind per line (for shell loops, e.g. "
+                        "the CI schedule matrix)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the repro.schedules/v1 JSON listing")
+    p.set_defaults(func=cmd_schedules)
 
     return parser
 

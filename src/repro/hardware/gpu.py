@@ -90,6 +90,17 @@ B200 = GpuSpec(
 )
 
 
+def relative_compute_scale(gpu: GpuSpec, reference: GpuSpec = H100_HBM3) -> float:
+    """Compute-time multiplier of ``gpu`` relative to ``reference``.
+
+    A slower part gets a multiplier > 1 (its ops take longer); a faster
+    part < 1.  This is what heterogeneous pipeline stages
+    (:mod:`repro.pp.heterogeneity`) attach to a
+    :class:`~repro.pp.analysis.ScheduleShape` as per-stage compute scale.
+    """
+    return reference.peak_bf16_tflops / gpu.peak_bf16_tflops
+
+
 def gemm_efficiency(m: int, n: int, k: int) -> float:
     """Shape-dependent fraction of peak a GEMM of size (m, n, k) achieves.
 

@@ -128,6 +128,7 @@ def step_report(
         "schema": _schema("step"),
         "parallel": _parallel_dict(parallel),
         "job": _job_dict(job),
+        "schedule": rep.schedule,
         "step_seconds": rep.step_seconds,
         "pipeline_seconds": rep.pipeline_seconds,
         "exposed_fsdp_seconds": rep.exposed_fsdp_seconds,

@@ -25,13 +25,18 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.hardware.cluster import ClusterSpec
 from repro.model.config import TextModelConfig
 from repro.parallel.config import JobConfig, ParallelConfig, ZeroStage
 from repro.parallel.memory import estimate_rank_memory
-from repro.pp.analysis import default_nc, peak_in_flight_microbatches
+from repro.pp.analysis import (
+    ScheduleShape,
+    default_nc,
+    peak_in_flight_microbatches,
+)
+from repro.pp.registry import schedule_entry, schedule_kinds
 
 #: Fraction of HBM the planner is willing to fill (the rest is reserve for
 #: fragmentation, NCCL buffers, and CUDA context).
@@ -46,7 +51,7 @@ class Plan:
     job: JobConfig
     bs: int
     virtual_stages: int
-    schedule: str  # "1f1b" or "afab"
+    schedule: str  # a registered schedule kind ("1f1b", "afab", ...)
     estimated_rank0_memory_gb: float
     rationale: List[str] = field(default_factory=list)
     #: ``cost_aware=True`` only: every (tp, pp) candidate evaluated, the
@@ -112,14 +117,24 @@ def _evaluate_candidate(
     tp: int,
     pp: int,
     capacity_gb: float,
+    schedule_kind: Optional[str] = None,
 ) -> dict:
     """Price one (tp, pp) candidate end to end: derive cp/dp/bs/ZeRO the
     Section 5.1 way, gate on memory, then simulate a full step on the
-    lowered timeline for its achieved TFLOPs/GPU."""
+    lowered timeline for its achieved TFLOPs/GPU.
+
+    ``schedule_kind`` pins the pipeline schedule the candidate simulates
+    under (any registered kind); None keeps the Section 3.1.3 family
+    pick.  Kinds whose support set excludes the candidate's shape (after
+    the registry ``constrain`` hook coerces what it can, e.g. ``v = 1``
+    for the classic schedules) come back infeasible with the registry's
+    reason.
+    """
     from repro.train.step import simulate_step  # deferred: train -> parallel
 
     cand: dict = {"tp": tp, "pp": pp, "cp": None, "dp": None, "bs": None,
-                  "schedule": None, "zero": None, "memory_gb": None,
+                  "schedule": None, "schedule_kind": schedule_kind,
+                  "zero": None, "memory_gb": None,
                   "tflops_per_gpu": None, "feasible": False, "reason": ""}
     cp_needed = job.ngpu / (job.gbs * tp)
     cp = _power_of_two_at_least(cp_needed) if cp_needed > 1 else 1
@@ -157,9 +172,31 @@ def _evaluate_candidate(
             f"{capacity_gb:.0f} GiB usable HBM")
         return cand
     parallel = ParallelConfig(tp=tp, cp=cp, pp=pp, dp=dp, zero=zero)
+    kind = schedule_kind if schedule_kind is not None else schedule
+    cand["schedule_kind"] = kind
+    # Coerce the candidate shape into the kind's support set where the
+    # registry can (v, nc); a kind that needs a different micro-batch
+    # count than the batch allows is simply infeasible here.
+    nmb = max(bs // job.mbs, 1)
+    shape = ScheduleShape(pp=pp, v=v, nc=default_nc(pp, nmb), nmb=nmb)
+    entry = schedule_entry(kind)
+    if entry.constrain is not None:
+        constrained = entry.constrain(shape)
+        if constrained.nmb != nmb:
+            cand["reason"] = (
+                f"schedule {kind!r} needs nmb={constrained.nmb}, "
+                f"batch gives nmb={nmb}")
+            return cand
+        shape = constrained
+    sim_v, sim_nc = shape.v, shape.nc
+    reason = entry.unsupported_reason(shape)
+    if reason:
+        cand["reason"] = f"schedule {kind!r} unsupported: {reason}"
+        return cand
+    cand["v"] = sim_v
     try:
         rep = simulate_step(model, parallel, job, cluster,
-                            schedule_kind=schedule)
+                            schedule_kind=kind, v=sim_v, nc=sim_nc)
     except (ValueError, RuntimeError) as exc:
         cand["reason"] = f"simulation failed: {exc}"
         return cand
@@ -173,6 +210,7 @@ def plan_parallelism(
     cluster: ClusterSpec,
     max_pp: int = 64,
     cost_aware: bool = False,
+    schedule_kind: Optional[str] = None,
 ) -> Plan:
     """Derive the 4D parallelism configuration for a training phase.
 
@@ -187,11 +225,20 @@ def plan_parallelism(
     ``pp.autotune`` and ``hardware.whatif`` use), and the feasible
     candidate with the highest TFLOPs/GPU wins.  All candidates, with
     per-candidate infeasibility reasons, land in ``Plan.candidates``.
+
+    ``schedule_kind`` adds the schedule as a planning axis: a registered
+    kind pins what cost-aware candidates simulate under, and ``"all"``
+    sweeps every registered kind per (tp, pp) pair so the ranking can
+    trade pipeline depth against schedule shape.  The analytic (non
+    cost-aware) derivation is schedule-independent, so Table 2 is
+    reproduced unchanged for any pinned kind.
     """
     if job.ngpu > cluster.num_gpus:
         raise ValueError(
             f"job wants {job.ngpu} GPUs but cluster has {cluster.num_gpus}"
         )
+    if schedule_kind is not None and schedule_kind != "all":
+        schedule_entry(schedule_kind)  # raises on unknown kinds
     rationale: List[str] = []
 
     # --- Step 1: TP --------------------------------------------------
@@ -317,7 +364,17 @@ def plan_parallelism(
     if not cost_aware:
         return plan
     return _cost_aware_rerank(
-        model, job, cluster, plan, rationale, tp_min, node, max_pp, capacity)
+        model, job, cluster, plan, rationale, tp_min, node, max_pp, capacity,
+        schedule_kind=schedule_kind)
+
+
+def _schedule_axis(schedule_kind: Optional[str]) -> Sequence[Optional[str]]:
+    """The schedule kinds a cost-aware rerank sweeps per (tp, pp) pair."""
+    if schedule_kind is None:
+        return (None,)  # the Section 3.1.3 family pick, as before
+    if schedule_kind == "all":
+        return schedule_kinds()
+    return (schedule_kind,)
 
 
 def _cost_aware_rerank(
@@ -330,18 +387,22 @@ def _cost_aware_rerank(
     node: int,
     max_pp: int,
     capacity: float,
+    schedule_kind: Optional[str] = None,
 ) -> Plan:
 
     # --- Cost-aware re-ranking -----------------------------------------
-    # Price every (tp, pp) pair on the simulated timeline and let
-    # throughput, not first-fit order, pick the winner.
+    # Price every (tp, pp) pair — times every schedule kind on the axis —
+    # on the simulated timeline and let throughput, not first-fit order,
+    # pick the winner.
     candidates: List[dict] = []
     cand_tp = tp_min
     while cand_tp <= node:
         cand_pp = 1
         while cand_pp <= max_pp and cand_tp * cand_pp <= job.ngpu:
-            candidates.append(_evaluate_candidate(
-                model, job, cluster, cand_tp, cand_pp, capacity))
+            for kind in _schedule_axis(schedule_kind):
+                candidates.append(_evaluate_candidate(
+                    model, job, cluster, cand_tp, cand_pp, capacity,
+                    schedule_kind=kind))
             cand_pp *= 2
         cand_tp *= 2
     candidates.sort(
@@ -355,19 +416,22 @@ def _cost_aware_rerank(
     chosen = ParallelConfig(
         tp=best["tp"], cp=best["cp"], pp=best["pp"], dp=best["dp"],
         zero=ZeroStage(best["zero"]))
-    best_v = math.ceil(model.n_layers / chosen.pp)
+    best_v = best.get("v") or math.ceil(model.n_layers / chosen.pp)
     best_nmb = max(best["bs"] // job.mbs, 1)
     best_nc = default_nc(chosen.pp, best_nmb)
+    best_schedule = (best["schedule_kind"] if schedule_kind is not None
+                     else best["schedule"])
     return Plan(
         parallel=chosen,
         job=job,
         bs=best["bs"],
         virtual_stages=best_v,
-        schedule=best["schedule"],
+        schedule=best_schedule,
         estimated_rank0_memory_gb=_rank0_memory_gb(
             model, chosen, job, best_v, best_nc, best_nmb),
         rationale=rationale + [
-            f"cost-aware: tp={chosen.tp} pp={chosen.pp} wins at "
+            f"cost-aware: tp={chosen.tp} pp={chosen.pp} "
+            f"schedule={best['schedule_kind']} wins at "
             f"{best['tflops_per_gpu']:.0f} TFLOPs/GPU over "
             f"{len(feasible)} feasible of {len(candidates)} candidates"],
         candidates=candidates,

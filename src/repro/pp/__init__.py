@@ -20,8 +20,41 @@ from repro.pp.multimodal_schedule import (
     simulate_multimodal_pipeline,
     compare_groupings_event_level,
 )
+from repro.pp.registry import (
+    ScheduleBuilder,
+    ScheduleEntry,
+    entry_for_name,
+    register_schedule,
+    schedule_entries,
+    schedule_entry,
+    schedule_kinds,
+)
+from repro.pp.heterogeneity import (
+    microbatch_scale_from_lengths,
+    mixed_fleet_preset,
+    mixed_gpu_stage_scale,
+    stage_profile,
+    vit_encoder_stage_scale,
+)
+
+# Importing the builder modules populates the registry; any import of
+# the package (or a submodule) therefore sees the full schedule zoo.
+from repro.pp import schedule as _schedule  # noqa: F401
+from repro.pp import zoo as _zoo  # noqa: F401
 
 __all__ = [
+    "ScheduleBuilder",
+    "ScheduleEntry",
+    "entry_for_name",
+    "register_schedule",
+    "schedule_entries",
+    "schedule_entry",
+    "schedule_kinds",
+    "microbatch_scale_from_lengths",
+    "mixed_fleet_preset",
+    "mixed_gpu_stage_scale",
+    "stage_profile",
+    "vit_encoder_stage_scale",
     "render_program",
     "MultimodalPipelineResult",
     "stage_costs",

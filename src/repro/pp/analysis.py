@@ -8,16 +8,19 @@ use them; tests cross-check them against event-level simulation.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
 
 
 def validate_schedule_params(pp: int, v: int, nc: int, nmb: int) -> None:
     """Raise ValueError unless (pp, v, nc, nmb) describe a valid schedule."""
     if pp < 1:
-        raise ValueError("pp must be >= 1")
+        raise ValueError(f"pp must be >= 1; got pp={pp}")
     if v < 1:
-        raise ValueError("v (virtual stages per rank) must be >= 1")
+        raise ValueError(f"v (virtual stages per rank) must be >= 1; got v={v}")
     if nmb < 1:
-        raise ValueError("nmb (micro-batches per virtual stage) must be >= 1")
+        raise ValueError(
+            f"nmb (micro-batches per virtual stage) must be >= 1; got nmb={nmb}"
+        )
     if not 1 <= nc <= nmb:
         raise ValueError(f"nc must be in [1, nmb]; got nc={nc}, nmb={nmb}")
     if nmb % nc != 0:
@@ -36,7 +39,7 @@ def warmup_microbatches(pp: int, ppr: int, v: int, nc: int) -> int:
     if not 0 <= ppr < pp:
         raise ValueError(f"ppr must be in [0, pp); got ppr={ppr}, pp={pp}")
     if v < 1 or nc < 1:
-        raise ValueError("v and nc must be >= 1")
+        raise ValueError(f"v and nc must be >= 1; got v={v}, nc={nc}")
     return (v - 1) * nc + 2 * (pp - ppr - 1)
 
 
@@ -119,17 +122,81 @@ def degenerates_to_afab(pp: int, nc: int) -> bool:
     return nc < pp
 
 
+def _coerce_scale(
+    name: str, raw: Optional[Sequence[float]], expected_len: int
+) -> Optional[Tuple[float, ...]]:
+    """Normalise a compute-scale profile to a tuple of positive floats."""
+    if raw is None:
+        return None
+    scale = tuple(float(x) for x in raw)
+    if len(scale) != expected_len:
+        raise ValueError(
+            f"{name} must have {expected_len} entries; got {len(scale)}"
+        )
+    for i, x in enumerate(scale):
+        if not x > 0.0:
+            raise ValueError(f"{name}[{i}] must be > 0; got {x}")
+    return scale
+
+
 @dataclass(frozen=True)
 class ScheduleShape:
-    """Static description of a flexible-PP run: sizes only, no timing."""
+    """Static description of a flexible-PP run: sizes only, no timing.
+
+    The optional compute-scale profiles describe *heterogeneous* pipelines
+    (ROADMAP item 4): ``stage_compute_scale[s]`` multiplies the compute
+    time of global stage ``s`` (mixed H100/H200/B200 racks, or a ViT
+    encoder occupying the first stages — see
+    :mod:`repro.pp.heterogeneity`), and ``microbatch_compute_scale[mb]``
+    multiplies micro-batch ``mb`` (DIP-style variable-length multimodal
+    batches).  ``None`` (the default) means a uniform pipeline and is
+    bitwise-identical to the pre-heterogeneity behaviour.
+    """
 
     pp: int
     v: int
     nc: int
     nmb: int
+    stage_compute_scale: Optional[Tuple[float, ...]] = None
+    microbatch_compute_scale: Optional[Tuple[float, ...]] = None
 
     def __post_init__(self) -> None:
         validate_schedule_params(self.pp, self.v, self.nc, self.nmb)
+        object.__setattr__(
+            self,
+            "stage_compute_scale",
+            _coerce_scale(
+                "stage_compute_scale",
+                self.stage_compute_scale,
+                self.pp * self.v,
+            ),
+        )
+        object.__setattr__(
+            self,
+            "microbatch_compute_scale",
+            _coerce_scale(
+                "microbatch_compute_scale",
+                self.microbatch_compute_scale,
+                self.nmb,
+            ),
+        )
+
+    @property
+    def is_heterogeneous(self) -> bool:
+        """True when any non-trivial compute-scale profile is attached."""
+        return (
+            self.stage_compute_scale is not None
+            or self.microbatch_compute_scale is not None
+        )
+
+    def compute_scale(self, global_stage: int, microbatch: int) -> float:
+        """Combined compute multiplier for one (stage, micro-batch) op."""
+        scale = 1.0
+        if self.stage_compute_scale is not None:
+            scale *= self.stage_compute_scale[global_stage]
+        if self.microbatch_compute_scale is not None:
+            scale *= self.microbatch_compute_scale[microbatch]
+        return scale
 
     @property
     def tmb(self) -> int:

@@ -24,7 +24,12 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.parallel.config import ZeroStage
-from repro.pp.schedule import OpKind, PipelineSchedule
+from repro.pp.schedule import (
+    ACTIVATION_FREEING_KINDS,
+    GRAD_PRODUCING_KINDS,
+    OpKind,
+    PipelineSchedule,
+)
 
 
 @dataclass(frozen=True)
@@ -100,9 +105,12 @@ def track_memory(
     # backward that ends each consecutive run of micro-batches (ZeRO-2's
     # reduce-scatter points) and of the final backward (ZeRO-1's single
     # reduce-scatter point).
+    # Under split backward the weight gradient materialises at BW, so
+    # grad-producing ops (B, or BW) drive reduce-scatter placement while
+    # activation-freeing ops (B, or BI) drive the activation curve.
     bwd_positions: Dict[int, List[int]] = {vs: [] for vs in range(shape.v)}
     for idx, op in enumerate(program):
-        if op.kind is OpKind.BACKWARD:
+        if op.kind in GRAD_PRODUCING_KINDS:
             bwd_positions[op.virtual_stage].append(idx)
     rs_points: Dict[int, set] = {vs: set() for vs in range(shape.v)}
     for vs, positions in bwd_positions.items():
@@ -116,7 +124,7 @@ def track_memory(
             # other ops in between only if a *different* stage's backward
             # intervenes.  Detect runs over the backward subsequence.
             bwd_seq = [i for i, op in enumerate(program)
-                       if op.kind is OpKind.BACKWARD]
+                       if op.kind in GRAD_PRODUCING_KINDS]
             stage_of = {i: program[i].virtual_stage for i in bwd_seq}
             for j, idx in enumerate(bwd_seq):
                 if stage_of[idx] != vs:
@@ -152,12 +160,13 @@ def track_memory(
         launched_rs = False
         if op.kind is OpKind.FORWARD:
             act_in_flight[op.virtual_stage] += 1
-        else:
+        if op.kind in ACTIVATION_FREEING_KINDS:
             act_in_flight[op.virtual_stage] -= 1
             if act_in_flight[op.virtual_stage] < 0:
                 raise ValueError(
                     f"rank {ppr}: backward without live forward at op {idx}"
                 )
+        if op.kind in GRAD_PRODUCING_KINDS:
             if grad_state.get(op.virtual_stage) != "unsharded":
                 grad_state[op.virtual_stage] = "unsharded"
             if idx in rs_points[op.virtual_stage]:
@@ -191,6 +200,6 @@ def peak_in_flight_from_schedule(schedule: PipelineSchedule, ppr: int) -> int:
         if op.kind is OpKind.FORWARD:
             live += 1
             peak = max(peak, live)
-        else:
+        elif op.kind in ACTIVATION_FREEING_KINDS:
             live -= 1
     return peak

@@ -1,0 +1,122 @@
+"""Sources for heterogeneous per-stage / per-micro-batch compute profiles.
+
+A :class:`~repro.pp.analysis.ScheduleShape` carries optional
+``stage_compute_scale`` and ``microbatch_compute_scale`` tuples; this
+module builds them from the two scenarios ROADMAP item 4 names:
+
+* **Mixed GPU fleets** — pipeline ranks populated by different parts
+  (H100 / H200 / B200, from :mod:`repro.hardware`): a stage on a faster
+  part gets a compute multiplier < 1 relative to the reference part.
+* **Multimodal encoder stages** — a ViT encoder occupying the leading
+  pipeline stages runs cheaper FLOPs than the language stages behind it
+  ("Heterogeneous Parallelism for Multimodal LLM Training", arxiv
+  2605.27678; same modelling as
+  :func:`repro.pp.multimodal_schedule.stage_costs`).
+* **Variable-length micro-batches** — DIP-style (arxiv 2504.14145)
+  per-micro-batch multipliers derived from token counts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.hardware.gpu import B200, GpuSpec, H100_HBM3, H200, relative_compute_scale
+
+#: Named parts a mixed-fleet profile may reference on the CLI.
+GPU_PARTS: Dict[str, GpuSpec] = {
+    "h100": H100_HBM3,
+    "h200": H200,
+    "b200": B200,
+}
+
+
+def mixed_gpu_stage_scale(
+    rank_gpus: Sequence[GpuSpec],
+    v: int,
+    reference: GpuSpec = H100_HBM3,
+) -> Tuple[float, ...]:
+    """Per-global-stage compute scale for a pipeline over mixed parts.
+
+    ``rank_gpus[ppr]`` is the part hosting pipeline rank ``ppr``; with
+    ``v`` virtual stages per rank, global stage ``s`` lives on rank
+    ``s % pp`` (the Figure 2 interleaving), so its scale is that rank's
+    part relative to ``reference``.
+    """
+    pp = len(rank_gpus)
+    if pp < 1:
+        raise ValueError("rank_gpus must name at least one part")
+    if v < 1:
+        raise ValueError(f"v must be >= 1; got v={v}")
+    per_rank = [relative_compute_scale(gpu, reference) for gpu in rank_gpus]
+    return tuple(per_rank[s % pp] for s in range(pp * v))
+
+
+def mixed_fleet_preset(pp: int, v: int) -> Tuple[float, ...]:
+    """A concrete mixed H100/H200/B200 fleet: parts assigned to ranks
+    round-robin, scaled relative to H100 — the simplest shape of the
+    "heterogeneous rack generations" scenario."""
+    parts = [H100_HBM3, H200, B200]
+    return mixed_gpu_stage_scale(
+        [parts[ppr % len(parts)] for ppr in range(pp)], v
+    )
+
+
+def vit_encoder_stage_scale(
+    pp: int,
+    v: int,
+    encoder_stages: int = 1,
+    encoder_scale: float = 0.55,
+) -> Tuple[float, ...]:
+    """Per-global-stage scale for a ViT-encoder-headed pipeline.
+
+    The first ``encoder_stages`` global stages hold the vision encoder,
+    whose per-stage FLOPs are lighter than a language stage's (the
+    multimodal sharding study models the encoder at roughly half a
+    language stage; 0.55 matches its defaults).  Remaining stages are
+    uniform language stages at scale 1.0.
+    """
+    n_stages = pp * v
+    if not 0 <= encoder_stages <= n_stages:
+        raise ValueError(
+            f"encoder_stages must be in [0, {n_stages}]; got {encoder_stages}"
+        )
+    if not encoder_scale > 0.0:
+        raise ValueError(f"encoder_scale must be > 0; got {encoder_scale}")
+    return tuple(
+        encoder_scale if s < encoder_stages else 1.0 for s in range(n_stages)
+    )
+
+
+def microbatch_scale_from_lengths(lengths: Sequence[int]) -> Tuple[float, ...]:
+    """DIP-style per-micro-batch multipliers from token counts.
+
+    Each micro-batch's compute scales with its token count relative to
+    the batch mean, so the mean multiplier is 1.0 and total compute is
+    conserved versus the uniform schedule.
+    """
+    if not lengths:
+        raise ValueError("lengths must name at least one micro-batch")
+    for i, n in enumerate(lengths):
+        if n <= 0:
+            raise ValueError(f"lengths[{i}] must be > 0; got {n}")
+    mean = sum(lengths) / float(len(lengths))
+    return tuple(n / mean for n in lengths)
+
+
+#: Named stage-profile presets usable anywhere a profile is accepted.
+STAGE_PRESETS = {
+    "mixed-fleet": mixed_fleet_preset,
+    "vit-encoder": vit_encoder_stage_scale,
+}
+
+
+def stage_profile(preset: str, pp: int, v: int) -> Tuple[float, ...]:
+    """Resolve a named stage-profile preset for a (pp, v) pipeline."""
+    try:
+        fn = STAGE_PRESETS[preset]
+    except KeyError:
+        raise ValueError(
+            f"unknown stage profile {preset!r}; "
+            f"options: {', '.join(sorted(STAGE_PRESETS))}"
+        ) from None
+    return fn(pp, v)

@@ -1,0 +1,152 @@
+"""Pluggable registry of pipeline-schedule builders (ROADMAP item 4).
+
+The schedule stack used to dispatch on a hard-coded string in
+:func:`repro.pp.schedule.build_schedule`.  This module turns the builder
+set into an open registry so new schedules (GPipe, non-interleaved 1F1B,
+zero-bubble, DIP-style dynamic, ...) plug in without touching the
+dispatcher, the fuzzer, the planner, or the CLI — each of those asks the
+registry instead.
+
+A registered entry carries, besides the builder itself, the metadata the
+rest of the stack needs to treat schedules generically:
+
+* ``family`` — ``"1f1b"`` or ``"afab"``; drives the Section 3.1.3
+  ZeRO-pairing invariant and AFAB classification.
+* ``split_backward`` — whether programs use the BACKWARD_INPUT /
+  BACKWARD_WEIGHT op kinds instead of a monolithic BACKWARD.
+* ``supports(shape)`` — ``None`` if the shape is buildable, else a
+  human-readable reason (drives fuzz sampling and CLI errors).
+* ``constrain(shape)`` — coerce an arbitrary fuzz shape into the nearest
+  shape this kind supports.
+* ``expected_warmup(shape, ppr)`` — the analytically expected number of
+  leading forwards on rank ``ppr``, re-derived independently of the
+  builder so the warm-up-depth invariant stays a real cross-check.
+* ``aliases`` — extra ``PipelineSchedule.name`` strings this entry's
+  builder may emit (e.g. the flexible builder emits ``1f1b-interleaved``
+  and ``flexible-degenerate-afab``), so a built schedule maps back to
+  its entry by name.
+
+Registration happens at import time in :mod:`repro.pp.schedule` (the
+three paper builders) and :mod:`repro.pp.zoo` (the four zoo builders);
+``repro.pp.__init__`` imports both, so any import of the package sees
+the full registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Protocol, Tuple
+
+from repro.pp.analysis import ScheduleShape
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle with repro.pp.schedule
+    from repro.pp.schedule import PipelineSchedule
+
+
+class ScheduleBuilder(Protocol):
+    """A schedule builder: shape in, validated :class:`PipelineSchedule` out."""
+
+    def __call__(self, shape: ScheduleShape) -> "PipelineSchedule": ...
+
+
+@dataclass(frozen=True)
+class ScheduleEntry:
+    """One registered schedule kind plus the metadata the stack needs."""
+
+    kind: str
+    builder: ScheduleBuilder
+    description: str
+    family: str
+    split_backward: bool = False
+    aliases: Tuple[str, ...] = ()
+    supports: Optional[Callable[[ScheduleShape], Optional[str]]] = None
+    constrain: Optional[Callable[[ScheduleShape], ScheduleShape]] = None
+    expected_warmup: Optional[Callable[[ScheduleShape, int], int]] = field(
+        default=None
+    )
+
+    def names(self) -> Tuple[str, ...]:
+        """All ``PipelineSchedule.name`` values this entry may produce."""
+        return (self.kind,) + self.aliases
+
+    def unsupported_reason(self, shape: ScheduleShape) -> Optional[str]:
+        """Why ``shape`` cannot be built under this kind (None = fine)."""
+        if self.supports is None:
+            return None
+        return self.supports(shape)
+
+
+#: kind -> entry, in registration order (drives CLI choices + fuzz draw).
+_REGISTRY: Dict[str, ScheduleEntry] = {}
+
+
+def register_schedule(
+    kind: str,
+    *,
+    description: str,
+    family: str,
+    split_backward: bool = False,
+    aliases: Tuple[str, ...] = (),
+    supports: Optional[Callable[[ScheduleShape], Optional[str]]] = None,
+    constrain: Optional[Callable[[ScheduleShape], ScheduleShape]] = None,
+    expected_warmup: Optional[Callable[[ScheduleShape, int], int]] = None,
+) -> Callable[[ScheduleBuilder], ScheduleBuilder]:
+    """Class the decorated builder under ``kind``; returns it unchanged.
+
+    Returning the function unmodified is load-bearing: the three paper
+    builders must keep producing bitwise-identical programs after the
+    registry migration (pinned by ``tests/golden/schedules_prerefactor``).
+    """
+    if family not in ("1f1b", "afab"):
+        raise ValueError(f"unknown schedule family {family!r}")
+
+    def deco(builder: ScheduleBuilder) -> ScheduleBuilder:
+        if kind in _REGISTRY:
+            raise ValueError(f"schedule kind {kind!r} already registered")
+        _REGISTRY[kind] = ScheduleEntry(
+            kind=kind,
+            builder=builder,
+            description=description,
+            family=family,
+            split_backward=split_backward,
+            aliases=aliases,
+            supports=supports,
+            constrain=constrain,
+            expected_warmup=expected_warmup,
+        )
+        return builder
+
+    return deco
+
+
+def schedule_entry(kind: str) -> ScheduleEntry:
+    """The entry registered under ``kind``; raises the dispatcher's
+    historical error text for unknown kinds."""
+    try:
+        return _REGISTRY[kind]
+    except KeyError:
+        raise ValueError(f"unknown schedule kind {kind!r}") from None
+
+
+def schedule_kinds() -> Tuple[str, ...]:
+    """All registered kinds, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def schedule_entries() -> Tuple[ScheduleEntry, ...]:
+    """All registered entries, in registration order."""
+    return tuple(_REGISTRY.values())
+
+
+def entry_for_name(name: str) -> Optional[ScheduleEntry]:
+    """Map a built ``PipelineSchedule.name`` back to its registry entry.
+
+    Names may be shared (``build_interleaved_1f1b`` delegates to the
+    flexible builder, so both kinds emit ``1f1b-interleaved``); the
+    first-registered claimant wins, which is safe because sharing
+    implies identical family/warm-up structure.
+    """
+    for entry in _REGISTRY.values():
+        if name in entry.names():
+            return entry
+    return None

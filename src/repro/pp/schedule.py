@@ -21,20 +21,40 @@ any round size ``nc`` in ``[1, nmb]``:
 Schedules generated here are *structures*; timing comes from executing them
 on the simulator (:mod:`repro.train.executor`), and the executor doubles as
 a deadlock checker.
+
+Builders register themselves with :mod:`repro.pp.registry`;
+:func:`build_schedule` dispatches through it.  The zoo of additional
+schedules (GPipe, non-interleaved 1F1B, zero-bubble, DIP) lives in
+:mod:`repro.pp.zoo`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Iterator, List, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from repro.pp.analysis import ScheduleShape, warmup_forward_ops
+from repro.pp.registry import register_schedule, schedule_entry
 
 
 class OpKind(Enum):
     FORWARD = "F"
     BACKWARD = "B"
+    #: Zero-bubble split backward: d(loss)/d(input), the half on the
+    #: inter-stage critical path (sends the upstream activation grad).
+    BACKWARD_INPUT = "BI"
+    #: Zero-bubble split backward: d(loss)/d(weights), rank-local filler
+    #: work that can be deferred into bubbles.
+    BACKWARD_WEIGHT = "BW"
+
+
+#: Kinds that consume (and free) a saved forward activation when they run.
+ACTIVATION_FREEING_KINDS = frozenset({OpKind.BACKWARD, OpKind.BACKWARD_INPUT})
+#: Kinds whose completion makes a stage's weight gradient available.
+GRAD_PRODUCING_KINDS = frozenset({OpKind.BACKWARD, OpKind.BACKWARD_WEIGHT})
+#: The split-backward pair used by zero-bubble-style schedules.
+SPLIT_BACKWARD_KINDS = frozenset({OpKind.BACKWARD_INPUT, OpKind.BACKWARD_WEIGHT})
 
 
 @dataclass(frozen=True)
@@ -84,16 +104,31 @@ class PipelineSchedule:
         for prog in self.programs:
             yield from prog
 
+    @property
+    def uses_split_backward(self) -> bool:
+        """True when programs split backward into BI + BW ops."""
+        return any(
+            op.kind in SPLIT_BACKWARD_KINDS for op in self.ops()
+        )
+
     def validate(self) -> None:
         """Check structural invariants: every (stage, micro-batch) appears
-        exactly once per direction, a micro-batch's backward follows its
-        forward in rank order, and program lengths are 2 * tmb."""
+        exactly once per direction, a micro-batch's backward (or its
+        BI -> BW split pair) follows its forward in rank order, and
+        program lengths are 2 * tmb (3 * tmb under split backward)."""
         shape = self.shape
+        split = self.uses_split_backward
+        bwd_kinds: Tuple[OpKind, ...] = (
+            (OpKind.BACKWARD_INPUT, OpKind.BACKWARD_WEIGHT)
+            if split
+            else (OpKind.BACKWARD,)
+        )
+        ops_per_unit = 1 + len(bwd_kinds)
         for ppr, prog in enumerate(self.programs):
-            if len(prog) != 2 * shape.tmb:
+            if len(prog) != ops_per_unit * shape.tmb:
                 raise ValueError(
                     f"rank {ppr}: program has {len(prog)} ops, expected "
-                    f"{2 * shape.tmb}"
+                    f"{ops_per_unit * shape.tmb}"
                 )
             seen = {}
             for idx, op in enumerate(prog):
@@ -103,6 +138,11 @@ class PipelineSchedule:
                     raise ValueError(f"bad virtual stage {op.virtual_stage}")
                 if not 0 <= op.microbatch < shape.nmb:
                     raise ValueError(f"bad microbatch {op.microbatch}")
+                if op.kind is not OpKind.FORWARD and op.kind not in bwd_kinds:
+                    raise ValueError(
+                        f"rank {ppr}: op kind {op.kind.name} mixes split "
+                        f"and monolithic backward in one schedule"
+                    )
                 key = (op.kind, op.virtual_stage, op.microbatch)
                 if key in seen:
                     raise ValueError(f"duplicate op {key} on rank {ppr}")
@@ -110,16 +150,24 @@ class PipelineSchedule:
             for vs in range(shape.v):
                 for mb in range(shape.nmb):
                     fwd = seen.get((OpKind.FORWARD, vs, mb))
-                    bwd = seen.get((OpKind.BACKWARD, vs, mb))
-                    if fwd is None or bwd is None:
+                    if fwd is None:
                         raise ValueError(
                             f"rank {ppr} missing fwd/bwd for vs={vs} mb={mb}"
                         )
-                    if bwd < fwd:
-                        raise ValueError(
-                            f"rank {ppr}: backward before forward for "
-                            f"vs={vs} mb={mb}"
-                        )
+                    prev = fwd
+                    for kind in bwd_kinds:
+                        pos = seen.get((kind, vs, mb))
+                        if pos is None:
+                            raise ValueError(
+                                f"rank {ppr} missing fwd/bwd for "
+                                f"vs={vs} mb={mb}"
+                            )
+                        if pos < prev:
+                            raise ValueError(
+                                f"rank {ppr}: backward before forward for "
+                                f"vs={vs} mb={mb}"
+                            )
+                        prev = pos
 
 
 def _forward_sequence(shape: ScheduleShape) -> List[Tuple[int, int]]:
@@ -149,6 +197,13 @@ def _backward_sequence(shape: ScheduleShape) -> List[Tuple[int, int]]:
     return seq
 
 
+@register_schedule(
+    "flexible",
+    description="Section 3.1.1 flexible schedule: interleaved 1F1B "
+    "generalised to any round size nc; degenerates to AFAB when nc < pp",
+    family="1f1b",
+    aliases=("1f1b-interleaved", "flexible-degenerate-afab"),
+)
 def build_flexible_schedule(shape: ScheduleShape) -> PipelineSchedule:
     """The paper's flexible PP schedule for arbitrary nc and nmb.
 
@@ -194,7 +249,12 @@ def build_flexible_schedule(shape: ScheduleShape) -> PipelineSchedule:
 
 
 def build_interleaved_1f1b(
-    pp: int, v: int, nmb: int
+    pp: int,
+    v: int,
+    nmb: int,
+    *,
+    stage_compute_scale: Optional[Tuple[float, ...]] = None,
+    microbatch_compute_scale: Optional[Tuple[float, ...]] = None,
 ) -> PipelineSchedule:
     """The original interleaved 1F1B (Figure 2): fixes nc = pp, so nmb must
     be a multiple of pp — the constraint flexible PP removes."""
@@ -203,9 +263,58 @@ def build_interleaved_1f1b(
             f"interleaved 1F1B requires nmb ({nmb}) to be a multiple of "
             f"pp ({pp}); use the flexible schedule otherwise"
         )
-    return build_flexible_schedule(ScheduleShape(pp=pp, v=v, nc=pp, nmb=nmb))
+    return build_flexible_schedule(
+        ScheduleShape(
+            pp=pp,
+            v=v,
+            nc=pp,
+            nmb=nmb,
+            stage_compute_scale=stage_compute_scale,
+            microbatch_compute_scale=microbatch_compute_scale,
+        )
+    )
 
 
+def _1f1b_supports(shape: ScheduleShape) -> Optional[str]:
+    if shape.nmb % shape.pp != 0:
+        return (
+            f"interleaved 1F1B requires nmb ({shape.nmb}) to be a "
+            f"multiple of pp ({shape.pp})"
+        )
+    return None
+
+
+def _1f1b_constrain(shape: ScheduleShape) -> ScheduleShape:
+    nmb = max(shape.pp, shape.nmb - shape.nmb % shape.pp)
+    return ScheduleShape(pp=shape.pp, v=shape.v, nc=shape.pp, nmb=nmb)
+
+
+@register_schedule(
+    "1f1b",
+    description="original interleaved 1F1B (Figure 2): nc fixed to pp, "
+    "nmb must divide by pp",
+    family="1f1b",
+    aliases=("1f1b-interleaved",),
+    supports=_1f1b_supports,
+    constrain=_1f1b_constrain,
+)
+def _build_interleaved_1f1b_from_shape(shape: ScheduleShape) -> PipelineSchedule:
+    """Registry adapter: kind "1f1b" ignores ``shape.nc`` (nc = pp)."""
+    return build_interleaved_1f1b(
+        shape.pp,
+        shape.v,
+        shape.nmb,
+        stage_compute_scale=shape.stage_compute_scale,
+        microbatch_compute_scale=shape.microbatch_compute_scale,
+    )
+
+
+@register_schedule(
+    "afab",
+    description="all-forward-all-backward (Figure 4b): every forward of "
+    "every virtual stage runs before any backward",
+    family="afab",
+)
 def build_afab_schedule(shape: ScheduleShape) -> PipelineSchedule:
     """All-forward-all-backward (GPipe-style, Figure 4b): every forward of
     every virtual stage runs before any backward."""
@@ -223,11 +332,10 @@ def build_afab_schedule(shape: ScheduleShape) -> PipelineSchedule:
 
 
 def build_schedule(shape: ScheduleShape, kind: str = "flexible") -> PipelineSchedule:
-    """Dispatch on a schedule-kind string: "flexible", "1f1b", or "afab"."""
-    if kind == "afab":
-        return build_afab_schedule(shape)
-    if kind == "1f1b":
-        return build_interleaved_1f1b(shape.pp, shape.v, shape.nmb)
-    if kind == "flexible":
-        return build_flexible_schedule(shape)
-    raise ValueError(f"unknown schedule kind {kind!r}")
+    """Build ``shape`` under the registered schedule ``kind``.
+
+    Dispatches through :mod:`repro.pp.registry`;
+    :func:`repro.pp.registry.schedule_kinds` (or ``repro schedules`` on
+    the CLI) lists the options.  Unknown kinds raise ``ValueError``.
+    """
+    return schedule_entry(kind).builder(shape)

@@ -1,0 +1,215 @@
+"""Schedule zoo: registry entries beyond the paper's three builders.
+
+ROADMAP item 4 grounds these in three PAPERS.md entries: GPipe and
+non-interleaved 1F1B are the classical baselines the paper's flexible
+schedule generalises; the zero-bubble schedule splits backward into
+input-grad (BI) and weight-grad (BW) halves in the style of ZB-H1 so
+weight-grad work fills drain bubbles; the DIP-style dynamic schedule
+(arxiv 2504.14145) reorders micro-batches heavy-first inside each round
+when per-micro-batch compute multipliers are attached to the shape
+(variable-length multimodal batches).
+
+Every builder returns a validated :class:`PipelineSchedule` and is
+registered with :mod:`repro.pp.registry`, which makes it visible to
+``build_schedule``, the verify fuzzer, the cost-aware planner, and the
+CLI without further wiring.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.pp.analysis import ScheduleShape
+from repro.pp.registry import register_schedule
+from repro.pp.schedule import (
+    OpKind,
+    PipelineOp,
+    PipelineSchedule,
+    build_flexible_schedule,
+)
+
+
+def _require_v1(kind: str):
+    def supports(shape: ScheduleShape) -> Optional[str]:
+        if shape.v != 1:
+            return (
+                f"{kind} has no virtual-stage interleaving; requires "
+                f"v == 1 (got v={shape.v})"
+            )
+        return None
+
+    return supports
+
+
+def _constrain_v1(shape: ScheduleShape) -> ScheduleShape:
+    return ScheduleShape(pp=shape.pp, v=1, nc=shape.nc, nmb=shape.nmb)
+
+
+def _classic_warmup(shape: ScheduleShape, ppr: int) -> int:
+    """Leading forwards on rank ``ppr`` of a classic (v=1) 1F1B pipeline:
+    the pp - ppr in-flight slots down to the last stage, capped at nmb."""
+    return min(shape.pp - ppr, shape.nmb)
+
+
+@register_schedule(
+    "gpipe",
+    description="classic GPipe (v=1): all forwards in batch order, then "
+    "backwards drained LIFO to match the activation stack",
+    family="afab",
+    supports=_require_v1("gpipe"),
+    constrain=_constrain_v1,
+)
+def build_gpipe_schedule(shape: ScheduleShape) -> PipelineSchedule:
+    """GPipe differs from :func:`build_afab_schedule` in backward order:
+    AFAB drains backwards in forward (round) order, GPipe drains them
+    last-in-first-out, releasing the deepest activation first."""
+    reason = _require_v1("gpipe")(shape)
+    if reason is not None:
+        raise ValueError(reason)
+    programs = []
+    for ppr in range(shape.pp):
+        prog = [
+            PipelineOp(OpKind.FORWARD, ppr, 0, mb) for mb in range(shape.nmb)
+        ]
+        prog += [
+            PipelineOp(OpKind.BACKWARD, ppr, 0, mb)
+            for mb in reversed(range(shape.nmb))
+        ]
+        programs.append(tuple(prog))
+    schedule = PipelineSchedule(
+        name="gpipe", shape=shape, programs=tuple(programs)
+    )
+    schedule.validate()
+    return schedule
+
+
+@register_schedule(
+    "1f1b-noninterleaved",
+    description="classic non-interleaved 1F1B (v=1): min(pp - rank, nmb) "
+    "warm-up forwards, then strict one-forward-one-backward",
+    family="1f1b",
+    supports=_require_v1("1f1b-noninterleaved"),
+    constrain=_constrain_v1,
+    expected_warmup=_classic_warmup,
+)
+def build_1f1b_noninterleaved(shape: ScheduleShape) -> PipelineSchedule:
+    """The PipeDream-flush schedule the paper's Figure 2 interleaves."""
+    reason = _require_v1("1f1b-noninterleaved")(shape)
+    if reason is not None:
+        raise ValueError(reason)
+    programs = []
+    for ppr in range(shape.pp):
+        w = _classic_warmup(shape, ppr)
+        prog: List[PipelineOp] = [
+            PipelineOp(OpKind.FORWARD, ppr, 0, mb) for mb in range(w)
+        ]
+        for i in range(shape.nmb - w):
+            prog.append(PipelineOp(OpKind.BACKWARD, ppr, 0, i))
+            prog.append(PipelineOp(OpKind.FORWARD, ppr, 0, w + i))
+        for mb in range(shape.nmb - w, shape.nmb):
+            prog.append(PipelineOp(OpKind.BACKWARD, ppr, 0, mb))
+        programs.append(tuple(prog))
+    schedule = PipelineSchedule(
+        name="1f1b-noninterleaved", shape=shape, programs=tuple(programs)
+    )
+    schedule.validate()
+    return schedule
+
+
+@register_schedule(
+    "zero-bubble",
+    description="zero-bubble-style split backward (v=1): BI on the "
+    "critical path, BW deferred into drain bubbles (ZB-H1)",
+    family="1f1b",
+    split_backward=True,
+    supports=_require_v1("zero-bubble"),
+    constrain=_constrain_v1,
+    expected_warmup=_classic_warmup,
+)
+def build_zero_bubble_schedule(shape: ScheduleShape) -> PipelineSchedule:
+    """ZB-H1-style schedule: 1F1B with backward split into BI + BW.
+
+    Only the input-grad half (BI) sits on the inter-stage critical path;
+    the weight-grad half (BW) is pure rank-local work, so the drain
+    phase interleaves deferred BWs where 1F1B idles.  Per rank:
+
+    * warm-up: ``w = min(pp - ppr, nmb)`` forwards;
+    * steady: alternate ``BI(i)``, ``F(w + i)``;
+    * drain: alternate the remaining ``BI``s with the deferred ``BW``s,
+      then flush the rest of the ``BW``s.
+    """
+    reason = _require_v1("zero-bubble")(shape)
+    if reason is not None:
+        raise ValueError(reason)
+    programs = []
+    for ppr in range(shape.pp):
+        w = _classic_warmup(shape, ppr)
+        prog: List[PipelineOp] = [
+            PipelineOp(OpKind.FORWARD, ppr, 0, mb) for mb in range(w)
+        ]
+        for i in range(shape.nmb - w):
+            prog.append(PipelineOp(OpKind.BACKWARD_INPUT, ppr, 0, i))
+            prog.append(PipelineOp(OpKind.FORWARD, ppr, 0, w + i))
+        for j in range(w):
+            prog.append(
+                PipelineOp(OpKind.BACKWARD_INPUT, ppr, 0, shape.nmb - w + j)
+            )
+            prog.append(PipelineOp(OpKind.BACKWARD_WEIGHT, ppr, 0, j))
+        for mb in range(w, shape.nmb):
+            prog.append(PipelineOp(OpKind.BACKWARD_WEIGHT, ppr, 0, mb))
+        programs.append(tuple(prog))
+    schedule = PipelineSchedule(
+        name="zero-bubble", shape=shape, programs=tuple(programs)
+    )
+    schedule.validate()
+    return schedule
+
+
+def microbatch_permutation(shape: ScheduleShape) -> List[int]:
+    """DIP's slot assignment: within each round, heavy micro-batches
+    first (ties by index), using ``shape.microbatch_compute_scale``.
+    Uniform shapes map to the identity."""
+    scale = shape.microbatch_compute_scale
+    if scale is None:
+        return list(range(shape.nmb))
+    perm: List[int] = []
+    for rnd in range(shape.rounds):
+        block = list(range(rnd * shape.nc, (rnd + 1) * shape.nc))
+        block.sort(key=lambda mb: (-scale[mb], mb))
+        perm.extend(block)
+    return perm
+
+
+@register_schedule(
+    "dip",
+    description="DIP-style dynamic schedule (arxiv 2504.14145): flexible "
+    "structure with heavy micro-batches scheduled first in each round",
+    family="1f1b",
+    aliases=("dip-degenerate-afab",),
+)
+def build_dip_schedule(shape: ScheduleShape) -> PipelineSchedule:
+    """Relabel the flexible schedule's micro-batch slots heavy-first.
+
+    The permutation is identical on every rank, so the dependency
+    structure (and therefore deadlock-freedom and every structural
+    invariant) is exactly the flexible schedule's; only which
+    micro-batch occupies which slot changes.  With no per-micro-batch
+    profile attached this is the flexible schedule under another name.
+    """
+    base = build_flexible_schedule(shape)
+    perm = microbatch_permutation(shape)
+    programs = tuple(
+        tuple(
+            PipelineOp(op.kind, op.ppr, op.virtual_stage, perm[op.microbatch])
+            for op in prog
+        )
+        for prog in base.programs
+    )
+    name = (
+        "dip-degenerate-afab"
+        if base.name == "flexible-degenerate-afab"
+        else "dip"
+    )
+    schedule = PipelineSchedule(name=name, shape=shape, programs=programs)
+    schedule.validate()
+    return schedule

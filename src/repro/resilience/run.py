@@ -43,6 +43,7 @@ from repro.model.config import TextModelConfig
 from repro.obs.metrics import MetricsRegistry
 from repro.parallel.config import JobConfig
 from repro.parallel.planner import Plan, plan_parallelism, replan_for_gpu_count
+from repro.pp.registry import schedule_entry
 from repro.resilience.failures import FailureProcess
 from repro.resilience.policy import (
     CheckpointPolicy,
@@ -210,8 +211,13 @@ def simulate_run(
     config: RunConfig,
     sim: Optional[Simulator] = None,
     metrics: Optional[MetricsRegistry] = None,
+    schedule_kind: Optional[str] = None,
 ) -> RunResult:
     """Simulate ``config.steps`` optimizer steps under failures.
+
+    ``schedule_kind`` pins every fleet segment (initial plan and elastic
+    replans alike) to a registered pipeline schedule instead of the
+    planner's Section 3.1.3 family pick; ``None`` keeps the pick.
 
     The checkpoint interval is derived once, from the *initial* fleet's
     step and checkpoint prices — matching practice, where the interval is
@@ -239,7 +245,11 @@ def simulate_run(
         retry_fraction=config.retry_fraction,
         retry_success_p=config.retry_success_p,
     )
+    if schedule_kind is not None:
+        schedule_entry(schedule_kind)  # raises on unknown kinds
     initial_plan = plan_parallelism(model, job, cluster)
+    if schedule_kind is not None:
+        initial_plan = replace(initial_plan, schedule=schedule_kind)
     segments: Dict[int, FleetSegment] = {}
 
     def segment_for(capacity: int) -> FleetSegment:
@@ -249,6 +259,8 @@ def simulate_run(
             else:
                 plan = replan_for_gpu_count(
                     model, replace(job, ngpu=capacity), cluster, capacity)
+                if schedule_kind is not None:
+                    plan = replace(plan, schedule=schedule_kind)
             segments[capacity] = _price_segment(
                 model, job, cluster, capacity, plan)
         return segments[capacity]

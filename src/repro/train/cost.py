@@ -50,6 +50,30 @@ class StageCost:
         return self.compute_seconds + self.tp_comm_seconds + self.cp_comm_seconds
 
 
+def split_backward_cost(backward: StageCost) -> "tuple[StageCost, StageCost]":
+    """Split a monolithic backward into (input-grad, weight-grad) halves.
+
+    Zero-bubble schedules run dgrad (BI) on the critical path and defer
+    wgrad (BW) into bubbles.  The split is exact by construction: the
+    wgrad half takes ``compute / 2`` and the dgrad half the remainder
+    (``c - c/2 == c/2`` bitwise in binary floating point, so
+    BI + BW == B to the last ulp), and all TP/CP communication rides on
+    the dgrad half, whose output feeds the upstream P2P send.
+    """
+    wgrad_compute = backward.compute_seconds / 2.0
+    bi = StageCost(
+        compute_seconds=backward.compute_seconds - wgrad_compute,
+        tp_comm_seconds=backward.tp_comm_seconds,
+        cp_comm_seconds=backward.cp_comm_seconds,
+    )
+    bw = StageCost(
+        compute_seconds=wgrad_compute,
+        tp_comm_seconds=0.0,
+        cp_comm_seconds=0.0,
+    )
+    return bi, bw
+
+
 class CostModel:
     """Times pipeline ops for a (model, parallel, job, cluster) tuple."""
 
@@ -269,6 +293,25 @@ class CostModel:
             compute_seconds=factor * fwd.compute_seconds,
             tp_comm_seconds=(factor - 1.0) * fwd.tp_comm_seconds,
             cp_comm_seconds=fwd.cp_comm_seconds,
+        )
+
+    def backward_input_seconds(self, stage: StageAssignment) -> StageCost:
+        """The input-grad (BI) half of a split backward (zero-bubble
+        schedules): half the backward compute, plus all of its TP/CP
+        communication — dgrad feeds the upstream send, so the comms sit
+        on this, the critical, half."""
+        return self._memoized(
+            ("bwd_input", stage),
+            lambda: split_backward_cost(self.backward_seconds(stage))[0],
+        )
+
+    def backward_weight_seconds(self, stage: StageAssignment) -> StageCost:
+        """The weight-grad (BW) half of a split backward: the remaining
+        compute, communication-free and rank-local, deferrable into
+        pipeline bubbles."""
+        return self._memoized(
+            ("bwd_weight", stage),
+            lambda: split_backward_cost(self.backward_seconds(stage))[1],
         )
 
     # ------------------------------------------------------------------

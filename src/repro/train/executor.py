@@ -338,6 +338,8 @@ def execute_pipeline(
     start_times: Optional[Dict[int, float]] = None,
     rank_compute_scale: Optional[Dict[int, float]] = None,
     metrics: Optional[MetricsRegistry] = None,
+    backward_input_cost: Optional[CostFn] = None,
+    backward_weight_cost: Optional[CostFn] = None,
 ) -> PipelineRun:
     """Lower a schedule and execute its timeline.
 
@@ -346,6 +348,9 @@ def execute_pipeline(
         layout: Layer placement (supplies each op's stage contents).
         forward_cost: Stage -> forward cost for one micro-batch.
         backward_cost: Stage -> backward cost for one micro-batch.
+        backward_input_cost: Optional BI pricing for split-backward
+            schedules (defaults to the exact-sum split of backward).
+        backward_weight_cost: Optional BW pricing, likewise.
         p2p_seconds: Inter-stage activation/gradient transfer time.
         sim: Simulator to record into (a fresh one by default).
         start_times: Optional per-rank earliest start (models the exposed
@@ -362,7 +367,9 @@ def execute_pipeline(
     the trace exporter surfaces them as their own category.
     """
     graph = lower_pipeline(
-        schedule, layout, forward_cost, backward_cost, p2p_seconds)
+        schedule, layout, forward_cost, backward_cost, p2p_seconds,
+        backward_input_cost=backward_input_cost,
+        backward_weight_cost=backward_weight_cost)
     execution = execute_graph(
         graph, sim=sim, start_times=start_times,
         rank_compute_scale=rank_compute_scale, metrics=metrics)

@@ -40,8 +40,13 @@ from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.parallel.config import ZeroStage
 from repro.pp.layout import PipelineLayout, StageAssignment
-from repro.pp.schedule import OpKind, PipelineOp, PipelineSchedule
-from repro.train.cost import StageCost
+from repro.pp.schedule import (
+    GRAD_PRODUCING_KINDS,
+    OpKind,
+    PipelineOp,
+    PipelineSchedule,
+)
+from repro.train.cost import StageCost, split_backward_cost
 
 CostFn = Callable[[StageAssignment], StageCost]
 
@@ -180,10 +185,20 @@ class _Chains:
 def _producer_key(
     op: PipelineOp, stage: int, last_stage: int
 ) -> Optional[Tuple[OpKind, int]]:
-    """(kind, stage) whose output this op consumes cross-rank, if any."""
+    """(kind, stage) whose output this op consumes cross-rank, if any.
+
+    Forwards consume the previous stage's forward activation; backwards
+    (monolithic B, or the input-grad half BI under split backward)
+    consume the next stage's gradient of the same kind.  The weight-grad
+    half BW is rank-local — it reads only the stage's own saved
+    activations and the already-received gradient, so it has no
+    cross-rank producer.
+    """
     if op.kind is OpKind.FORWARD:
         return (OpKind.FORWARD, stage - 1) if stage > 0 else None
-    return (OpKind.BACKWARD, stage + 1) if stage < last_stage else None
+    if op.kind is OpKind.BACKWARD_WEIGHT:
+        return None
+    return (op.kind, stage + 1) if stage < last_stage else None
 
 
 def _lower_chains(
@@ -192,6 +207,8 @@ def _lower_chains(
     forward_cost: CostFn,
     backward_cost: CostFn,
     p2p_seconds: float,
+    backward_input_cost: Optional[CostFn] = None,
+    backward_weight_cost: Optional[CostFn] = None,
 ) -> _Chains:
     """Lower every pipeline op into its per-stream chain plus P2P sends.
 
@@ -207,23 +224,51 @@ def _lower_chains(
         raise ValueError("layout and schedule disagree on pp or v")
     pp = schedule.pp
     last_stage = layout.num_stages - 1
+    shape = schedule.shape
+    hetero = shape.is_heterogeneous
+    split = schedule.uses_split_backward
 
     fwd_cost: Dict[int, StageCost] = {}
     bwd_cost: Dict[int, StageCost] = {}
+    bi_cost: Dict[int, StageCost] = {}
+    bw_cost: Dict[int, StageCost] = {}
     for s in range(layout.num_stages):
         fwd_cost[s] = forward_cost(layout.stage(s))
         bwd_cost[s] = backward_cost(layout.stage(s))
+        if split:
+            # Explicit BI/BW pricing when the caller supplies it (the
+            # CostModel's memoized halves); otherwise the exact-sum split
+            # of the monolithic backward.
+            if backward_input_cost is not None:
+                bi_cost[s] = backward_input_cost(layout.stage(s))
+            if backward_weight_cost is not None:
+                bw_cost[s] = backward_weight_cost(layout.stage(s))
+            if backward_input_cost is None or backward_weight_cost is None:
+                bi, bw = split_backward_cost(bwd_cost[s])
+                bi_cost.setdefault(s, bi)
+                bw_cost.setdefault(s, bw)
 
     programs: List[List[_OpRec]] = [[] for _ in range(pp)]
     head: Dict[PipelineOp, _OpRec] = {}
     compute: Dict[PipelineOp, _OpRec] = {}
     sends: Dict[Tuple[OpKind, int, int], _OpRec] = {}
 
+    kind_cost = {
+        OpKind.FORWARD: fwd_cost,
+        OpKind.BACKWARD: bwd_cost,
+        OpKind.BACKWARD_INPUT: bi_cost,
+        OpKind.BACKWARD_WEIGHT: bw_cost,
+    }
     for ppr in range(pp):
         prev_tail: Optional[_OpRec] = None
         for op in schedule.program(ppr):
             stage = op.global_stage(pp)
-            cost = (fwd_cost if op.kind is OpKind.FORWARD else bwd_cost)[stage]
+            cost = kind_cost[op.kind][stage]
+            compute_seconds = cost.compute_seconds
+            if hetero:
+                # Heterogeneous stages/micro-batches scale the compute
+                # kernel only; comm volume is unchanged by FLOPs mix.
+                compute_seconds *= shape.compute_scale(stage, op.microbatch)
             label = op.label(pp)
             chain: List[_OpRec] = []
             if cost.tp_comm_seconds > 0:
@@ -234,7 +279,7 @@ def _lower_chains(
                 chain.append(_OpRec(
                     StepOpKind.CP_COMM, ppr,
                     cost.cp_comm_seconds, f"cp:kv:{label}"))
-            comp = _OpRec(StepOpKind.COMPUTE, ppr, cost.compute_seconds,
+            comp = _OpRec(StepOpKind.COMPUTE, ppr, compute_seconds,
                           label, pipeline_op=op)
             chain.append(comp)
             if cost.tp_comm_seconds > 0:
@@ -251,10 +296,15 @@ def _lower_chains(
             compute[op] = comp
             prev_tail = chain[-1]
             programs[ppr].extend(chain)
-            # Does anyone consume this op's output cross-rank?
-            consumer_exists = (
-                stage < last_stage if op.kind is OpKind.FORWARD else stage > 0
-            )
+            # Does anyone consume this op's output cross-rank?  Forward
+            # activations flow down, B/BI gradients flow up, and BW
+            # weight gradients never leave the rank.
+            if op.kind is OpKind.FORWARD:
+                consumer_exists = stage < last_stage
+            elif op.kind is OpKind.BACKWARD_WEIGHT:
+                consumer_exists = False
+            else:
+                consumer_exists = stage > 0
             if consumer_exists:
                 send = _OpRec(StepOpKind.P2P_SEND, ppr, p2p_seconds,
                               f"p2p:send:{label}", deps=[prev_tail])
@@ -285,10 +335,19 @@ def lower_pipeline(
     forward_cost: CostFn,
     backward_cost: CostFn,
     p2p_seconds: float,
+    *,
+    backward_input_cost: Optional[CostFn] = None,
+    backward_weight_cost: Optional[CostFn] = None,
 ) -> StepGraph:
-    """Lower a schedule's pipeline region (no FSDP/optimizer ops)."""
+    """Lower a schedule's pipeline region (no FSDP/optimizer ops).
+
+    Split-backward schedules price BI/BW ops from the optional cost
+    callables, defaulting to the exact-sum split of ``backward_cost``.
+    """
     return _freeze(_lower_chains(
-        schedule, layout, forward_cost, backward_cost, p2p_seconds
+        schedule, layout, forward_cost, backward_cost, p2p_seconds,
+        backward_input_cost=backward_input_cost,
+        backward_weight_cost=backward_weight_cost,
     ).programs)
 
 
@@ -303,6 +362,8 @@ def lower_step(
     fsdp_allgather_cost: Callable[[StageAssignment], float],
     fsdp_reduce_scatter_cost: Callable[[StageAssignment], float],
     optimizer_cost: Callable[[int], float],
+    backward_input_cost: Optional[CostFn] = None,
+    backward_weight_cost: Optional[CostFn] = None,
 ) -> StepGraph:
     """Lower one full optimizer step onto the graph.
 
@@ -328,7 +389,9 @@ def lower_step(
         optimizer_cost: Pipeline rank -> optimizer step in seconds.
     """
     chains = _lower_chains(
-        schedule, layout, forward_cost, backward_cost, p2p_seconds)
+        schedule, layout, forward_cost, backward_cost, p2p_seconds,
+        backward_input_cost=backward_input_cost,
+        backward_weight_cost=backward_weight_cost)
     pp = schedule.pp
     nc = schedule.shape.nc
     per_round = zero is ZeroStage.ZERO_3
@@ -356,9 +419,11 @@ def lower_step(
         # ordered by that backward's program position (the interpreter
         # walks each program in order, so an earlier-listed reduce-scatter
         # must not wait on a later backward).
+        # Under split backward the weight gradient is only complete once
+        # the BW half has run, so BW (not BI) gates the reduce-scatter.
         last_backward: Dict[int, Tuple[int, PipelineOp]] = {}
         for idx, op in enumerate(prog):
-            if op.kind is OpKind.BACKWARD:
+            if op.kind in GRAD_PRODUCING_KINDS:
                 last_backward[op.global_stage(pp)] = (idx, op)
         rs_recs = [
             _OpRec(StepOpKind.FSDP_REDUCESCATTER, ppr,

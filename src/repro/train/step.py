@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import (avoids a cycle)
     from repro.faults.inject import InjectionReport
@@ -43,7 +43,9 @@ from repro.obs.metrics import (
 from repro.parallel.config import JobConfig, ParallelConfig
 from repro.pp.analysis import ScheduleShape, default_nc
 from repro.pp.grad_memory import track_memory
+from repro.pp.heterogeneity import stage_profile as _stage_profile
 from repro.pp.layout import PipelineLayout, build_layout
+from repro.pp.registry import schedule_entry
 from repro.pp.schedule import build_schedule
 from repro.sim.engine import Simulator
 from repro.train.cost import CostModel
@@ -78,6 +80,10 @@ class StepReport:
     #: What fault injection rewrote, when the step ran under a fault plan
     #: (:func:`repro.faults.inject.apply_fault_plan`); None when healthy.
     fault_injection: Optional["InjectionReport"] = None
+    #: Name of the pipeline schedule the step ran under (the built
+    #: :attr:`~repro.pp.schedule.PipelineSchedule.name`, which may differ
+    #: from the requested kind when a 1F1B-family schedule degenerates).
+    schedule: str = ""
 
     @property
     def tflops_per_gpu(self) -> float:
@@ -143,6 +149,9 @@ def simulate_step(
     sim: Optional[Simulator] = None,
     metrics: Optional[MetricsRegistry] = None,
     fault_plan: Optional["FaultPlan"] = None,
+    stage_compute_scale: Optional[Sequence[float]] = None,
+    microbatch_compute_scale: Optional[Sequence[float]] = None,
+    stage_preset: Optional[str] = None,
 ) -> StepReport:
     """Simulate one optimizer step and report throughput and memory.
 
@@ -151,7 +160,9 @@ def simulate_step(
         parallel: 4D sizes and ZeRO mode.
         job: Phase hyperparameters.
         cluster: Hardware.
-        schedule_kind: "flexible", "1f1b", or "afab".
+        schedule_kind: Any registered schedule kind
+            (:func:`repro.pp.registry.schedule_kinds`); split-backward
+            kinds are priced via the cost model's BI/BW split.
         nc: Round size (default: largest divisor of nmb <= pp).
         v: Virtual stages per rank (default: one layer per stage).
         layout: Explicit layer placement (default from model/pp/v).
@@ -172,6 +183,15 @@ def simulate_step(
             half of the Section 6.1 fault-injection loop.  Perturbed ops
             are tagged ``"faulted"`` in the trace and summarized in
             :attr:`StepReport.fault_injection`.
+        stage_compute_scale: Per-global-stage compute multipliers
+            (length ``pp * v``) for heterogeneous stages — mixed GPU
+            fleets or modality-imbalanced encoder stages.
+        microbatch_compute_scale: Per-micro-batch compute multipliers
+            (length ``nmb``) — variable-length micro-batches.
+        stage_preset: Named stage profile from
+            :data:`repro.pp.heterogeneity.STAGE_PRESETS`
+            (``"mixed-fleet"``, ``"vit-encoder"``); mutually exclusive
+            with an explicit ``stage_compute_scale``.
 
     The reported decomposition is exact on the timeline:
     ``step_seconds = pipeline_seconds + exposed_fsdp_seconds +
@@ -184,11 +204,30 @@ def simulate_step(
     nmb = job.micro_batches(parallel)
     if v is None:
         v = max(math.ceil(model.n_layers / pp), 1)
+        # Kinds with a fixed interleaving (e.g. the v=1 zoo schedules)
+        # coerce the *default* v; an explicit v stays the caller's call.
+        entry = schedule_entry(schedule_kind)
+        if entry.constrain is not None:
+            v = entry.constrain(
+                ScheduleShape(pp=pp, v=v, nc=default_nc(pp, nmb),
+                              nmb=nmb)).v
     if layout is None:
         layout = build_layout(model.n_layers, pp, v)
     if nc is None:
         nc = default_nc(pp, nmb)
-    shape = ScheduleShape(pp=pp, v=v, nc=nc, nmb=nmb)
+    if stage_preset is not None:
+        if stage_compute_scale is not None:
+            raise ValueError(
+                "pass stage_preset or stage_compute_scale, not both")
+        stage_compute_scale = _stage_profile(stage_preset, pp, v)
+    shape = ScheduleShape(
+        pp=pp, v=v, nc=nc, nmb=nmb,
+        stage_compute_scale=(
+            tuple(stage_compute_scale) if stage_compute_scale else None),
+        microbatch_compute_scale=(
+            tuple(microbatch_compute_scale)
+            if microbatch_compute_scale else None),
+    )
     schedule = build_schedule(shape, schedule_kind)
 
     cost = CostModel(model, parallel, job, cluster,
@@ -203,6 +242,8 @@ def simulate_step(
         schedule, layout,
         cost.forward_seconds, cost.backward_seconds,
         p2p_seconds=cost.p2p_seconds(),
+        backward_input_cost=cost.backward_input_seconds,
+        backward_weight_cost=cost.backward_weight_seconds,
         zero=parallel.zero,
         fsdp_allgather_cost=lambda s: cost.fsdp_allgather_seconds(
             stage_params(s)),
@@ -312,4 +353,5 @@ def simulate_step(
         tokens_per_step=job.tokens_per_step,
         execution=execution,
         fault_injection=injection,
+        schedule=schedule.name,
     )

@@ -1,10 +1,15 @@
 """Seeded property-fuzz harness over pipeline-schedule configurations.
 
-Samples valid ``(pp, v, nc, nmb, zero)`` configurations from a
-deterministic RNG, builds and executes each schedule on the simulator,
-runs the full invariant suite (:mod:`repro.verify.invariants`), and —
-when a configuration fails — greedily *shrinks* it to a minimal
-reproducer by re-checking ever-smaller neighbouring configurations.
+Samples valid ``(kind, pp, v, nc, nmb, zero)`` configurations from a
+deterministic RNG — the schedule ``kind`` is drawn from the
+:mod:`repro.pp.registry`, so newly registered schedules are fuzzed
+without touching this module — builds and executes each schedule on the
+simulator, runs the full invariant suite
+(:mod:`repro.verify.invariants`), and — when a configuration fails —
+greedily *shrinks* it to a minimal reproducer by re-checking
+ever-smaller neighbouring configurations.  Shrinking stays within the
+sampled kind and only proposes shapes that kind supports, so a shrunk
+reproducer is always directly re-buildable.
 
 Determinism is the contract: ``run_fuzz(n, seed)`` visits the same
 configurations in the same order on every machine, so a failure report's
@@ -26,7 +31,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Set, Tuple
+from typing import Callable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -43,7 +48,8 @@ from repro.parallel.config import ParallelConfig, ZeroStage
 from repro.parallel.mesh import DeviceMesh
 from repro.pp.analysis import ScheduleShape
 from repro.pp.layout import build_layout
-from repro.pp.schedule import PipelineSchedule, build_flexible_schedule
+from repro.pp.registry import ScheduleEntry, schedule_entry, schedule_kinds
+from repro.pp.schedule import PipelineSchedule
 from repro.train.cost import StageCost
 from repro.train.executor import execute_pipeline
 from repro.verify.invariants import (
@@ -63,10 +69,11 @@ _P2P_SECONDS = 0.25
 class FuzzConfig:
     """One sampled configuration.
 
+    ``kind`` is the registered schedule kind the config builds under.
     ``zero`` is set (to the Section 3.1.3 rule's choice for
-    ``bs = nmb``) only when the sampled round size lands on the same
-    side of the ``nc < pp`` boundary as the rule's schedule family —
-    otherwise the pairing rule does not apply and is skipped.
+    ``bs = nmb``) only when the built schedule's family lands on the
+    same side as the rule's pick — otherwise the pairing rule does not
+    apply and is skipped.
     """
 
     pp: int
@@ -74,6 +81,7 @@ class FuzzConfig:
     nc: int
     nmb: int
     zero: Optional[ZeroStage] = None
+    kind: str = "flexible"
 
     @property
     def shape(self) -> ScheduleShape:
@@ -87,22 +95,50 @@ class FuzzConfig:
 
     def describe(self) -> str:
         zero = self.zero.name if self.zero else "unchecked"
-        return (f"pp={self.pp} v={self.v} nc={self.nc} nmb={self.nmb} "
-                f"({zero})")
+        return (f"kind={self.kind} pp={self.pp} v={self.v} nc={self.nc} "
+                f"nmb={self.nmb} ({zero})")
 
     def to_dict(self) -> dict:
         return {
+            "kind": self.kind,
             "pp": self.pp, "v": self.v, "nc": self.nc, "nmb": self.nmb,
             "zero": self.zero.name if self.zero else None,
         }
 
 
-def _rule_zero(pp: int, nc: int, nmb: int) -> Optional[ZeroStage]:
+def _entry_or_none(kind: str) -> Optional[ScheduleEntry]:
+    try:
+        return schedule_entry(kind)
+    except ValueError:
+        return None
+
+
+def _family_is_1f1b(kind: str, pp: int, nc: int) -> bool:
+    """Family of the schedule ``kind`` actually builds at this shape.
+
+    1F1B-family kinds that can degenerate to AFAB advertise a
+    ``*-degenerate-afab`` alias in the registry; for those the
+    ``nc < pp`` boundary decides (Section 3.1.1).  Fixed kinds answer
+    from their registry family alone; unregistered kinds fall back to
+    the boundary heuristic.
+    """
+    entry = _entry_or_none(kind)
+    if entry is None:
+        return nc >= pp
+    if entry.family != "1f1b":
+        return False
+    degenerates = any(
+        name.endswith("-degenerate-afab") for name in entry.names())
+    return nc >= pp if degenerates else True
+
+
+def _rule_zero(pp: int, nc: int, nmb: int,
+               kind: str = "flexible") -> Optional[ZeroStage]:
     """Section 3.1.3 choice for ``bs = nmb``, when the schedule family
-    implied by ``nc`` matches the rule's pick; None otherwise."""
+    ``kind`` builds at this shape matches the rule's pick; None
+    otherwise."""
     rule_1f1b = nmb >= 2 * pp
-    family_1f1b = nc >= pp
-    if family_1f1b != rule_1f1b:
+    if _family_is_1f1b(kind, pp, nc) != rule_1f1b:
         return None
     return ZeroStage.ZERO_1 if rule_1f1b else ZeroStage.ZERO_2
 
@@ -112,31 +148,48 @@ def sample_config(
     max_pp: int = 8,
     max_v: int = 3,
     max_nmb: int = 16,
+    kinds: Optional[Sequence[str]] = None,
 ) -> FuzzConfig:
     """Draw one valid configuration: ``nc`` is a uniform divisor of
-    ``nmb`` so rounds always come out equal."""
+    ``nmb`` so rounds always come out equal, and the schedule kind is
+    drawn from the registry (or the ``kinds`` pool) with the entry's
+    ``constrain`` hook coercing the shape into the kind's support set
+    (e.g. v = 1 for the classic schedules, pp | nmb for interleaved
+    1F1B)."""
     pp = int(rng.integers(1, max_pp + 1))
     v = int(rng.integers(1, max_v + 1))
     nmb = int(rng.integers(1, max_nmb + 1))
     divisors = [d for d in range(1, nmb + 1) if nmb % d == 0]
     nc = int(rng.choice(divisors))
+    pool = tuple(kinds) if kinds is not None else schedule_kinds()
+    kind = str(pool[int(rng.integers(len(pool)))])
+    entry = _entry_or_none(kind)
+    if entry is not None and entry.constrain is not None:
+        shape = entry.constrain(
+            ScheduleShape(pp=pp, v=v, nc=nc, nmb=nmb))
+        pp, v, nc, nmb = shape.pp, shape.v, shape.nc, shape.nmb
     return FuzzConfig(pp=pp, v=v, nc=nc, nmb=nmb,
-                      zero=_rule_zero(pp, nc, nmb))
+                      zero=_rule_zero(pp, nc, nmb, kind), kind=kind)
 
 
 def check_config(
     config: FuzzConfig,
-    build: ScheduleBuilder = build_flexible_schedule,
+    build: Optional[ScheduleBuilder] = None,
 ) -> InvariantReport:
     """Build, execute, and invariant-check one configuration.
 
-    Exceptions from the builder or the executor are converted into
-    violations (``builder-error``, ``deadlock``, ``executor-error``)
-    instead of propagating, so the fuzzer can shrink crashing
-    configurations the same way it shrinks invariant breaks.
+    The builder comes from the registry entry for ``config.kind``
+    unless ``build`` overrides it (the corruption-injection hook the
+    harness's own tests and CI gates use).  Exceptions from the builder
+    or the executor are converted into violations (``builder-error``,
+    ``deadlock``, ``executor-error``) instead of propagating, so the
+    fuzzer can shrink crashing configurations the same way it shrinks
+    invariant breaks.
     """
+    builder: ScheduleBuilder = (
+        build if build is not None else schedule_entry(config.kind).builder)
     try:
-        schedule = build(config.shape)
+        schedule = builder(config.shape)
     except Exception as err:  # noqa: BLE001 - any builder crash is a finding
         return InvariantReport(
             checks_run=("builder",),
@@ -173,14 +226,19 @@ def check_config(
 
 
 def _shrink_candidates(config: FuzzConfig) -> List[FuzzConfig]:
-    """Strictly-smaller valid neighbours, biggest reduction first."""
+    """Strictly-smaller valid neighbours (same kind, still within the
+    kind's support set), biggest reduction first."""
     out: List[FuzzConfig] = []
+    entry = _entry_or_none(config.kind)
 
     def add(pp: int, v: int, nc: int, nmb: int) -> None:
         if pp < 1 or v < 1 or not 1 <= nc <= nmb or nmb % nc:
             return
         candidate = FuzzConfig(pp=pp, v=v, nc=nc, nmb=nmb,
-                               zero=_rule_zero(pp, nc, nmb))
+                               zero=_rule_zero(pp, nc, nmb, config.kind),
+                               kind=config.kind)
+        if entry is not None and entry.unsupported_reason(candidate.shape):
+            return
         if candidate.cost < config.cost and candidate not in out:
             out.append(candidate)
 
@@ -272,17 +330,22 @@ class FuzzResult:
 def run_fuzz(
     cases: int,
     seed: int = 0,
-    build: ScheduleBuilder = build_flexible_schedule,
+    build: Optional[ScheduleBuilder] = None,
     max_pp: int = 8,
     max_v: int = 3,
     max_nmb: int = 16,
     max_failures: int = 10,
+    kinds: Optional[Sequence[str]] = None,
 ) -> FuzzResult:
     """Fuzz ``cases`` sampled configurations and shrink every failure.
 
-    Stops collecting (but keeps counting) after ``max_failures`` distinct
-    shrunk reproducers — a systematic bug fails hundreds of configs that
-    all shrink to the same handful of minimal cases.
+    Each case draws its schedule kind from the registry (restricted to
+    ``kinds`` when given — the CLI's ``--schedule`` pin and CI's
+    per-kind matrix use this); ``build`` overrides the registry builder
+    for corruption-injection tests.  Stops collecting (but keeps
+    counting) after ``max_failures`` distinct shrunk reproducers — a
+    systematic bug fails hundreds of configs that all shrink to the
+    same handful of minimal cases.
     """
     if cases < 1:
         raise ValueError("cases must be >= 1")
@@ -293,7 +356,7 @@ def run_fuzz(
     failed_cases = 0
     for _ in range(cases):
         config = sample_config(rng, max_pp=max_pp, max_v=max_v,
-                               max_nmb=max_nmb)
+                               max_nmb=max_nmb, kinds=kinds)
         report = check_config(config, build)
         checks_run = tuple(sorted(set(checks_run) | set(report.checks_run)))
         if report.ok:

@@ -68,7 +68,13 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.parallel.config import ZeroStage
 from repro.pp.analysis import degenerates_to_afab, warmup_microbatches
-from repro.pp.schedule import OpKind, PipelineOp, PipelineSchedule
+from repro.pp.registry import entry_for_name
+from repro.pp.schedule import (
+    GRAD_PRODUCING_KINDS,
+    OpKind,
+    PipelineOp,
+    PipelineSchedule,
+)
 from repro.sim.engine import TraceEvent
 from repro.train.executor import PipelineRun
 from repro.train.lowering import StepGraph, StepOp, StepOpKind
@@ -123,9 +129,22 @@ class InvariantReport:
 
 def is_afab_schedule(schedule: PipelineSchedule) -> bool:
     """Whether a schedule is all-forward-all-backward, either explicitly
-    or through the ``nc < pp`` degeneration (Section 3.1.1)."""
-    return (schedule.name in _AFAB_NAMES
-            or degenerates_to_afab(schedule.pp, schedule.shape.nc))
+    or through the ``nc < pp`` degeneration (Section 3.1.1).
+
+    Registered schedules answer from their registry entry's ``family``
+    (a ``*-degenerate-afab`` name always counts as AFAB regardless of
+    family: it marks a 1F1B-family builder that degenerated).  The
+    ``nc < pp`` heuristic only applies to *unregistered* names — a
+    classic v=1 schedule like ``1f1b-noninterleaved`` ignores ``nc``
+    entirely and must not be misjudged by it.
+    """
+    if (schedule.name in _AFAB_NAMES
+            or schedule.name.endswith("-degenerate-afab")):
+        return True
+    entry = entry_for_name(schedule.name)
+    if entry is not None:
+        return entry.family == "afab"
+    return degenerates_to_afab(schedule.pp, schedule.shape.nc)
 
 
 # ----------------------------------------------------------------------
@@ -157,7 +176,14 @@ def check_conservation(schedule: PipelineSchedule) -> List[Violation]:
                 continue
             key = (op.kind, op.global_stage(shape.pp), op.microbatch)
             seen[key] = seen.get(key, 0) + 1
-    for kind in OpKind:
+    # Split-backward schedules conserve {F, BI, BW}; monolithic ones
+    # conserve {F, B}.  Any op outside the schedule's kind set is flagged.
+    expected_kinds: Tuple[OpKind, ...] = (
+        (OpKind.FORWARD, OpKind.BACKWARD_INPUT, OpKind.BACKWARD_WEIGHT)
+        if schedule.uses_split_backward
+        else (OpKind.FORWARD, OpKind.BACKWARD)
+    )
+    for kind in expected_kinds:
         for stage in range(shape.pp * shape.v):
             for mb in range(shape.nmb):
                 count = seen.get((kind, stage, mb), 0)
@@ -168,24 +194,46 @@ def check_conservation(schedule: PipelineSchedule) -> List[Violation]:
                         f"{count} times (expected once)",
                         {"kind": kind.value, "stage": stage,
                          "microbatch": mb, "count": count}))
+    for (kind, stage, mb), count in sorted(
+            seen.items(), key=lambda kv: (kv[0][0].value, kv[0][1], kv[0][2])):
+        if kind not in expected_kinds:
+            out.append(Violation(
+                "conservation",
+                f"{kind.value}:mb{mb}:s{stage} mixes "
+                f"{'split' if schedule.uses_split_backward else 'monolithic'}"
+                f"-backward programs with kind {kind.name}",
+                {"kind": kind.value, "stage": stage,
+                 "microbatch": mb, "count": count}))
     return out
 
 
 def check_program_order(schedule: PipelineSchedule) -> List[Violation]:
     """Per rank, a micro-batch's backward follows its forward on the same
-    virtual stage."""
+    virtual stage; under split backward, additionally BW follows BI."""
     out: List[Violation] = []
     for ppr in range(schedule.pp):
         first_fwd: Dict[Tuple[int, int], int] = {}
+        first_bi: Dict[Tuple[int, int], int] = {}
         for idx, op in enumerate(schedule.program(ppr)):
             key = (op.virtual_stage, op.microbatch)
             if op.kind is OpKind.FORWARD:
                 first_fwd.setdefault(key, idx)
-            elif key not in first_fwd:
+                continue
+            if key not in first_fwd:
                 out.append(Violation(
                     "program-order",
                     f"rank {ppr}: backward of vs={key[0]} mb={key[1]} "
                     f"at position {idx} precedes its forward",
+                    {"ppr": ppr, "virtual_stage": key[0],
+                     "microbatch": key[1], "position": idx}))
+                continue
+            if op.kind is OpKind.BACKWARD_INPUT:
+                first_bi.setdefault(key, idx)
+            elif op.kind is OpKind.BACKWARD_WEIGHT and key not in first_bi:
+                out.append(Violation(
+                    "program-order",
+                    f"rank {ppr}: weight-grad of vs={key[0]} mb={key[1]} "
+                    f"at position {idx} precedes its input-grad",
                     {"ppr": ppr, "virtual_stage": key[0],
                      "microbatch": key[1], "position": idx}))
     return out
@@ -204,15 +252,20 @@ def check_warmup_depth(schedule: PipelineSchedule) -> List[Violation]:
     shape = schedule.shape
     out: List[Violation] = []
     afab = is_afab_schedule(schedule)
+    entry = entry_for_name(schedule.name)
     for ppr in range(shape.pp):
         prog = schedule.program(ppr)
         actual = 0
         for op in prog:
-            if op.kind is OpKind.BACKWARD:
+            if op.kind is not OpKind.FORWARD:
                 break
             actual += 1
         if afab:
             expected = shape.tmb
+        elif entry is not None and entry.expected_warmup is not None:
+            # Registered non-flexible kinds (classic 1F1B, zero-bubble)
+            # declare their own analytic warm-up depth in the registry.
+            expected = entry.expected_warmup(shape, ppr)
         else:
             expected = min(
                 warmup_microbatches(shape.pp, ppr, shape.v, shape.nc) + 1,
@@ -235,15 +288,21 @@ def check_zero_schedule(
     """Section 3.1.3 pairing rule: ``bs >= 2 * pp`` selects ZeRO-1 with a
     1F1B-family schedule; below the boundary, ZeRO-2 with AFAB.
 
-    ``schedule_kind`` is a family string: anything in
-    ``{"1f1b", "flexible"}`` counts as the 1F1B family, ``"afab"`` as
+    ``schedule_kind`` is a registered schedule kind (or emitted schedule
+    name); its family comes from the registry — ``"1f1b"``-family kinds
+    (flexible, interleaved/classic 1F1B, zero-bubble, DIP) count as
+    1F1B, ``"afab"``-family kinds (AFAB, GPipe) as
     all-forward-all-backward.
     """
     if bs < 1 or pp < 1:
         raise ValueError("bs and pp must be >= 1")
-    one_f1b = schedule_kind in ("1f1b", "flexible")
-    if not one_f1b and schedule_kind != "afab":
-        raise ValueError(f"unknown schedule family {schedule_kind!r}")
+    if schedule_kind.endswith("-degenerate-afab"):
+        one_f1b = False
+    else:
+        entry = entry_for_name(schedule_kind)
+        if entry is None:
+            raise ValueError(f"unknown schedule family {schedule_kind!r}")
+        one_f1b = entry.family == "1f1b"
     expected_zero, expected_kind = (
         (ZeroStage.ZERO_1, "1f1b") if bs >= 2 * pp
         else (ZeroStage.ZERO_2, "afab"))
@@ -325,10 +384,15 @@ def check_send_before_recv(run: PipelineRun) -> List[Violation]:
                 continue
             producer = PipelineOp(OpKind.FORWARD, (stage - 1) % shape.pp,
                                   (stage - 1) // shape.pp, op.microbatch)
+        elif op.kind is OpKind.BACKWARD_WEIGHT:
+            # Weight-grad halves are rank-local: no cross-rank producer.
+            continue
         else:
+            # Monolithic B — or the input-grad half BI under split
+            # backward — consumes the same kind from the next stage.
             if stage == last_stage:
                 continue
-            producer = PipelineOp(OpKind.BACKWARD, (stage + 1) % shape.pp,
+            producer = PipelineOp(op.kind, (stage + 1) % shape.pp,
                                   (stage + 1) // shape.pp, op.microbatch)
         produced = run.op_events.get(producer)
         if produced is None:
@@ -449,7 +513,7 @@ def check_fsdp_reduce_after_backward(
         last_backward: Dict[int, TraceEvent] = {}
         for op in program:
             if (op.kind is StepOpKind.COMPUTE and op.pipeline_op is not None
-                    and op.pipeline_op.kind is OpKind.BACKWARD):
+                    and op.pipeline_op.kind in GRAD_PRODUCING_KINDS):
                 event = events.get(op.uid)
                 stage = op.pipeline_op.global_stage(pp)
                 if event is not None and (

@@ -18,6 +18,11 @@ correctness arguments:
   must match the sequential baseline forced into the same accumulation
   order, bitwise, when accumulating in FP32 — parallelism only reorders
   floating-point sums, so any residual gap is an implementation bug.
+* **Bubble regression** (Section 3.1.1): on uniform stages the
+  zero-bubble split-backward schedule must post a measured bubble ratio
+  no worse than classic non-interleaved 1F1B — deferring weight-grad
+  work into the drain exists precisely to shrink that bubble, so a
+  regression means the split-backward lowering lost its advantage.
 """
 
 from __future__ import annotations
@@ -45,7 +50,11 @@ from repro.numerics.transformer import (
     random_token_batch,
 )
 from repro.pp.analysis import ScheduleShape
+from repro.pp.layout import build_layout
+from repro.pp.registry import schedule_entry
 from repro.pp.schedule import build_afab_schedule, build_flexible_schedule
+from repro.train.cost import StageCost
+from repro.train.executor import execute_pipeline
 from repro.verify.invariants import Violation
 
 
@@ -181,6 +190,58 @@ def oracle_cp_attention(
 
 
 # ----------------------------------------------------------------------
+# Bubble oracle: zero-bubble must not regress past classic 1F1B
+# ----------------------------------------------------------------------
+
+def oracle_bubble_regression(
+    pp: int = 4,
+    nmb: int = 8,
+    layers_per_stage: int = 2,
+    p2p_seconds: float = 0.25,
+) -> OracleResult:
+    """Executed zero-bubble bubble ratio vs. classic 1F1B, uniform stages.
+
+    Both schedules are lowered and executed through the full simulator
+    path on identical uniform per-stage costs (backward = 2x forward,
+    the usual dgrad + wgrad proportion) and their measured mean bubble
+    ratios compared.  The zero-bubble construction defers weight-grad
+    work into the 1F1B drain, so on uniform stages its bubble must be
+    no larger; any gap the other way means the split-backward pricing
+    or lowering broke the schedule's one reason to exist.
+    """
+    context: Dict[str, object] = {
+        "pp": pp, "nmb": nmb, "layers_per_stage": layers_per_stage,
+        "p2p_seconds": p2p_seconds,
+    }
+    shape = ScheduleShape(pp=pp, v=1, nc=pp, nmb=nmb)
+    layout = build_layout(pp * layers_per_stage, pp, 1)
+
+    def fwd(stage) -> StageCost:
+        return StageCost(1.0 * max(stage.n_layers, 1), 0.0, 0.0)
+
+    def bwd(stage) -> StageCost:
+        return StageCost(2.0 * max(stage.n_layers, 1), 0.0, 0.0)
+
+    ratios: Dict[str, float] = {}
+    for kind in ("zero-bubble", "1f1b-noninterleaved"):
+        schedule = schedule_entry(kind).builder(shape)
+        run = execute_pipeline(schedule, layout, fwd, bwd, p2p_seconds)
+        ratios[kind] = run.mean_bubble_ratio
+    context["bubble_ratios"] = dict(ratios)
+    violations: List[Violation] = []
+    if ratios["zero-bubble"] > ratios["1f1b-noninterleaved"]:
+        violations.append(Violation(
+            "bubble-regression",
+            f"zero-bubble bubble ratio "
+            f"{ratios['zero-bubble']:.3f} exceeds classic 1F1B's "
+            f"{ratios['1f1b-noninterleaved']:.3f} on uniform stages "
+            f"(pp={pp}, nmb={nmb}) — split backward no longer fills "
+            f"the drain (Section 3.1.1)",
+            dict(context)))
+    return OracleResult("bubble-regression", tuple(violations), context)
+
+
+# ----------------------------------------------------------------------
 # Numerics oracle: parallel order vs. order-matched sequential baseline
 # ----------------------------------------------------------------------
 
@@ -235,8 +296,9 @@ def run_default_oracles(seed: int = 0) -> List[OracleResult]:
     """The oracle battery the ``repro verify`` CLI runs before fuzzing.
 
     Covers both sides of the ``nc < pp`` boundary, causal and document
-    CP masks at two CP degrees, and PP numerics on a degenerate-AFAB and
-    a proper 1F1B shape.
+    CP masks at two CP degrees, PP numerics on a degenerate-AFAB and a
+    proper 1F1B shape, and the zero-bubble-vs-1F1B bubble pin at two
+    pipeline depths.
     """
     results = [
         oracle_afab_degeneration(ScheduleShape(pp=4, v=2, nc=2, nmb=8)),
@@ -247,5 +309,7 @@ def run_default_oracles(seed: int = 0) -> List[OracleResult]:
         oracle_cp_attention(seq=48, cp=2, doc_lens=(48,), seed=seed + 1),
         oracle_pp_numerics(ScheduleShape(pp=2, v=2, nc=2, nmb=4), seed=seed),
         oracle_pp_numerics(ScheduleShape(pp=4, v=1, nc=2, nmb=4), seed=seed),
+        oracle_bubble_regression(pp=4, nmb=8),
+        oracle_bubble_regression(pp=8, nmb=16),
     ]
     return results

@@ -30,6 +30,7 @@ from repro.parallel.config import JobConfig, ParallelConfig, ZeroStage
 from repro.parallel.mesh import DeviceMesh
 from repro.pp.layout import build_layout
 from repro.pp.schedule import ScheduleShape, build_flexible_schedule
+from repro.pp.zoo import build_zero_bubble_schedule
 from repro.resilience import NoCheckpoint, RunConfig, YoungDaly, simulate_run
 from repro.sim.collectives import RetryPolicy
 from repro.train.cost import StageCost
@@ -82,6 +83,27 @@ def wl_pipeline_interleaved(sim) -> None:
         sim=sim,
         start_times={0: 0.002},
         rank_compute_scale={2: 1.3},
+    )
+
+
+def wl_pipeline_zero_bubble(sim) -> None:
+    """Raw pipeline executor: split-backward schedule — BI on the
+    critical path, deferred BW ops filling the drain, with explicit
+    asymmetric BI/BW pricing and a straggling rank."""
+    shape = ScheduleShape(pp=4, v=1, nc=4, nmb=8)
+    schedule = build_zero_bubble_schedule(shape)
+    layout = build_layout(n_layers=4, pp=4, v=1)
+    execute_pipeline(
+        schedule, layout,
+        forward_cost=lambda s: StageCost(0.004 * s.n_layers, 0.001, 0.0),
+        backward_cost=lambda s: StageCost(0.008 * s.n_layers, 0.001, 0.0),
+        backward_input_cost=lambda s: StageCost(
+            0.005 * s.n_layers, 0.001, 0.0),
+        backward_weight_cost=lambda s: StageCost(
+            0.003 * s.n_layers, 0.0, 0.0),
+        p2p_seconds=0.0003,
+        sim=sim,
+        rank_compute_scale={1: 1.2},
     )
 
 
@@ -217,7 +239,12 @@ DIFFERENTIAL_WORKLOADS: Tuple[Workload, ...] = tuple(
         Workload("step_zero3_recompute", _step_workload(
             ParallelConfig(tp=2, pp=2, dp=2, zero=ZeroStage.ZERO_3),
             JobConfig(seq=8192, gbs=8, ngpu=8), 8, recompute=True)),
+        Workload("step_zero_bubble", _step_workload(
+            *STANDARD_MESHES[0][1:], schedule_kind="zero-bubble")),
+        Workload("step_heterogeneous_vit", _step_workload(
+            *STANDARD_MESHES[0][1:], stage_preset="vit-encoder")),
         Workload("pipeline_interleaved", wl_pipeline_interleaved),
+        Workload("pipeline_zero_bubble", wl_pipeline_zero_bubble),
         Workload("fault_plan", wl_fault_plan),
         Workload("slowdown", wl_slowdown),
         Workload("modifier_chains", wl_modifier_chains),

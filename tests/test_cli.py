@@ -114,3 +114,68 @@ class TestTraceDestinations:
         # Human-readable step output is diverted to stderr, keeping
         # stdout a clean JSON document for piping into `analyze`.
         assert "step time" in captured.err
+
+
+class TestSchedules:
+    def test_listing_names_every_registered_kind(self, capsys):
+        from repro.pp.registry import schedule_kinds
+
+        assert main(["schedules"]) == 0
+        out = capsys.readouterr().out
+        for kind in schedule_kinds():
+            assert kind in out
+        assert "split-backward" in out
+
+    def test_names_mode_is_one_kind_per_line(self, capsys):
+        from repro.pp.registry import schedule_kinds
+
+        assert main(["schedules", "--names"]) == 0
+        out = capsys.readouterr().out
+        assert tuple(out.split()) == schedule_kinds()
+
+    def test_json_listing(self, capsys):
+        assert main(["schedules", "--json"]) == 0
+        rep = json.loads(capsys.readouterr().out)
+        assert rep["schema"] == "repro.schedules/v1"
+        kinds = {s["kind"]: s for s in rep["schedules"]}
+        assert kinds["zero-bubble"]["split_backward"] is True
+        assert kinds["gpipe"]["family"] == "afab"
+
+
+class TestScheduleFlag:
+    def test_step_accepts_zoo_kinds(self, capsys):
+        assert main(["step", "--model", "8b", "--ngpu", "8", "--gbs", "8",
+                     "--tp", "2", "--cp", "1", "--pp", "2", "--dp", "2",
+                     "--schedule", "zero-bubble"]) == 0
+        assert "bubble ratio" in capsys.readouterr().out
+
+    def test_step_stage_preset(self, capsys):
+        assert main(["step", "--model", "8b", "--ngpu", "8", "--gbs", "8",
+                     "--tp", "2", "--cp", "1", "--pp", "2", "--dp", "2",
+                     "--stage-preset", "vit-encoder"]) == 0
+        assert "step time" in capsys.readouterr().out
+
+    def test_step_json_reports_built_schedule(self, capsys):
+        assert main(["step", "--model", "8b", "--ngpu", "8", "--gbs", "8",
+                     "--tp", "2", "--cp", "1", "--pp", "2", "--dp", "2",
+                     "--schedule", "gpipe", "--json"]) == 0
+        rep = json.loads(capsys.readouterr().out)
+        assert rep["schedule"] == "gpipe"
+
+    def test_plan_schedule_all_sweeps_cost_aware(self, capsys):
+        assert main(["plan", "--model", "8b", "--ngpu", "64", "--gbs", "64",
+                     "--seq", "8192", "--cost-aware",
+                     "--schedule", "all"]) == 0
+        out = capsys.readouterr().out
+        assert "schedule=" in out
+        assert "[gpipe]" in out  # every kind shows up in the candidates
+
+    def test_verify_schedule_restricts_the_fuzz(self, capsys):
+        assert main(["verify", "--fuzz", "5", "--schedule", "gpipe",
+                     "--no-oracles", "--no-step-invariants"]) == 0
+        assert "0 failed" in capsys.readouterr().out
+
+    def test_run_schedule_pin(self, capsys):
+        assert main(["run", "--steps", "5", "--mtbf", "5000", "--seed", "0",
+                     "--schedule", "1f1b-noninterleaved"]) == 0
+        assert "goodput" in capsys.readouterr().out

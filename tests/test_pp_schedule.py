@@ -66,6 +66,12 @@ class TestValidation:
         with pytest.raises(ValueError):
             build_interleaved_1f1b(pp=4, v=2, nmb=6)
 
+    def test_interleaved_nmb_below_pp_names_values(self):
+        # nmb < pp cannot fill even one warm-up wave; the error must
+        # name the offending values, not just restate the rule.
+        with pytest.raises(ValueError, match=r"nmb \(2\).*pp \(4\)"):
+            build_interleaved_1f1b(pp=4, v=1, nmb=2)
+
     def test_flexible_accepts_non_multiple(self):
         # The constraint the paper removes (Section 3.1.1).
         sched = build_flexible_schedule(ScheduleShape(pp=4, v=2, nc=3, nmb=6))

@@ -108,9 +108,11 @@ class TestWarmupOffByOneCaught:
         assert not failure.shrunk_report.ok
         # The off-by-one reproduces at the smallest non-capped config
         # (nmb=2 keeps actual=2 distinct from the expected depth of 1;
-        # bs=2 == 2*pp puts ZeRO-1 in scope, harmlessly).
+        # bs=2 == 2*pp puts ZeRO-1 in scope, harmlessly).  The shrink
+        # stays within the first failing case's sampled kind.
         assert failure.shrunk.to_dict() == {
-            "pp": 1, "v": 1, "nc": 1, "nmb": 2, "zero": "ZERO_1"}
+            "kind": "1f1b", "pp": 1, "v": 1, "nc": 1, "nmb": 2,
+            "zero": "ZERO_1"}
         assert "warmup-depth" in {
             v.check for v in failure.shrunk_report.violations}
 
@@ -120,8 +122,8 @@ class TestWarmupOffByOneCaught:
         report = verify_report(run_fuzz(30, seed=0))
         assert report["ok"] is False
         shrunk = report["fuzz"]["failures"][0]["shrunk_config"]
-        assert shrunk == {"pp": 1, "v": 1, "nc": 1, "nmb": 2,
-                          "zero": "ZERO_1"}
+        assert shrunk == {"kind": "1f1b", "pp": 1, "v": 1, "nc": 1,
+                          "nmb": 2, "zero": "ZERO_1"}
 
 
 class TestTimelineCheckers:

@@ -71,7 +71,19 @@ class TestZeroModeBoundary:
 
     def test_unknown_family_rejected(self):
         with pytest.raises(ValueError):
-            check_zero_schedule(ZeroStage.ZERO_1, "gpipe", bs=16, pp=4)
+            check_zero_schedule(ZeroStage.ZERO_1, "no-such-schedule",
+                                bs=16, pp=4)
+
+    def test_registered_kinds_resolve_by_family(self):
+        # gpipe registered as AFAB-family: legal below the boundary,
+        # flagged at it; zero-bubble rides the 1F1B rule.
+        assert check_zero_schedule(
+            ZeroStage.ZERO_2, "gpipe", bs=7, pp=4) == []
+        assert check_zero_schedule(
+            ZeroStage.ZERO_1, "zero-bubble", bs=16, pp=4) == []
+        violations = check_zero_schedule(
+            ZeroStage.ZERO_2, "gpipe", bs=16, pp=4)
+        assert {v.check for v in violations} == {"zero-schedule"}
 
     def test_planner_agrees_with_checker(self):
         """The Section 5 planner's chosen (zero, schedule) never violates
