@@ -92,13 +92,27 @@ def _print_json(report: dict) -> None:
 
 
 def _step_parallel(args: argparse.Namespace) -> ParallelConfig:
-    if args.tp * args.cp * args.pp * args.dp != args.ngpu:
+    ep = getattr(args, "ep", 1)
+    world = args.tp * args.cp * ep * args.pp * args.dp
+    if world != args.ngpu:
         _fail(
-            f"tp*cp*pp*dp = {args.tp * args.cp * args.pp * args.dp} "
-            f"must equal ngpu = {args.ngpu}"
+            f"tp*cp*ep*pp*dp = {world} must equal ngpu = {args.ngpu}"
         )
-    return ParallelConfig(tp=args.tp, cp=args.cp, pp=args.pp, dp=args.dp,
-                          zero=ZeroStage(args.zero))
+    return ParallelConfig(tp=args.tp, cp=args.cp, ep=ep, pp=args.pp,
+                          dp=args.dp, zero=ZeroStage(args.zero))
+
+
+def _moe_model(args: argparse.Namespace) -> TextModelConfig:
+    """The job's model, switched to its MoE variant when ``--experts`` is
+    given (``repro step --experts N --ep E`` is the MoE surface)."""
+    model = _model(args.model)
+    experts = getattr(args, "experts", None)
+    if experts:
+        try:
+            model = model.moe_variant(experts, top_k=args.top_k)
+        except ValueError as err:
+            _fail(str(err))
+    return model
 
 
 def _add_job_args(p: argparse.ArgumentParser) -> None:
@@ -107,11 +121,19 @@ def _add_job_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--gbs", type=int, default=2048,
                    help="global batch size (sequences)")
     p.add_argument("--ngpu", type=int, default=16384, help="GPU count")
+    p.add_argument("--experts", type=int, default=None, metavar="N",
+                   help="use the model's MoE variant with N experts per "
+                        "FFN (enables --ep)")
+    p.add_argument("--top-k", type=int, default=2,
+                   help="experts each token routes to (with --experts)")
 
 
 def _add_step_parallel_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--tp", type=int, default=8)
     p.add_argument("--cp", type=int, default=1)
+    p.add_argument("--ep", type=int, default=1,
+                   help="expert-parallel size (MoE models; must divide "
+                        "the expert count)")
     p.add_argument("--pp", type=int, default=16)
     p.add_argument("--dp", type=int, default=128)
     p.add_argument("--zero", type=int, default=2, choices=(1, 2, 3))
@@ -123,7 +145,7 @@ def _add_step_parallel_args(p: argparse.ArgumentParser) -> None:
 def cmd_plan(args: argparse.Namespace) -> int:
     cluster = grand_teton(args.ngpu)
     job = JobConfig(seq=args.seq, gbs=args.gbs, ngpu=args.ngpu)
-    plan = plan_parallelism(_model(args.model), job, cluster,
+    plan = plan_parallelism(_moe_model(args), job, cluster,
                             cost_aware=args.cost_aware,
                             schedule_kind=args.schedule)
     if args.json:
@@ -137,13 +159,15 @@ def cmd_plan(args: argparse.Namespace) -> int:
         for c in plan.candidates:
             kind = c.get("schedule_kind")
             suffix = f"  [{kind}]" if kind else ""
+            ep = c.get("ep", 1)
+            ep_col = f"ep={ep:<3d} " if ep > 1 else ""
             if c["feasible"]:
                 print(f"  tp={c['tp']:<2d} pp={c['pp']:<3d} cp={c['cp']:<3d} "
-                      f"dp={c['dp']:<4d} {c['tflops_per_gpu']:6.0f} "
+                      f"{ep_col}dp={c['dp']:<4d} {c['tflops_per_gpu']:6.0f} "
                       f"TFLOPs/GPU{suffix}")
             else:
-                print(f"  tp={c['tp']:<2d} pp={c['pp']:<3d} infeasible: "
-                      f"{c['reason']}")
+                print(f"  tp={c['tp']:<2d} pp={c['pp']:<3d} {ep_col}"
+                      f"infeasible: {c['reason']}")
     return 0
 
 
@@ -153,7 +177,7 @@ def cmd_step(args: argparse.Namespace) -> int:
 
     cluster = grand_teton(args.ngpu)
     job = JobConfig(seq=args.seq, gbs=args.gbs, ngpu=args.ngpu)
-    model = _model(args.model)
+    model = _moe_model(args)
     par = _step_parallel(args)
     metrics = MetricsRegistry()
     rep = simulate_step(model, par, job, cluster,
@@ -227,7 +251,7 @@ def cmd_phases(args: argparse.Namespace) -> int:
 def cmd_ordering(args: argparse.Namespace) -> int:
     cluster = grand_teton(args.ngpu)
     job = JobConfig(seq=args.seq, gbs=args.gbs, ngpu=args.ngpu)
-    model = _model(args.model)
+    model = _moe_model(args)
     par = ParallelConfig(tp=args.tp, cp=args.cp, pp=args.pp, dp=args.dp)
     scores = rank_orderings(model, par, job, cluster)
     for s in scores:
@@ -297,12 +321,12 @@ def _run_trace(args: argparse.Namespace, out) -> int:
     from repro.obs.trace import export_chrome_trace
     from repro.parallel.mesh import DeviceMesh
 
-    world = args.tp * args.cp * args.pp * args.dp
+    world = args.tp * args.cp * args.ep * args.pp * args.dp
     if world > 512:
-        _fail(f"workload traces every rank; keep tp*cp*pp*dp <= 512 "
+        _fail(f"workload traces every rank; keep tp*cp*ep*pp*dp <= 512 "
               f"(got {world}) — e.g. --tp 4 --cp 2 --pp 1 --dp 1")
-    mesh = DeviceMesh(ParallelConfig(tp=args.tp, cp=args.cp, pp=args.pp,
-                                     dp=args.dp))
+    mesh = DeviceMesh(ParallelConfig(tp=args.tp, cp=args.cp, ep=args.ep,
+                                     pp=args.pp, dp=args.dp))
     slowdown = {}
     if args.slow_rank is not None:
         if not 0 <= args.slow_rank < mesh.world_size:
@@ -381,7 +405,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
     cluster = grand_teton(args.ngpu)
     job = JobConfig(seq=args.seq, gbs=args.gbs, ngpu=args.ngpu)
-    model = _model(args.model)
+    model = _moe_model(args)
     par = _step_parallel(args)
     plan = None
     if args.fault:
@@ -496,7 +520,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
 
     cluster = grand_teton(args.ngpu)
     job = JobConfig(seq=args.seq, gbs=args.gbs, ngpu=args.ngpu)
-    model = _model(args.model)
+    model = _moe_model(args)
     par = _step_parallel(args)
     if args.fault:
         try:
@@ -560,7 +584,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 
     cluster = grand_teton(args.ngpu)
     job = JobConfig(seq=args.seq, gbs=args.gbs, ngpu=args.ngpu)
-    model = _model(args.model)
+    model = _moe_model(args)
     try:
         policy = parse_policy(args.policy)
         config = RunConfig(

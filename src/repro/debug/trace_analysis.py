@@ -7,7 +7,8 @@ looks slow in its TP group may itself be waiting on a CP peer, so the first
 rank where the problem is observed is often not the source.
 
 The fix is to search parallelism dimensions from the **outermost level
-inward** ([DP, PP, CP, TP] — the reverse of the Section 5.2 comm order):
+inward** ([DP, PP, EP, CP, TP] — the reverse of the Section 5.2 comm
+order, with EP between PP and CP as in the mesh decomposition):
 at each level, find which group index the straggler lives at by blaming
 each rank for the wait it caused its peers, then narrow the candidate set
 and descend.  The result pins a single global rank plus an attribution of
@@ -25,7 +26,7 @@ from repro.parallel.mesh import DeviceMesh
 from repro.sim.engine import Simulator, TraceEvent
 
 #: Search order: outermost parallelism level first (Section 6.1).
-SEARCH_ORDER = ("dp", "pp", "cp", "tp")
+SEARCH_ORDER = ("dp", "pp", "ep", "cp", "tp")
 
 
 @dataclass(frozen=True)

@@ -1,9 +1,10 @@
-"""Synthetic 4D-parallel workload with fault injection (the Figure 8 setup).
+"""Synthetic 5D-parallel workload with fault injection (the Figure 8 setup).
 
 Runs a few training-step-shaped iterations over a full device mesh: per
 layer, every rank computes, then its TP group all-gathers, then its CP
-group gathers KV; per step the DP x CP group reduce-scatters gradients and
-PP neighbours exchange activations.  Any rank can be given a *slowdown*
+group gathers KV, then (when ``ep > 1``) its EP group trades expert
+tokens in an all-to-all; per step the DP x CP group reduce-scatters
+gradients and PP neighbours exchange activations.  Any rank can be given a *slowdown*
 (extra seconds per compute op — a flaky GPU, deterministic-DVFS violation,
 or thermal throttle), and the resulting trace is what
 :func:`repro.debug.trace_analysis.identify_slow_rank` diagnoses.
@@ -35,6 +36,8 @@ class WorkloadSpec:
         compute_seconds: Per-layer compute time on a healthy rank.
         tp_comm_seconds: TP all-gather/reduce-scatter time per layer.
         cp_comm_seconds: CP KV-gather time per layer (skipped when cp=1).
+        ep_comm_seconds: EP dispatch/combine all-to-all time per layer
+            (skipped when ep=1).
         pp_comm_seconds: Inter-stage P2P per step (skipped when pp=1).
         dp_comm_seconds: Gradient reduce-scatter per step (skipped when
             the DP x CP group is trivial).
@@ -45,6 +48,7 @@ class WorkloadSpec:
     compute_seconds: float = 1.0
     tp_comm_seconds: float = 0.1
     cp_comm_seconds: float = 0.15
+    ep_comm_seconds: float = 0.12
     pp_comm_seconds: float = 0.05
     dp_comm_seconds: float = 0.3
 
@@ -103,6 +107,16 @@ def run_synthetic_workload(
                         group, stream="compute",
                         duration=spec.tp_comm_seconds,
                         name=f"tp:ag:s{step}:l{layer}",
+                    )
+            # The expert FFN sits after attention, so the EP token
+            # all-to-all (dispatch + combine folded into one event)
+            # closes the layer.
+            if p.ep > 1:
+                for group in mesh.all_groups("ep"):
+                    sim.run_collective(
+                        group, stream="compute",
+                        duration=spec.ep_comm_seconds,
+                        name=f"ep:a2a:s{step}:l{layer}",
                     )
         if p.pp > 1:
             # Stage hand-off: each rank syncs with its next-stage peer.

@@ -1,7 +1,7 @@
 """Fault injection and resilience scoring (the Section 6.1 loop).
 
 Declarative fault models (:mod:`repro.faults.models`) inject into both
-simulation paths — the synthetic 4D workload via simulator duration
+simulation paths — the synthetic 5D workload via simulator duration
 modifiers, and the lowered step graph via a graph rewrite
 (:mod:`repro.faults.inject`).  The loop closes in
 :mod:`repro.faults.detect` (does the top-down search find what was
@@ -15,6 +15,7 @@ from repro.faults.models import (
     ComputeStraggler,
     DegradedLink,
     FaultPlan,
+    HotExpert,
     HungRank,
     PeriodicJitter,
     fault_from_dict,
@@ -38,6 +39,7 @@ __all__ = [
     "ComputeStraggler",
     "DegradedLink",
     "FaultPlan",
+    "HotExpert",
     "HungRank",
     "PeriodicJitter",
     "parse_fault_spec",

@@ -1,4 +1,4 @@
-"""Declarative fault models over the 4D mesh (the Section 6.1 fault zoo).
+"""Declarative fault models over the 5D mesh (the Section 6.1 fault zoo).
 
 Each model describes one production failure mode as *which ranks* it hits,
 *which events* it matches, and *how* it perturbs a matched event's
@@ -25,6 +25,9 @@ The taxonomy (see ``docs/faults.md``):
                            interference)
 :class:`CollectiveRetry`   transient network fault: the first N
                            matching collectives pay a retry penalty
+:class:`HotExpert`         MoE token-routing imbalance: the rank hosting
+                           the hottest expert does capacity-clipped
+                           extra work and ships a heavier all-to-all
 =====================  ==============================================
 
 Perturbation state is per (fault, rank) and created lazily, so one model
@@ -56,13 +59,14 @@ if TYPE_CHECKING:  # pragma: no cover - type-only imports
 _COMM_PREFIXES: Dict[str, Tuple[str, ...]] = {
     "tp": ("tp:",),
     "cp": ("cp:",),
+    "ep": ("ep:",),
     "pp": ("pp:", "p2p:"),
     "dp": ("dp:", "fsdp:"),
 }
 
 #: Step-graph stream carrying each dimension's communication.
 _COMM_STREAMS: Dict[str, str] = {
-    "tp": "tp", "cp": "cp", "pp": "p2p", "dp": "fsdp",
+    "tp": "tp", "cp": "cp", "ep": "ep", "pp": "p2p", "dp": "fsdp",
 }
 
 
@@ -368,6 +372,83 @@ class CollectiveRetry:
                 "extra_seconds": self.extra_seconds, "rank": self.rank}
 
 
+@dataclass(frozen=True)
+class HotExpert:
+    """MoE token-routing imbalance: one EP rank hosts the hottest expert.
+
+    Real routers over-select a few experts early in training.  The EP
+    rank hosting the hot expert processes ``imbalance`` times the
+    balanced expert load — clipped at ``capacity_factor``, past which
+    tokens are dropped instead of computed (:mod:`repro.train.moe`) —
+    so its expert compute *and* its share of the dispatch/combine
+    all-to-all stretch by :attr:`work_scale` while its EP peers wait.
+    Slowdown originates on the compute stream, so the Section 6.1
+    search should localise the hosting rank and attribute it
+    ``compute`` — routing skew looks exactly like a throttled GPU from
+    the outside, which is why it belongs in the fault zoo.
+    """
+
+    rank: int
+    imbalance: float = 3.0
+    capacity_factor: float = 1.25
+
+    kind_label = "hot_expert"
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ValueError("rank must be >= 0")
+        if self.imbalance <= 1.0:
+            raise ValueError("imbalance must be > 1.0 (1.0 = balanced)")
+        if self.capacity_factor <= 1.0:
+            raise ValueError(
+                "capacity_factor must be > 1.0 for the hot expert to do "
+                "any extra work (at <= 1.0 the excess is all drops)")
+
+    @property
+    def work_scale(self) -> float:
+        """Realised slowdown: the routed load, clipped at capacity."""
+        return min(self.imbalance, self.capacity_factor)
+
+    def dropped_fraction(self, n_experts: int) -> float:
+        """Token-drop fraction this skew causes at ``n_experts`` experts
+        (the :class:`repro.train.step.StepReport` accounting)."""
+        from repro.train.moe import dropped_token_fraction
+        return dropped_token_fraction(
+            n_experts, self.capacity_factor, self.imbalance)
+
+    def affected_ranks(self, mesh: "DeviceMesh") -> Optional[FrozenSet[int]]:
+        return frozenset({self.rank})
+
+    def matches_event(self, kind: str, stream: str, name: str) -> bool:
+        if kind == "compute":
+            return True
+        return _matches_dim_comm("ep", kind, stream, name)
+
+    def fresh_state(self) -> dict:
+        return {}
+
+    def perturb(self, duration: float, state: dict) -> float:
+        return duration * self.work_scale
+
+    @property
+    def culprit_rank(self) -> Optional[int]:
+        return self.rank
+
+    @property
+    def expected_attribution(self) -> Optional[str]:
+        return "compute"
+
+    def describe(self) -> str:
+        return (f"hot-expert rank={self.rank} x{self.imbalance:g} "
+                f"(cap {self.capacity_factor:g})")
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind_label, "rank": self.rank,
+                "imbalance": self.imbalance,
+                "capacity_factor": self.capacity_factor,
+                "work_scale": self.work_scale}
+
+
 def make_modifier(fault, mesh: "DeviceMesh") -> "DurationModifier":
     """Engine duration modifier for one fault (lazy per-rank state)."""
     ranks = fault.affected_ranks(mesh)
@@ -453,6 +534,9 @@ _SPEC_TYPES = {
     "retry": (CollectiveRetry,
               {"dim": str, "retries": int,
                "extra": ("extra_seconds", float), "rank": int}),
+    "hotexpert": (HotExpert,
+                  {"rank": int, "imbalance": float,
+                   "capacity": ("capacity_factor", float)}),
 }
 
 
@@ -525,9 +609,18 @@ def _straggler_default(world_size: int) -> FaultPlan:
     ))
 
 
+def _hot_expert_default(world_size: int) -> FaultPlan:
+    # One 3x-hot expert (clipped at a 1.25 capacity factor) on the
+    # second-to-last rank, mirroring the straggler preset's shape.
+    return FaultPlan((
+        HotExpert(rank=max(world_size - 2, 0), imbalance=3.0),
+    ))
+
+
 #: Named fault scenarios usable from code and ``repro faults --preset``.
 FAULT_PRESETS: Dict[str, "object"] = {
     "straggler-default": _straggler_default,
+    "hot-expert-default": _hot_expert_default,
 }
 
 

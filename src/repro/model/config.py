@@ -26,6 +26,13 @@ class TextModelConfig:
         vocab_size: Vocabulary size (128K for Llama 3, Section 7.1.2).
         norm_eps: RMSNorm epsilon (kept for completeness).
         rope_theta: RoPE base frequency.
+        n_experts: MoE expert count per layer; 0 means dense (every
+            Llama 3 production model).  Each expert is a full
+            ``ffn_hidden``-wide SwiGLU FFN.
+        top_k: Experts each token is routed to (when ``n_experts > 0``).
+        capacity_factor: Per-expert buffer headroom over the balanced
+            ``tokens * top_k / n_experts`` load; tokens past capacity
+            are dropped (see :mod:`repro.train.moe`).
     """
 
     name: str
@@ -37,6 +44,9 @@ class TextModelConfig:
     vocab_size: int = 128256
     norm_eps: float = 1e-5
     rope_theta: float = 500000.0
+    n_experts: int = 0
+    top_k: int = 2
+    capacity_factor: float = 1.25
 
     def __post_init__(self) -> None:
         if self.dim % self.n_heads != 0:
@@ -47,6 +57,17 @@ class TextModelConfig:
                            "ffn_hidden", "vocab_size"):
             if getattr(self, field_name) <= 0:
                 raise ValueError(f"{field_name} must be positive")
+        if self.n_experts < 0:
+            raise ValueError("n_experts must be >= 0 (0 = dense)")
+        if self.n_experts > 0:
+            if not 1 <= self.top_k <= self.n_experts:
+                raise ValueError("top_k must be in [1, n_experts]")
+            if self.capacity_factor <= 0:
+                raise ValueError("capacity_factor must be positive")
+
+    @property
+    def is_moe(self) -> bool:
+        return self.n_experts > 0
 
     @property
     def head_dim(self) -> int:
@@ -68,6 +89,22 @@ class TextModelConfig:
         scaled-down models; Section 3.1.2 balanced-PP co-design)."""
         return replace(self, n_layers=n_layers,
                        name=f"{self.name}-L{n_layers}")
+
+    def moe_variant(
+        self,
+        n_experts: int,
+        top_k: int = 2,
+        capacity_factor: float = 1.25,
+    ) -> "TextModelConfig":
+        """The MoE counterpart of this architecture: every dense FFN is
+        replaced by ``n_experts`` experts of the same ``ffn_hidden``
+        width with top-``k`` routing (the `repro step --experts N`
+        surface)."""
+        if n_experts < 1:
+            raise ValueError("n_experts must be >= 1 for an MoE variant")
+        return replace(self, n_experts=n_experts, top_k=top_k,
+                       capacity_factor=capacity_factor,
+                       name=f"{self.name}-moe{n_experts}e")
 
 
 @dataclass(frozen=True)

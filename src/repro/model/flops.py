@@ -30,12 +30,28 @@ from repro.model.config import (
 # ---------------------------------------------------------------------------
 
 def layer_params(cfg: TextModelConfig) -> int:
-    """Parameters in one transformer layer (attention + SwiGLU FFN + norms)."""
-    d, f = cfg.dim, cfg.ffn_hidden
+    """Parameters in one transformer layer (attention + FFN + norms).
+
+    For an MoE layer the FFN part is ``n_experts`` full SwiGLU experts
+    plus the router — see :func:`expert_params` for the slice that
+    expert parallelism shards."""
+    d = cfg.dim
     attn = d * d + 2 * d * cfg.kv_dim + d * d  # Wq, Wk+Wv, Wo
-    ffn = 3 * d * f                            # W_gate, W_up, W_down
     norms = 2 * d
+    if cfg.is_moe:
+        ffn = expert_params(cfg) + d * cfg.n_experts  # experts + router
+    else:
+        ffn = 3 * d * cfg.ffn_hidden               # W_gate, W_up, W_down
     return attn + ffn + norms
+
+
+def expert_params(cfg: TextModelConfig) -> int:
+    """Expert-FFN parameters in one MoE layer (0 for dense models) — the
+    slice of :func:`layer_params` that expert parallelism divides by
+    ``ep``, since each EP rank stores only its own experts."""
+    if not cfg.is_moe:
+        return 0
+    return 3 * cfg.dim * cfg.ffn_hidden * cfg.n_experts
 
 
 def embedding_params(cfg: TextModelConfig) -> int:
@@ -120,10 +136,18 @@ def attention_score_flops(
 
 
 def layer_linear_flops(cfg: TextModelConfig, seq: int) -> float:
-    """Forward FLOPs of the GEMMs in one layer for ``seq`` tokens."""
+    """Forward FLOPs of the GEMMs in one layer for ``seq`` tokens.
+
+    MoE layers count *active* FLOPs: every token runs through ``top_k``
+    experts (not all of them) plus the router projection — the
+    denominator convention MoE MFU figures use."""
     d, f = cfg.dim, cfg.ffn_hidden
     qkvo = 2.0 * seq * d * (d + 2 * cfg.kv_dim + d)
-    ffn = 2.0 * seq * d * f * 3
+    if cfg.is_moe:
+        ffn = 2.0 * seq * d * f * 3 * cfg.top_k
+        ffn += 2.0 * seq * d * cfg.n_experts  # router scores
+    else:
+        ffn = 2.0 * seq * d * f * 3
     return qkvo + ffn
 
 

@@ -7,8 +7,8 @@ the payloads behind the CLI ``--json`` flags and the format future
 regression tracking in ``benchmarks/`` diffs against.
 
 The step report folds in the metrics-registry view: per-rank busy/idle/
-exposed-comm seconds and bubble ratios, rolled up per (dp, pp, cp, tp)
-group index through the :class:`repro.parallel.mesh.DeviceMesh` — the
+exposed-comm seconds and bubble ratios, rolled up per (dp, pp, ep, cp,
+tp) group index through the :class:`repro.parallel.mesh.DeviceMesh` — the
 pipeline executor's ranks are PP ranks, mapped onto the mesh's pp axis at
 (tp, cp, dp) = 0.
 """
@@ -53,6 +53,7 @@ def _parallel_dict(parallel: ParallelConfig) -> dict:
     return {
         "tp": parallel.tp,
         "cp": parallel.cp,
+        "ep": parallel.ep,
         "pp": parallel.pp,
         "dp": parallel.dp,
         "zero": parallel.zero.value,
@@ -90,7 +91,7 @@ def step_group_metrics(
     parallel: ParallelConfig,
     registry: Optional[MetricsRegistry] = None,
 ) -> dict:
-    """Per-(dp, pp, cp, tp)-group aggregates of a simulated step.
+    """Per-(dp, pp, ep, cp, tp)-group aggregates of a simulated step.
 
     Records the step's pipeline timeline into a registry (unless an
     already-populated one is handed in) and rolls busy/idle/exposed-comm
@@ -145,6 +146,8 @@ def step_report(
         ],
         "per_rank_peak_memory_gb": list(rep.per_rank_peak_memory_gb),
         "max_peak_memory_gb": rep.max_peak_memory_gb,
+        "expert_imbalance": rep.expert_imbalance,
+        "dropped_token_fraction": rep.dropped_token_fraction,
         "groups": step_group_metrics(rep, parallel, registry),
     }
 

@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.model.config import TextModelConfig
-from repro.model.flops import layer_params
+from repro.model.flops import expert_params, layer_params
 from repro.model.memory import (
     BF16_BYTES,
     FP32_BYTES,
@@ -98,7 +98,13 @@ def estimate_rank_memory(
 
     tp, cp = parallel.tp, parallel.cp
     shard = parallel.grad_shard_degree  # dp * cp
-    per_layer_params = layer_params(model) / tp
+    # EP shards the expert weights (each EP rank owns n_experts / ep of
+    # them); the dense remainder of the layer is replicated across EP and
+    # sharded by TP like any other weight.
+    experts = expert_params(model)
+    per_layer_params = (
+        layer_params(model) - experts + experts / parallel.ep
+    ) / tp
     rank_params = layers_on_rank * per_layer_params
     stage_params = rank_params / virtual_stages
 

@@ -17,6 +17,14 @@ the way Section 5.1 does:
 5. **ZeRO mode / schedule** — ZeRO-1 + 1F1B when ``bs >= 2 * pp``, else
    ZeRO-2 + all-forward-all-backward (Section 3.1.3).
 
+For MoE models the cost-aware rerank adds **EP** as a planning axis: every
+power-of-two divisor of the expert count joins the (tp, pp) sweep, and the
+simulated timeline decides whether slicing experts across ranks (TP) or
+spreading whole experts (EP, paying the token all-to-all) wins — the
+trade flips toward EP as experts grow more numerous and smaller.  The
+analytic first-fit path keeps ``ep=1`` (all experts resident per rank), so
+dense planning and Table 2 are byte-identical to the 4D planner.
+
 The planner records its reasoning as human-readable rationale lines so the
 Table 2 benchmark can show *why* each number came out.
 """
@@ -54,8 +62,8 @@ class Plan:
     schedule: str  # a registered schedule kind ("1f1b", "afab", ...)
     estimated_rank0_memory_gb: float
     rationale: List[str] = field(default_factory=list)
-    #: ``cost_aware=True`` only: every (tp, pp) candidate evaluated, the
-    #: feasible ones ranked by simulated TFLOPs/GPU (best first).
+    #: ``cost_aware=True`` only: every (tp, pp[, ep]) candidate evaluated,
+    #: the feasible ones ranked by simulated TFLOPs/GPU (best first).
     candidates: List[dict] = field(default_factory=list)
 
     def describe(self) -> str:
@@ -118,9 +126,10 @@ def _evaluate_candidate(
     pp: int,
     capacity_gb: float,
     schedule_kind: Optional[str] = None,
+    ep: int = 1,
 ) -> dict:
-    """Price one (tp, pp) candidate end to end: derive cp/dp/bs/ZeRO the
-    Section 5.1 way, gate on memory, then simulate a full step on the
+    """Price one (tp, pp, ep) candidate end to end: derive cp/dp/bs/ZeRO
+    the Section 5.1 way, gate on memory, then simulate a full step on the
     lowered timeline for its achieved TFLOPs/GPU.
 
     ``schedule_kind`` pins the pipeline schedule the candidate simulates
@@ -132,18 +141,19 @@ def _evaluate_candidate(
     """
     from repro.train.step import simulate_step  # deferred: train -> parallel
 
-    cand: dict = {"tp": tp, "pp": pp, "cp": None, "dp": None, "bs": None,
-                  "schedule": None, "schedule_kind": schedule_kind,
+    cand: dict = {"tp": tp, "pp": pp, "ep": ep, "cp": None, "dp": None,
+                  "bs": None, "schedule": None,
+                  "schedule_kind": schedule_kind,
                   "zero": None, "memory_gb": None,
                   "tflops_per_gpu": None, "feasible": False, "reason": ""}
     cp_needed = job.ngpu / (job.gbs * tp)
     cp = _power_of_two_at_least(cp_needed) if cp_needed > 1 else 1
     cand["cp"] = cp
-    if job.ngpu % (tp * cp * pp) != 0:
-        cand["reason"] = f"ngpu={job.ngpu} not divisible by tp*cp*pp"
+    if job.ngpu % (tp * cp * ep * pp) != 0:
+        cand["reason"] = f"ngpu={job.ngpu} not divisible by tp*cp*ep*pp"
         return cand
-    dp = job.ngpu // (tp * cp * pp)
-    bs = job.gbs // dp
+    dp = job.ngpu // (tp * cp * ep * pp)
+    bs = job.gbs // (dp * ep)  # EP ranks carry distinct micro-batches
     cand.update(dp=dp, bs=bs)
     if dp < 1 or bs < 1:
         cand["reason"] = "batch constraint leaves bs < 1"
@@ -158,10 +168,10 @@ def _evaluate_candidate(
     # depths the analytic derivation already considers safe rather than
     # admitting ones that fit solely under the ZeRO-2/AFAB fallback.
     v = math.ceil(model.n_layers / pp)
-    dp_cp = job.ngpu // (tp * pp)
-    trial = ParallelConfig(tp=tp, cp=1, pp=pp, dp=dp_cp,
+    dp_cp = job.ngpu // (tp * ep * pp)
+    trial = ParallelConfig(tp=tp, cp=1, ep=ep, pp=pp, dp=dp_cp,
                            zero=ZeroStage.ZERO_1)
-    bs_trial = max(job.gbs // dp_cp, 1)
+    bs_trial = max(job.gbs // (dp_cp * ep), 1)
     nmb_trial = max(bs_trial // job.mbs, 1)
     mem_gb = _rank0_memory_gb(model, trial, job, v,
                               default_nc(pp, nmb_trial), nmb_trial)
@@ -171,7 +181,7 @@ def _evaluate_candidate(
             f"rank-0 peak {mem_gb:.1f} GiB exceeds "
             f"{capacity_gb:.0f} GiB usable HBM")
         return cand
-    parallel = ParallelConfig(tp=tp, cp=cp, pp=pp, dp=dp, zero=zero)
+    parallel = ParallelConfig(tp=tp, cp=cp, ep=ep, pp=pp, dp=dp, zero=zero)
     kind = schedule_kind if schedule_kind is not None else schedule
     cand["schedule_kind"] = kind
     # Coerce the candidate shape into the kind's support set where the
@@ -225,6 +235,9 @@ def plan_parallelism(
     ``pp.autotune`` and ``hardware.whatif`` use), and the feasible
     candidate with the highest TFLOPs/GPU wins.  All candidates, with
     per-candidate infeasibility reasons, land in ``Plan.candidates``.
+    For MoE models the sweep also covers EP (power-of-two divisors of the
+    expert count), so the planner decides the EP-vs-TP placement of the
+    expert FFNs on simulated evidence.
 
     ``schedule_kind`` adds the schedule as a planning axis: a registered
     kind pins what cost-aware candidates simulate under, and ``"all"``
@@ -267,12 +280,18 @@ def plan_parallelism(
             f"{hw:,.0f}"
         )
 
-    # --- Step 3: TP and PP to fit memory -------------------------------
+    # --- Step 3: TP and PP (and EP for MoE) to fit memory --------------
     # Start from the batch-minimal TP; if no pipeline depth fits, escalate
     # TP toward the node size (more TP halves per-rank weights and
-    # activations) before giving up.
+    # activations) before giving up.  MoE models get an inner EP
+    # escalation: spreading whole experts across EP ranks divides the
+    # expert weights the way deeper PP divides the layers, so a model
+    # whose replicated experts overflow HBM can still fit.  Dense models
+    # have an EP axis of (1,), leaving the 4D derivation untouched.
     capacity = cluster.gpu.hbm_capacity_gb * MEMORY_HEADROOM
+    ep_axis = _ep_axis(model, job)
     chosen_pp: Optional[int] = None
+    ep = 1
     tp = tp_min
     while tp <= node:
         pp = 1
@@ -280,17 +299,20 @@ def plan_parallelism(
             # Candidate: v = one layer per virtual stage.
             layers_per_rank = math.ceil(model.n_layers / pp)
             v = layers_per_rank
-            dp_cp = job.ngpu // (tp * pp)
-            if dp_cp < 1:
-                break
-            trial = ParallelConfig(tp=tp, cp=1, pp=pp, dp=dp_cp,
-                                   zero=ZeroStage.ZERO_1)
-            bs = max(job.gbs // dp_cp, 1)
-            nmb = max(bs // job.mbs, 1)
-            nc = default_nc(pp, nmb)
-            mem_gb = _rank0_memory_gb(model, trial, job, v, nc, nmb)
-            if mem_gb <= capacity:
-                chosen_pp = pp
+            for trial_ep in ep_axis:
+                dp_cp = job.ngpu // (tp * trial_ep * pp)
+                if dp_cp < 1:
+                    continue
+                trial = ParallelConfig(tp=tp, cp=1, ep=trial_ep, pp=pp,
+                                       dp=dp_cp, zero=ZeroStage.ZERO_1)
+                bs = max(job.gbs // (dp_cp * trial_ep), 1)
+                nmb = max(bs // job.mbs, 1)
+                nc = default_nc(pp, nmb)
+                mem_gb = _rank0_memory_gb(model, trial, job, v, nc, nmb)
+                if mem_gb <= capacity:
+                    chosen_pp, ep = pp, trial_ep
+                    break
+            if chosen_pp is not None:
                 break
             pp *= 2
         if chosen_pp is not None:
@@ -301,6 +323,12 @@ def plan_parallelism(
             "no (tp, pp) combination fits the model in memory on this cluster"
         )
     pp = chosen_pp
+    if ep > 1:
+        rationale.append(
+            f"ep={ep}: {model.n_experts} experts overflow HBM replicated; "
+            f"spreading {model.n_experts // ep} per rank over EP fits "
+            "(paying the token all-to-all)"
+        )
     rationale.insert(0, (
         f"tp={tp}: batch constraint needs tp*cp >= ngpu/gbs = "
         f"{job.ngpu / job.gbs:.0f} (minimum tp={tp_min}); tp capped at "
@@ -327,12 +355,13 @@ def plan_parallelism(
     else:
         rationale.append("cp=1: gbs is large enough that bs >= pp without CP")
 
-    dp = job.ngpu // (tp * cp * pp)
-    if dp < 1 or tp * cp * pp * dp != job.ngpu:
+    dp = job.ngpu // (tp * cp * ep * pp)
+    if dp < 1 or tp * cp * ep * pp * dp != job.ngpu:
         raise ValueError(
-            f"ngpu={job.ngpu} not divisible by tp*cp*pp = {tp * cp * pp}"
+            f"ngpu={job.ngpu} not divisible by tp*cp*ep*pp = "
+            f"{tp * cp * ep * pp}"
         )
-    bs = job.gbs // dp
+    bs = job.gbs // (dp * ep)
 
     # --- Step 5: ZeRO mode and schedule (Section 3.1.3) ----------------
     if bs >= 2 * pp:
@@ -348,7 +377,7 @@ def plan_parallelism(
             "reshard gradients to save memory (Section 3.1.3)"
         )
 
-    parallel = ParallelConfig(tp=tp, cp=cp, pp=pp, dp=dp, zero=zero)
+    parallel = ParallelConfig(tp=tp, cp=cp, ep=ep, pp=pp, dp=dp, zero=zero)
     nmb = bs // job.mbs
     nc = default_nc(pp, nmb)
     mem_gb = _rank0_memory_gb(model, parallel, job, v, nc, nmb)
@@ -377,6 +406,26 @@ def _schedule_axis(schedule_kind: Optional[str]) -> Sequence[Optional[str]]:
     return (schedule_kind,)
 
 
+def _ep_axis(model: TextModelConfig, job: JobConfig) -> Sequence[int]:
+    """The expert-parallel sizes a cost-aware rerank sweeps.
+
+    Dense models have no experts to spread, so the axis collapses to
+    ``(1,)`` and the sweep is byte-identical to the 4D planner.  For MoE
+    models every power of two that divides the expert count (each EP rank
+    must own a whole number of experts) and fits in the GPU budget joins
+    the sweep.
+    """
+    if not model.is_moe:
+        return (1,)
+    axis = [1]
+    ep = 2
+    while ep <= model.n_experts and ep <= job.ngpu:
+        if model.n_experts % ep == 0:
+            axis.append(ep)
+        ep *= 2
+    return tuple(axis)
+
+
 def _cost_aware_rerank(
     model: TextModelConfig,
     job: JobConfig,
@@ -391,18 +440,22 @@ def _cost_aware_rerank(
 ) -> Plan:
 
     # --- Cost-aware re-ranking -----------------------------------------
-    # Price every (tp, pp) pair — times every schedule kind on the axis —
-    # on the simulated timeline and let throughput, not first-fit order,
-    # pick the winner.
+    # Price every (tp, pp) pair — times every schedule kind on the axis,
+    # times every EP size for MoE models — on the simulated timeline and
+    # let throughput, not first-fit order, pick the winner.
     candidates: List[dict] = []
+    ep_axis = _ep_axis(model, job)
     cand_tp = tp_min
     while cand_tp <= node:
         cand_pp = 1
         while cand_pp <= max_pp and cand_tp * cand_pp <= job.ngpu:
-            for kind in _schedule_axis(schedule_kind):
-                candidates.append(_evaluate_candidate(
-                    model, job, cluster, cand_tp, cand_pp, capacity,
-                    schedule_kind=kind))
+            for cand_ep in ep_axis:
+                if cand_tp * cand_pp * cand_ep > job.ngpu:
+                    continue
+                for kind in _schedule_axis(schedule_kind):
+                    candidates.append(_evaluate_candidate(
+                        model, job, cluster, cand_tp, cand_pp, capacity,
+                        schedule_kind=kind, ep=cand_ep))
             cand_pp *= 2
         cand_tp *= 2
     candidates.sort(
@@ -414,8 +467,8 @@ def _cost_aware_rerank(
             "keeping the first-fit plan"])
     best = feasible[0]
     chosen = ParallelConfig(
-        tp=best["tp"], cp=best["cp"], pp=best["pp"], dp=best["dp"],
-        zero=ZeroStage(best["zero"]))
+        tp=best["tp"], cp=best["cp"], ep=best.get("ep", 1), pp=best["pp"],
+        dp=best["dp"], zero=ZeroStage(best["zero"]))
     best_v = best.get("v") or math.ceil(model.n_layers / chosen.pp)
     best_nmb = max(best["bs"] // job.mbs, 1)
     best_nc = default_nc(chosen.pp, best_nmb)
@@ -430,8 +483,9 @@ def _cost_aware_rerank(
         estimated_rank0_memory_gb=_rank0_memory_gb(
             model, chosen, job, best_v, best_nc, best_nmb),
         rationale=rationale + [
-            f"cost-aware: tp={chosen.tp} pp={chosen.pp} "
-            f"schedule={best['schedule_kind']} wins at "
+            f"cost-aware: tp={chosen.tp} pp={chosen.pp}"
+            + (f" ep={chosen.ep}" if chosen.ep > 1 else "")
+            + f" schedule={best['schedule_kind']} wins at "
             f"{best['tflops_per_gpu']:.0f} TFLOPs/GPU over "
             f"{len(feasible)} feasible of {len(candidates)} candidates"],
         candidates=candidates,

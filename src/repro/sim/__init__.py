@@ -20,6 +20,7 @@ from repro.sim.collectives import (
     CollectiveCost,
     RetryPolicy,
     all_gather_time,
+    all_to_all_time,
     reduce_scatter_time,
     all_reduce_time,
     broadcast_time,
@@ -37,6 +38,7 @@ __all__ = [
     "RetryPolicy",
     "CollectiveCost",
     "all_gather_time",
+    "all_to_all_time",
     "reduce_scatter_time",
     "all_reduce_time",
     "broadcast_time",

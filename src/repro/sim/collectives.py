@@ -9,6 +9,13 @@ All models are ring-algorithm based, the NCCL default at these group sizes:
 * **all-reduce** is a reduce-scatter followed by an all-gather.
 * **broadcast** uses a binomial tree: ``ceil(log2 n)`` hops of the full
   payload.
+* **all-to-all** (the MoE expert dispatch/combine collective) uses the
+  pairwise-exchange algorithm: each rank trades a distinct ``S / n``-byte
+  shard with each of its ``n - 1`` peers.  Unlike the ring models it is
+  priced *hierarchically*: exchanges with same-node peers ride the
+  intra-node link, cross-node exchanges the inter-node fabric, and the
+  group completes when its worst-placed rank (the one with the most
+  cross-node peers) finishes.
 
 ``bw_eff`` is the message-size-dependent effective bandwidth of the slowest
 link in the group (Section 5.2: a collective runs at the speed of its
@@ -23,7 +30,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.hardware.cluster import ClusterSpec
-from repro.hardware.network import LinkSpec, effective_bandwidth, transfer_time
+from repro.hardware.network import LinkSpec, effective_bandwidth
 
 #: Default collective watchdog timeout, in simulated seconds.  This is the
 #: single constant behind every timeout-shaped behaviour in the repo: a
@@ -192,11 +199,55 @@ def broadcast_time(
         return CollectiveCost(0.0, 0.0, float("inf"))
     link = _group_link(cluster, ranks)
     hops = math.ceil(math.log2(n))
-    bw = effective_bandwidth(link, total_bytes) / congestion
+    # max(..., 1.0) mirrors _ring_steps_time: a zero-byte broadcast is
+    # latency-only (hops * alpha), not a ValueError.
+    bw = effective_bandwidth(link, max(total_bytes, 1.0)) / congestion
     seconds = hops * (link.latency + total_bytes / bw)
     return CollectiveCost(
         seconds=seconds,
         bytes_on_wire=total_bytes,
+        algorithm_bandwidth=total_bytes / seconds,
+    )
+
+
+def all_to_all_time(
+    cluster: ClusterSpec,
+    ranks: Sequence[int],
+    total_bytes: float,
+    congestion: float = 1.0,
+) -> CollectiveCost:
+    """Pairwise-exchange all-to-all over ``total_bytes`` of input per rank
+    (the MoE dispatch/combine collective).
+
+    Each rank holds ``total_bytes`` of routed tokens, sends a distinct
+    ``total_bytes / n`` shard to each of its ``n - 1`` peers, and keeps
+    its own shard.  Exchanges are serialised per rank (one NIC), so a
+    rank's time is the sum over its peers of per-exchange transfer
+    times — same-node peers at the intra-node link, cross-node peers at
+    the inter-node fabric.  The collective completes when the
+    worst-placed rank (most cross-node peers) finishes.
+    """
+    _validate(ranks, total_bytes, congestion)
+    n = len(ranks)
+    if n == 1:
+        return CollectiveCost(0.0, 0.0, float("inf"))
+    shard = total_bytes / n
+    node_counts: dict = {}
+    for r in ranks:
+        node = cluster.node_of(r)
+        node_counts[node] = node_counts.get(node, 0) + 1
+    # A rank on the group's most-populated node has the fewest cross-node
+    # peers; the slowest rank sits on the least-populated node.
+    max_inter = n - min(node_counts.values())
+    seconds = (
+        _ring_steps_time(cluster.intra_node_link, shard,
+                         (n - 1) - max_inter, congestion)
+        + _ring_steps_time(cluster.inter_node_link, shard,
+                           max_inter, congestion)
+    )
+    return CollectiveCost(
+        seconds=seconds,
+        bytes_on_wire=shard * (n - 1),
         algorithm_bandwidth=total_bytes / seconds,
     )
 
@@ -208,15 +259,20 @@ def p2p_time(
     message_bytes: float,
     congestion: float = 1.0,
 ) -> float:
-    """Seconds for one point-to-point send (PP stage boundary traffic)."""
+    """Seconds for one point-to-point send (PP stage boundary traffic).
+
+    Each branch computes only what it returns — this sits on the
+    engine's hottest per-op path, so no speculative ``transfer_time``
+    call that the non-empty case would throw away.
+    """
     if congestion < 1.0:
         raise ValueError("congestion factor must be >= 1.0")
+    if message_bytes < 0:
+        raise ValueError("message_bytes must be non-negative")
     link = cluster.link_between(src, dst)
-    base = transfer_time(link, message_bytes)
-    if message_bytes <= 0:
-        return base
-    serialisation = message_bytes / (link.bandwidth / congestion)
-    return link.latency + serialisation
+    if message_bytes == 0:
+        return link.latency
+    return link.latency + message_bytes / (link.bandwidth / congestion)
 
 
 def achieved_all_gather_bandwidth(

@@ -1,10 +1,14 @@
-"""Per-operation cost model for one GPU rank under 4D parallelism.
+"""Per-operation cost model for one GPU rank under 5D parallelism.
 
 Times one pipeline-stage forward/backward for one micro-batch, composing:
 
 * TP-sharded GEMMs (QKV/out projections, SwiGLU FFN) via the roofline GEMM
   model — column-parallel layers shard the output dim, row-parallel layers
   the inner dim, as in Megatron-LM;
+* for MoE models, the per-expert FFN GEMMs of this rank's
+  ``n_experts / ep`` experts (each sized by the capacity-clipped balanced
+  token load) plus the router projection, and the dispatch/combine
+  all-to-all over the EP group — exposed, like the TP collectives;
 * the flash-attention kernel (heads sharded by TP, sequence sharded by CP,
   full key range after the CP all-gather);
 * TP collectives — with sequence parallelism, an all-gather and a
@@ -32,22 +36,31 @@ from repro.parallel.config import JobConfig, ParallelConfig
 from repro.pp.layout import StageAssignment
 from repro.sim.collectives import (
     all_gather_time,
+    all_to_all_time,
     p2p_time,
     reduce_scatter_time,
 )
+from repro.train.moe import dispatch_bytes_per_rank
 
 
 @dataclass(frozen=True)
 class StageCost:
-    """Timing of one stage's work for one micro-batch."""
+    """Timing of one stage's work for one micro-batch.
+
+    ``ep_comm_seconds`` (the MoE dispatch + combine all-to-all) defaults
+    to 0.0 so dense call sites — including positional constructions —
+    are untouched.
+    """
 
     compute_seconds: float
     tp_comm_seconds: float
     cp_comm_seconds: float
+    ep_comm_seconds: float = 0.0
 
     @property
     def total_seconds(self) -> float:
-        return self.compute_seconds + self.tp_comm_seconds + self.cp_comm_seconds
+        return (self.compute_seconds + self.tp_comm_seconds
+                + self.cp_comm_seconds + self.ep_comm_seconds)
 
 
 def split_backward_cost(backward: StageCost) -> "tuple[StageCost, StageCost]":
@@ -57,14 +70,15 @@ def split_backward_cost(backward: StageCost) -> "tuple[StageCost, StageCost]":
     wgrad (BW) into bubbles.  The split is exact by construction: the
     wgrad half takes ``compute / 2`` and the dgrad half the remainder
     (``c - c/2 == c/2`` bitwise in binary floating point, so
-    BI + BW == B to the last ulp), and all TP/CP communication rides on
-    the dgrad half, whose output feeds the upstream P2P send.
+    BI + BW == B to the last ulp), and all TP/CP/EP communication rides
+    on the dgrad half, whose output feeds the upstream P2P send.
     """
     wgrad_compute = backward.compute_seconds / 2.0
     bi = StageCost(
         compute_seconds=backward.compute_seconds - wgrad_compute,
         tp_comm_seconds=backward.tp_comm_seconds,
         cp_comm_seconds=backward.cp_comm_seconds,
+        ep_comm_seconds=backward.ep_comm_seconds,
     )
     bw = StageCost(
         compute_seconds=wgrad_compute,
@@ -92,6 +106,11 @@ class CostModel:
             raise ValueError("tp beyond the node size puts TP on the slow fabric")
         if attention_straggler < 1.0:
             raise ValueError("attention_straggler must be >= 1.0")
+        if parallel.ep > 1 and not model.is_moe:
+            raise ValueError("ep > 1 needs an MoE model (n_experts > 0)")
+        if model.is_moe and model.n_experts % parallel.ep != 0:
+            raise ValueError(
+                f"ep={parallel.ep} must divide n_experts={model.n_experts}")
         self.model = model
         self.parallel = parallel
         self.job = job
@@ -111,6 +130,11 @@ class CostModel:
         self._tp_group = list(range(parallel.tp))
         # A representative CP group: ranks at stride tp.
         self._cp_group = [i * parallel.tp for i in range(parallel.cp)]
+        # A representative EP group: ranks at stride tp * cp (the EP axis
+        # sits between CP and PP in the [TP, CP, EP, PP, DP] order).
+        self._ep_group = [
+            i * parallel.tp * parallel.cp for i in range(parallel.ep)
+        ]
         # Memo table for the per-(op, mesh) kernels below.  Every public
         # cost method is a pure function of the constructor arguments, and
         # the step-graph lowering calls the layer/stage kernels once per
@@ -140,9 +164,45 @@ class CostModel:
         gpu = self.cluster.gpu
         qkv = gemm_time(gpu, m, (d + 2 * self.model.kv_dim) // tp, d)
         out = gemm_time(gpu, m, d, d // tp)
-        gate_up = 2 * gemm_time(gpu, m, f // tp, d)
-        down = gemm_time(gpu, m, d, f // tp)
-        return qkv + out + gate_up + down
+        if self.model.is_moe:
+            ffn = self._moe_expert_ffn_seconds()
+        else:
+            ffn = 2 * gemm_time(gpu, m, f // tp, d) \
+                + gemm_time(gpu, m, d, f // tp)
+        return qkv + out + ffn
+
+    def _moe_expert_ffn_seconds(self) -> float:
+        """Expert-FFN time for this rank's ``n_experts / ep`` experts.
+
+        Each expert runs the same three TP-sharded SwiGLU GEMMs as a
+        dense FFN, but over its own token buffer: after the dispatch
+        all-to-all, a local expert holds the capacity-clipped balanced
+        share of tokens from *every* EP peer —
+        ``tokens * ep * top_k * capacity_factor / n_experts``.  Per-rank
+        expert FLOPs are thus EP-invariant (``experts_per_rank`` shrinks
+        as ``m_expert`` grows), but the GEMM *shape* is not: low EP means
+        many small GEMMs paying the launch overhead and the low-``m``
+        efficiency falloff repeatedly, high EP means few fat ones — the
+        reason spreading experts across EP ranks beats slicing them
+        thinner with TP once the expert count grows (the EP-vs-TP flip
+        the planner sweep pins).  The router is one dense
+        ``tokens x n_experts`` GEMM on the rank's own tokens.
+        """
+        model, p = self.model, self.parallel
+        d, f = model.dim, model.ffn_hidden
+        gpu = self.cluster.gpu
+        experts_per_rank = model.n_experts // p.ep
+        m_expert = max(
+            int(self.tokens * p.ep * model.top_k * model.capacity_factor
+                / model.n_experts),
+            1,
+        )
+        per_expert = (
+            2 * gemm_time(gpu, m_expert, f // p.tp, d)
+            + gemm_time(gpu, m_expert, d, f // p.tp)
+        )
+        router = gemm_time(gpu, self.tokens, model.n_experts, d)
+        return experts_per_rank * per_expert + router
 
     def layer_elementwise_seconds(self) -> float:
         """Memory-bound elementwise work per layer: RMSNorms, RoPE,
@@ -209,6 +269,24 @@ class CostModel:
                                  self.congestion)
         return 2 * (ag.seconds + rs.seconds)
 
+    def layer_ep_comm_seconds(self) -> float:
+        """Per-layer exposed EP communication: the token dispatch
+        all-to-all before the expert FFNs plus the combine all-to-all
+        after them — zero for dense models or ``ep == 1`` (experts
+        rank-local, no token exchange)."""
+        return self._memoized("layer_ep_comm", self._layer_ep_comm_seconds)
+
+    def _layer_ep_comm_seconds(self) -> float:
+        if not self.model.is_moe or self.parallel.ep == 1:
+            return 0.0
+        payload = dispatch_bytes_per_rank(
+            self.model, self.tokens, self.parallel.tp
+        )
+        cost = all_to_all_time(
+            self.cluster, self._ep_group, payload, self.congestion
+        )
+        return 2 * cost.seconds  # dispatch + combine
+
     def layer_cp_comm_seconds(self) -> float:
         """Per-layer exposed CP communication: the KV all-gather (forward)
         or KV-grad reduce-scatter (backward) — same ring cost."""
@@ -262,6 +340,7 @@ class CostModel:
             tp_comm_seconds=n * self.layer_tp_comm_seconds()
             + (self.layer_tp_comm_seconds() / 2 if stage.has_output_head else 0.0),
             cp_comm_seconds=n * self.layer_cp_comm_seconds(),
+            ep_comm_seconds=n * self.layer_ep_comm_seconds(),
         )
 
     def backward_seconds(self, stage: StageAssignment) -> StageCost:
@@ -287,12 +366,14 @@ class CostModel:
                 compute_seconds=2.0 * fwd.compute_seconds + extra,
                 tp_comm_seconds=fwd.tp_comm_seconds,
                 cp_comm_seconds=fwd.cp_comm_seconds,
+                ep_comm_seconds=fwd.ep_comm_seconds,
             )
         factor = 3.0 if self.recompute else 2.0
         return StageCost(
             compute_seconds=factor * fwd.compute_seconds,
             tp_comm_seconds=(factor - 1.0) * fwd.tp_comm_seconds,
             cp_comm_seconds=fwd.cp_comm_seconds,
+            ep_comm_seconds=(factor - 1.0) * fwd.ep_comm_seconds,
         )
 
     def backward_input_seconds(self, stage: StageAssignment) -> StageCost:
@@ -323,15 +404,15 @@ class CostModel:
 
         With sequence parallelism the activation is sequence-sharded
         across TP ranks, so each rank sends only its ``1 / tp`` slice.
-        PP ranks sit at stride ``tp * cp`` in the rank order, so
+        PP ranks sit at stride ``tp * cp * ep`` in the rank order, so
         consecutive stages are on different nodes whenever
-        ``tp * cp >= gpus_per_node`` — the common case, making PP traffic
-        inter-node (RoCE).
+        ``tp * cp * ep >= gpus_per_node`` — the common case, making PP
+        traffic inter-node (RoCE).
         """
         return self._memoized("p2p", self._p2p_seconds)
 
     def _p2p_seconds(self) -> float:
-        stride = self.parallel.tp * self.parallel.cp
+        stride = self.parallel.tp * self.parallel.cp * self.parallel.ep
         dst = min(stride, self.cluster.num_gpus - 1)
         act_bytes = 2.0 * self.tokens * self.model.dim / self.parallel.tp
         return p2p_time(self.cluster, 0, dst, act_bytes, self.congestion)
@@ -367,11 +448,13 @@ class CostModel:
 
     def _dp_cp_group(self) -> list:
         """The DP x CP process group of global rank 0 under the
-        [TP, CP, PP, DP] mesh ordering — the group FSDP parameter/gradient
-        collectives run over (Section 4, Integration)."""
-        tp, cp, pp, dp = (self.parallel.tp, self.parallel.cp,
-                          self.parallel.pp, self.parallel.dp)
-        dp_stride = tp * cp * pp
+        [TP, CP, EP, PP, DP] mesh ordering — the group FSDP
+        parameter/gradient collectives run over (Section 4, Integration).
+        EP ranks hold disjoint experts, so EP does not widen this group."""
+        tp, cp, ep, pp, dp = (self.parallel.tp, self.parallel.cp,
+                              self.parallel.ep, self.parallel.pp,
+                              self.parallel.dp)
+        dp_stride = tp * cp * ep * pp
         ranks = sorted(
             d * dp_stride + c * tp for d in range(dp) for c in range(cp)
         )

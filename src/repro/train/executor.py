@@ -3,8 +3,8 @@
 :func:`execute_graph` walks every rank's program of typed
 :class:`~repro.train.lowering.StepOp`s with a ready-list, releasing each
 op when all of its dependency uids have executed, and runs it on its
-dedicated (rank, stream) pair — ``compute``, ``tp``, ``cp``, ``p2p``,
-``fsdp``, ``opt``.  Cross-rank P2P sends are asynchronous: they occupy
+dedicated (rank, stream) pair — ``compute``, ``tp``, ``cp``, ``ep``,
+``p2p``, ``fsdp``, ``opt``.  Cross-rank P2P sends are asynchronous: they occupy
 only the producer's ``p2p`` stream, and whenever a consumer's input
 arrives *after* the consumer could have started, the gap is recorded as
 an ``exposed_comm`` wait event — exactly the Figure 3 bubbles, surfaced
@@ -55,6 +55,8 @@ _COMM_KEY = {
     StepOpKind.TP_ALLGATHER: "tp",
     StepOpKind.TP_REDUCESCATTER: "tp",
     StepOpKind.CP_COMM: "cp",
+    StepOpKind.MOE_DISPATCH: "ep",
+    StepOpKind.MOE_COMBINE: "ep",
     StepOpKind.P2P_SEND: "p2p",
     StepOpKind.FSDP_ALLGATHER: "fsdp",
     StepOpKind.FSDP_REDUCESCATTER: "fsdp",
@@ -249,7 +251,7 @@ class PipelineRun:
     #: first FSDP all-gather) delays the whole pipeline; bubble ratios
     #: measure idleness from here, not from t=0.
     start_time: float = 0.0
-    #: Per-rank communication seconds by kind ("tp", "cp", "p2p",
+    #: Per-rank communication seconds by kind ("tp", "cp", "ep", "p2p",
     #: "exposed_p2p", and "fsdp" for step timelines).
     per_rank_comm: Optional[Tuple[Dict[str, float], ...]] = None
 
@@ -259,12 +261,14 @@ class PipelineRun:
 
     @property
     def per_rank_occupied(self) -> Tuple[float, ...]:
-        """Compute plus exposed TP/CP communication per rank — the time a
-        rank is *doing* pipeline work (the pre-graph notion of busy)."""
+        """Compute plus exposed TP/CP/EP communication per rank — the
+        time a rank is *doing* pipeline work (the pre-graph notion of
+        busy)."""
         if self.per_rank_comm is None:
             return self.per_rank_busy
         return tuple(
             busy + comm.get("tp", 0.0) + comm.get("cp", 0.0)
+            + comm.get("ep", 0.0)
             for busy, comm in zip(self.per_rank_busy, self.per_rank_comm)
         )
 

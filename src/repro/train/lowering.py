@@ -3,15 +3,16 @@
 The step graph is the IR between schedule *structure* and timeline
 *execution* (see ``docs/step_graph.md``).  Lowering turns every pipeline
 op into a small chain of typed :class:`StepOp`s — TP all-gather, CP KV
-all-gather, the compute kernel, TP reduce-scatter, and an asynchronous
-P2P send toward the consuming stage — each individually priced, plus (for
-a full step) FSDP parameter all-gathers, gradient reduce-scatters, and
-the optimizer.  Ops carry explicit dependency edges by uid; the
-interpreter in :mod:`repro.train.executor` replays them onto dedicated
-simulator streams (``compute``, ``tp``, ``cp``, ``p2p``, ``fsdp``,
-``opt``), so communication/computation overlap — or its failure — is an
-*outcome* of the timeline rather than an assumption baked into scalar
-arithmetic.
+all-gather, the MoE token-dispatch all-to-all (EP ranks only), the
+compute kernel, the combine all-to-all, TP reduce-scatter, and an
+asynchronous P2P send toward the consuming stage — each individually
+priced, plus (for a full step) FSDP parameter all-gathers, gradient
+reduce-scatters, and the optimizer.  Ops carry explicit dependency edges
+by uid; the interpreter in :mod:`repro.train.executor` replays them onto
+dedicated simulator streams (``compute``, ``tp``, ``cp``, ``ep``,
+``p2p``, ``fsdp``, ``opt``), so communication/computation overlap — or
+its failure — is an *outcome* of the timeline rather than an assumption
+baked into scalar arithmetic.
 
 Two lowerings are provided:
 
@@ -58,6 +59,8 @@ class StepOpKind(Enum):
     TP_ALLGATHER = "tp_allgather"
     TP_REDUCESCATTER = "tp_reducescatter"
     CP_COMM = "cp_comm"
+    MOE_DISPATCH = "moe_dispatch"
+    MOE_COMBINE = "moe_combine"
     P2P_SEND = "p2p_send"
     FSDP_ALLGATHER = "fsdp_allgather"
     FSDP_REDUCESCATTER = "fsdp_reducescatter"
@@ -70,6 +73,8 @@ STREAM_OF_KIND: Dict[StepOpKind, str] = {
     StepOpKind.TP_ALLGATHER: "tp",
     StepOpKind.TP_REDUCESCATTER: "tp",
     StepOpKind.CP_COMM: "cp",
+    StepOpKind.MOE_DISPATCH: "ep",
+    StepOpKind.MOE_COMBINE: "ep",
     StepOpKind.P2P_SEND: "p2p",
     StepOpKind.FSDP_ALLGATHER: "fsdp",
     StepOpKind.FSDP_REDUCESCATTER: "fsdp",
@@ -82,6 +87,8 @@ PIPELINE_KINDS = frozenset({
     StepOpKind.TP_ALLGATHER,
     StepOpKind.TP_REDUCESCATTER,
     StepOpKind.CP_COMM,
+    StepOpKind.MOE_DISPATCH,
+    StepOpKind.MOE_COMBINE,
     StepOpKind.P2P_SEND,
 })
 
@@ -212,13 +219,14 @@ def _lower_chains(
 ) -> _Chains:
     """Lower every pipeline op into its per-stream chain plus P2P sends.
 
-    The chain ``tp:ag -> cp:kv -> compute -> tp:rs`` serializes through
-    dependency edges, so its end-to-end span equals the sum of its piece
-    durations — the same total the pre-graph executor folded into one
-    event — while each piece occupies its own stream.  The send depends
-    on the chain tail (the sequence-parallel reduce-scatter completes the
-    activation before it can ship) and never blocks the producer's next
-    op.
+    The chain ``tp:ag -> cp:kv -> ep:dispatch -> compute -> ep:combine
+    -> tp:rs`` serializes through dependency edges (the EP links appear
+    only for MoE stage costs), so its end-to-end span equals the sum of
+    its piece durations — the same total the pre-graph executor folded
+    into one event — while each piece occupies its own stream.  The send
+    depends on the chain tail (the sequence-parallel reduce-scatter
+    completes the activation before it can ship) and never blocks the
+    producer's next op.
     """
     if layout.pp != schedule.pp or layout.v != schedule.shape.v:
         raise ValueError("layout and schedule disagree on pp or v")
@@ -279,9 +287,17 @@ def _lower_chains(
                 chain.append(_OpRec(
                     StepOpKind.CP_COMM, ppr,
                     cost.cp_comm_seconds, f"cp:kv:{label}"))
+            if cost.ep_comm_seconds > 0:
+                chain.append(_OpRec(
+                    StepOpKind.MOE_DISPATCH, ppr,
+                    cost.ep_comm_seconds / 2, f"ep:dispatch:{label}"))
             comp = _OpRec(StepOpKind.COMPUTE, ppr, compute_seconds,
                           label, pipeline_op=op)
             chain.append(comp)
+            if cost.ep_comm_seconds > 0:
+                chain.append(_OpRec(
+                    StepOpKind.MOE_COMBINE, ppr,
+                    cost.ep_comm_seconds / 2, f"ep:combine:{label}"))
             if cost.tp_comm_seconds > 0:
                 chain.append(_OpRec(
                     StepOpKind.TP_REDUCESCATTER, ppr,

@@ -25,7 +25,7 @@ if TYPE_CHECKING:  # pragma: no cover - type-only import (avoids a cycle)
 
 from repro.hardware.cluster import ClusterSpec
 from repro.model.config import TextModelConfig
-from repro.model.flops import layer_params, model_step_flops
+from repro.model.flops import expert_params, layer_params, model_step_flops
 from repro.model.memory import (
     BF16_BYTES,
     FP32_BYTES,
@@ -84,6 +84,14 @@ class StepReport:
     #: :attr:`~repro.pp.schedule.PipelineSchedule.name`, which may differ
     #: from the requested kind when a 1F1B-family schedule degenerates).
     schedule: str = ""
+    #: Hot-expert routing imbalance the step ran under: 1.0 for a
+    #: balanced router (and always for dense models); the injected
+    #: :class:`repro.faults.HotExpert` imbalance otherwise.
+    expert_imbalance: float = 1.0
+    #: Fraction of routed token slots dropped at that imbalance under
+    #: the model's ``capacity_factor`` (0.0 for dense models) — the MoE
+    #: training-quality signal next to the throughput numbers.
+    dropped_token_fraction: float = 0.0
 
     @property
     def tflops_per_gpu(self) -> float:
@@ -111,6 +119,16 @@ class StepReport:
         return max(self.per_rank_peak_memory_gb)
 
 
+def _layer_params_on_rank(
+    model: TextModelConfig, parallel: ParallelConfig
+) -> float:
+    """Per-layer parameters one rank stores: the dense slice over TP plus
+    this rank's ``n_experts / ep`` experts (each also TP-sharded) — the
+    slice :func:`repro.model.flops.expert_params` defines."""
+    dense = layer_params(model) - expert_params(model)
+    return (dense + expert_params(model) / parallel.ep) / parallel.tp
+
+
 def _rank_base_memory(
     model: TextModelConfig,
     parallel: ParallelConfig,
@@ -122,7 +140,7 @@ def _rank_base_memory(
     tracked dynamically by the schedule walker."""
     tp = parallel.tp
     layers = layout.layers_on_rank(ppr)
-    params = layers * layer_params(model) / tp
+    params = layers * _layer_params_on_rank(model, parallel)
     base = BF16_BYTES * params
     base += optimizer_state_bytes_per_param() * params / parallel.grad_shard_degree
     stages = layout.stages_of_rank(ppr)
@@ -157,7 +175,7 @@ def simulate_step(
 
     Args:
         model: Architecture (its layer count determines the layout).
-        parallel: 4D sizes and ZeRO mode.
+        parallel: 5D sizes and ZeRO mode.
         job: Phase hyperparameters.
         cluster: Hardware.
         schedule_kind: Any registered schedule kind
@@ -236,7 +254,7 @@ def simulate_step(
                      mask_fraction=mask_fraction)
 
     def stage_params(stage) -> float:
-        return stage.n_layers * layer_params(model) / parallel.tp
+        return stage.n_layers * _layer_params_on_rank(model, parallel)
 
     graph = lower_step(
         schedule, layout,
@@ -250,7 +268,8 @@ def simulate_step(
         fsdp_reduce_scatter_cost=lambda s: cost.fsdp_reduce_scatter_seconds(
             stage_params(s)),
         optimizer_cost=lambda ppr: cost.optimizer_seconds(
-            layout.layers_on_rank(ppr) * layer_params(model) / parallel.tp),
+            layout.layers_on_rank(ppr)
+            * _layer_params_on_rank(model, parallel)),
     )
     injection: Optional["InjectionReport"] = None
     op_tags = None
@@ -294,7 +313,7 @@ def simulate_step(
                                       / parallel.tp) * model.dim
     else:
         act_per_layer = act.total
-    grad_per_layer = FP32_BYTES * layer_params(model) / parallel.tp
+    grad_per_layer = FP32_BYTES * _layer_params_on_rank(model, parallel)
     peaks: List[float] = []
     for ppr in range(pp):
         weights = {
@@ -323,6 +342,21 @@ def simulate_step(
         mask_fraction=mask_fraction,
         recompute=False,
     )
+
+    # MoE routing accounting: the worst injected HotExpert imbalance
+    # (1.0 when the router is healthy) sets the dropped-token fraction
+    # under the model's capacity factor.
+    expert_imbalance = 1.0
+    dropped = 0.0
+    if model.is_moe:
+        if fault_plan is not None:
+            expert_imbalance = max(
+                [expert_imbalance]
+                + [f.imbalance for f in fault_plan
+                   if getattr(f, "kind_label", "") == "hot_expert"])
+        from repro.train.moe import dropped_token_fraction
+        dropped = dropped_token_fraction(
+            model.n_experts, model.capacity_factor, expert_imbalance)
 
     if metrics is not None:
         rank_map = pp_rank_map(parallel)
@@ -354,4 +388,6 @@ def simulate_step(
         execution=execution,
         fault_injection=injection,
         schedule=schedule.name,
+        expert_imbalance=expert_imbalance,
+        dropped_token_fraction=dropped,
     )

@@ -387,17 +387,21 @@ def run_fuzz(
 # Fault-randomizing campaign: fuzz the Section 6.1 localisation loop
 # ----------------------------------------------------------------------
 
-#: Mesh pool for fault fuzzing: (tp, cp, pp, dp) shapes spanning every
-#: dimension pairing the top-down search descends through.
-FAULT_FUZZ_MESHES: Tuple[Tuple[int, int, int, int], ...] = (
-    (4, 2, 1, 1),
-    (2, 2, 2, 1),
-    (2, 1, 2, 2),
-    (2, 2, 2, 2),
-    (1, 2, 2, 2),
-    (4, 1, 2, 1),
-    (2, 2, 1, 2),
-    (1, 4, 2, 1),
+#: Mesh pool for fault fuzzing: (tp, cp, ep, pp, dp) shapes spanning
+#: every dimension pairing the top-down search descends through —
+#: including EP meshes, so the token all-to-all level is fuzzed too.
+FAULT_FUZZ_MESHES: Tuple[Tuple[int, int, int, int, int], ...] = (
+    (4, 2, 1, 1, 1),
+    (2, 2, 1, 2, 1),
+    (2, 1, 1, 2, 2),
+    (2, 2, 1, 2, 2),
+    (1, 2, 1, 2, 2),
+    (4, 1, 1, 2, 1),
+    (2, 2, 1, 1, 2),
+    (1, 4, 1, 2, 1),
+    (2, 1, 2, 2, 1),
+    (1, 2, 2, 1, 2),
+    (2, 1, 4, 1, 1),
 )
 
 #: Small workload, but with enough compute ops that a straggler's excess
@@ -423,11 +427,13 @@ class FaultScenario:
     dp: int
     victim: int
     extra_seconds: float
+    ep: int = 1
     noise: Tuple[object, ...] = ()
 
     @property
     def parallel(self) -> ParallelConfig:
-        return ParallelConfig(tp=self.tp, cp=self.cp, pp=self.pp, dp=self.dp)
+        return ParallelConfig(tp=self.tp, cp=self.cp, ep=self.ep,
+                              pp=self.pp, dp=self.dp)
 
     @property
     def plan(self) -> FaultPlan:
@@ -443,14 +449,16 @@ class FaultScenario:
 
     def describe(self) -> str:
         mesh = f"tp={self.tp} cp={self.cp} pp={self.pp} dp={self.dp}"
+        if self.ep > 1:
+            mesh += f" ep={self.ep}"
         noise = "; ".join(f.describe() for f in self.noise)
         return (f"{mesh} victim={self.victim} "
                 f"extra={self.extra_seconds:g}s noise=[{noise}]")
 
     def to_dict(self) -> dict:
         return {
-            "mesh": {"tp": self.tp, "cp": self.cp, "pp": self.pp,
-                     "dp": self.dp},
+            "mesh": {"tp": self.tp, "cp": self.cp, "ep": self.ep,
+                     "pp": self.pp, "dp": self.dp},
             "victim": self.victim,
             "extra_seconds": self.extra_seconds,
             "noise": [f.to_dict() for f in self.noise],
@@ -462,13 +470,14 @@ def sample_fault_scenario(rng: np.random.Generator) -> FaultScenario:
     strength in [0.4, 0.8) s/op, and 0-2 benign noise faults (total
     lateness bounded around 0.2 s — an order of magnitude under the
     victim's first-op excess)."""
-    tp, cp, pp, dp = FAULT_FUZZ_MESHES[
+    tp, cp, ep, pp, dp = FAULT_FUZZ_MESHES[
         int(rng.integers(len(FAULT_FUZZ_MESHES)))]
-    world = tp * cp * pp * dp
+    world = tp * cp * ep * pp * dp
     victim = int(rng.integers(world))
     extra = 0.4 + 0.4 * float(rng.random())
     multi_dims = [d for d, size in
-                  (("tp", tp), ("cp", cp), ("pp", pp), ("dp", dp))
+                  (("tp", tp), ("cp", cp), ("ep", ep), ("pp", pp),
+                   ("dp", dp))
                   if size > 1]
     noise: List[object] = []
     for _ in range(int(rng.integers(0, 3))):
@@ -488,7 +497,7 @@ def sample_fault_scenario(rng: np.random.Generator) -> FaultScenario:
             noise.append(CollectiveRetry(
                 dim=dim, retries=int(rng.integers(1, 3)),
                 extra_seconds=0.02 + 0.03 * float(rng.random())))
-    return FaultScenario(tp=tp, cp=cp, pp=pp, dp=dp, victim=victim,
+    return FaultScenario(tp=tp, cp=cp, ep=ep, pp=pp, dp=dp, victim=victim,
                          extra_seconds=extra, noise=tuple(noise))
 
 

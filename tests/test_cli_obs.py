@@ -35,7 +35,8 @@ class TestJsonFlags:
         rep = _json_out(capsys)
         assert rep["schema"] == "repro.step/v2"
         assert rep["step_seconds"] > 0
-        assert set(rep["groups"]["busy_seconds"]) == {"tp", "cp", "pp", "dp"}
+        assert set(rep["groups"]["busy_seconds"]) == {"tp", "cp", "ep", "pp",
+                                                      "dp"}
 
     def test_phases_json_with_phase_filter(self, capsys):
         assert main(["phases", "--phase", "long-context", "--json"]) == 0

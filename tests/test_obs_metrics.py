@@ -99,7 +99,7 @@ class TestMeshAggregation:
     def test_all_dims(self):
         reg, mesh = self._registry()
         out = reg.mesh_aggregates("busy", mesh)
-        assert set(out) == {"tp", "cp", "pp", "dp"}
+        assert set(out) == {"tp", "cp", "ep", "pp", "dp"}
         assert out["dp"] == {0: sum(range(8))}
 
     def test_unknown_dim_and_reduce_rejected(self):

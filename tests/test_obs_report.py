@@ -67,7 +67,7 @@ class TestStepReport:
         assert set(groups) == {"busy_seconds", "idle_seconds",
                                "exposed_comm_seconds", "bubble_ratio"}
         for table in groups.values():
-            assert set(table) == {"tp", "cp", "pp", "dp"}
+            assert set(table) == {"tp", "cp", "ep", "pp", "dp"}
         # The pp axis resolves per-stage; other axes collapse to index 0.
         assert set(groups["busy_seconds"]["pp"]) == {str(i)
                                                      for i in range(PAR.pp)}

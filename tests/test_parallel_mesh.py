@@ -102,3 +102,86 @@ class TestDeviceMesh:
     def test_group_membership_reflexive(self, rank):
         for dim in ("tp", "cp", "pp", "dp"):
             assert rank in self.MESH.group_of(rank, dim)
+
+
+class TestExpertParallelMesh:
+    """The 5th mesh dimension: [TP, CP, EP, PP, DP], EP between CP and
+    PP so the MoE all-to-all rides the fastest links the mesh allows."""
+
+    MESH = DeviceMesh(ParallelConfig(tp=2, cp=2, ep=2, pp=2, dp=2))
+
+    def test_world_size_includes_ep(self):
+        assert self.MESH.world_size == 32
+        assert ParallelConfig(tp=2, ep=4).world_size == 8
+
+    def test_ep_group_stride_tp_cp(self):
+        # EP neighbours differ by the tp * cp inner-block size.
+        assert self.MESH.group_of(0, "ep") == [0, 4]
+        assert self.MESH.group_of(3, "ep") == [3, 7]
+
+    def test_ep_round_trip(self):
+        for rank in range(self.MESH.world_size):
+            assert self.MESH.rank_of(self.MESH.coord_of(rank)) == rank
+
+    def test_ep_groups_partition_world(self):
+        groups = self.MESH.all_groups("ep")
+        flat = [r for g in groups for r in g]
+        assert sorted(flat) == list(range(self.MESH.world_size))
+
+    def test_ep1_bitwise_matches_4d_decomposition(self):
+        """With ep=1 the 5D formula collapses to the paper's 4D one."""
+        mesh = DeviceMesh(ParallelConfig(tp=4, cp=2, pp=2, dp=2))
+        p = mesh.parallel
+        for rank in range(mesh.world_size):
+            c = mesh.coord_of(rank)
+            assert c.ep == 0
+            assert rank == ((c.dp * p.pp + c.pp) * p.cp + c.cp) * p.tp + c.tp
+
+    def test_dp_cp_group_fixes_ep(self):
+        # Each EP rank owns disjoint experts: its gradient group spans
+        # only the DP x CP replicas of the same expert shard.
+        group = self.MESH.dp_cp_group_of(4)
+        assert len(group) == 4  # dp * cp
+        coords = [self.MESH.coord_of(r) for r in group]
+        assert all((c.tp, c.ep, c.pp) == (0, 1, 0) for c in coords)
+
+    def test_pp_neighbor_keeps_ep(self):
+        nxt = self.MESH.pp_neighbor(4, +1)
+        c0, c1 = self.MESH.coord_of(4), self.MESH.coord_of(nxt)
+        assert c1.pp == c0.pp + 1
+        assert (c1.tp, c1.cp, c1.ep, c1.dp) == (c0.tp, c0.cp, c0.ep, c0.dp)
+
+    def test_batch_per_dp_group_divides_by_ep(self):
+        job = JobConfig(seq=128, gbs=16, ngpu=32)
+        p = ParallelConfig(tp=2, cp=2, ep=2, pp=2, dp=2)
+        assert job.batch_per_dp_group(p) == 4  # gbs / (dp * ep)
+
+    def test_ep_describe(self):
+        assert "ep=2" in ParallelConfig(tp=2, ep=2, dp=2).describe()
+        assert "ep=" not in ParallelConfig(tp=2, dp=2).describe()
+
+
+class TestPPStageRanks:
+    """Satellite: ``pp_stage_ranks`` is now built arithmetically from the
+    decomposition formula; pin equality with the old O(world) scan on
+    three standard meshes."""
+
+    MESHES = (
+        DeviceMesh(ParallelConfig(tp=8, cp=1, pp=16, dp=128)),   # Table 2 r1
+        DeviceMesh(ParallelConfig(tp=8, cp=16, pp=16, dp=8)),    # Table 2 r2
+        DeviceMesh(ParallelConfig(tp=2, cp=2, ep=2, pp=2, dp=2)),  # 5D
+    )
+
+    @staticmethod
+    def _scan(mesh, pp_idx):
+        return [r for r in range(mesh.world_size)
+                if mesh.coord_of(r).pp == pp_idx]
+
+    @pytest.mark.parametrize("mesh", MESHES, ids=("r1", "r2", "5d"))
+    def test_matches_coord_scan(self, mesh):
+        for pp_idx in range(mesh.parallel.pp):
+            assert mesh.pp_stage_ranks(pp_idx) == self._scan(mesh, pp_idx)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            self.MESHES[2].pp_stage_ranks(2)
