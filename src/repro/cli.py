@@ -577,16 +577,65 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_topology(spec: str) -> tuple:
+    """Parse ``--topology``: ``NxM`` or ``nodes-per-rack=N,racks-per-pod=M``
+    into ``(nodes_per_rack, racks_per_pod)``."""
+    spec = spec.strip()
+    if "=" not in spec:
+        left, sep, right = spec.partition("x")
+        try:
+            if not sep:
+                raise ValueError(spec)
+            return int(left.strip()), int(right.strip())
+        except ValueError:
+            raise ValueError(
+                f"bad topology {spec!r}; expected "
+                "<nodes-per-rack>x<racks-per-pod> (e.g. 8x32)") from None
+    fields = {"nodes-per-rack": None, "racks-per-pod": None}
+    for part in filter(None, (p.strip() for p in spec.split(","))):
+        key, eq, value = part.partition("=")
+        key = key.strip()
+        if not eq or key not in fields:
+            raise ValueError(
+                f"bad topology field {part!r}; expected "
+                f"{sorted(fields)} as key=value pairs")
+        try:
+            fields[key] = int(value.strip())
+        except ValueError:
+            raise ValueError(
+                f"cannot parse topology value {part!r} as an integer"
+            ) from None
+    missing = [k for k, v in fields.items() if v is None]
+    if missing:
+        raise ValueError(f"topology {spec!r} is missing {missing}")
+    return fields["nodes-per-rack"], fields["racks-per-pod"]
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     """Simulate a multi-step run under failures and report goodput."""
+    from dataclasses import replace as dc_replace
+
     from repro.obs.metrics import MetricsRegistry
-    from repro.resilience import RunConfig, parse_policy, simulate_run
+    from repro.resilience import (
+        DetectorModel,
+        RunConfig,
+        parse_detector,
+        parse_policy,
+        parse_taxonomy,
+        simulate_run,
+    )
 
     cluster = grand_teton(args.ngpu)
     job = JobConfig(seq=args.seq, gbs=args.gbs, ngpu=args.ngpu)
     model = _moe_model(args)
     try:
+        if args.topology is not None:
+            nodes_per_rack, racks_per_pod = _parse_topology(args.topology)
+            cluster = dc_replace(cluster, nodes_per_rack=nodes_per_rack,
+                                 racks_per_pod=racks_per_pod)
         policy = parse_policy(args.policy)
+        detector = (parse_detector(args.detector)
+                    if args.detector is not None else DetectorModel())
         config = RunConfig(
             steps=args.steps,
             mtbf_seconds=args.mtbf,
@@ -594,6 +643,9 @@ def cmd_run(args: argparse.Namespace) -> int:
             seed=args.seed,
             elastic=not args.wait_for_replacement,
             replacement_seconds=args.replacement,
+            taxonomy=parse_taxonomy(args.taxonomy),
+            mitigation=args.mitigation,
+            detector=detector,
         )
     except ValueError as err:
         _fail(str(err))
@@ -635,6 +687,25 @@ def cmd_run(args: argparse.Namespace) -> int:
           f"retry ladders {c['retry_ladders']}, "
           f"retry exhaustions {c['retry_exhaustions']}; "
           f"{c['replans']} replans)")
+    correlated = (c["rack_losses"] + c["pod_losses"] + c["gray_failures"]
+                  + c["silent_corruptions"])
+    if correlated:
+        print(f"domains:         rack loss {c['rack_losses']}, "
+              f"pod loss {c['pod_losses']}, gray {c['gray_failures']}, "
+              f"corruption {c['silent_corruptions']} "
+              f"({c['corruption_rollbacks']} rollbacks)")
+    if any(result.tier_writes.values()):
+        writes = ", ".join(f"{tier} {n}" for tier, n
+                           in sorted(result.tier_writes.items()) if n)
+        reads = ", ".join(
+            f"{r['tier']}@step{r['step']}" for r in result.restores)
+        print(f"tiers:           writes {writes}"
+              + (f"; restores {reads}" if reads else ""))
+    if config.mitigation == "detect" and (c["gray_detected"]
+                                          or c["false_positives"]):
+        print(f"mitigation:      {c['gray_detected']} detected -> "
+              f"{c['evictions']} evicted, {c['gray_tolerated']} tolerated "
+              f"({c['false_positives']} false alarms)")
     total = max(result.elapsed_seconds, 1e-12)
     for name, value in result.buckets.items():
         if value > 0:
@@ -654,10 +725,12 @@ def cmd_verify(args: argparse.Namespace) -> int:
 
     if args.fuzz < 1:
         _fail(f"--fuzz must be >= 1 (got {args.fuzz})")
-    if args.faults and args.engine:
-        _fail("--faults and --engine are mutually exclusive")
+    modes = [flag for flag in ("faults", "engine", "resilience")
+             if getattr(args, flag)]
+    if len(modes) > 1:
+        _fail("--faults, --engine, and --resilience are mutually exclusive")
     oracles = [] if args.no_oracles else run_default_oracles(seed=args.seed)
-    fuzz = fault_fuzz = engine_fuzz = None
+    fuzz = fault_fuzz = engine_fuzz = resilience_fuzz = None
     if args.faults:
         from repro.verify.fuzz import run_fault_fuzz
 
@@ -667,22 +740,27 @@ def cmd_verify(args: argparse.Namespace) -> int:
 
         engine_fuzz = run_engine_fuzz(
             EngineFuzzConfig(cases=args.fuzz, seed=args.seed))
+    elif args.resilience:
+        from repro.verify.resilience_fuzz import run_resilience_fuzz
+
+        resilience_fuzz = run_resilience_fuzz(args.fuzz, seed=args.seed)
     else:
         kinds = (args.schedule,) if args.schedule else None
         fuzz = run_fuzz(args.fuzz, seed=args.seed, max_pp=args.max_pp,
                         max_nmb=args.max_nmb, kinds=kinds)
     step_inv = None if args.no_step_invariants else _step_invariants()
     report = verify_report(fuzz, oracles, step_invariants=step_inv,
-                           fault_fuzz=fault_fuzz, engine_fuzz=engine_fuzz)
+                           fault_fuzz=fault_fuzz, engine_fuzz=engine_fuzz,
+                           resilience_fuzz=resilience_fuzz)
     if args.trace:
         if fuzz is not None:
             _export_verify_trace(fuzz, args.trace)
         elif fault_fuzz is not None:
             _export_fault_fuzz_trace(fault_fuzz, args.trace)
         else:
-            print("note: --trace has no effect with --engine (divergences "
-                  "are reported as shrunk submission sequences, not "
-                  "timelines)", file=sys.stderr)
+            print("note: --trace has no effect with --engine or "
+                  "--resilience (divergences are reported as shrunk "
+                  "configurations, not timelines)", file=sys.stderr)
     if args.json:
         _print_json(report)
     else:
@@ -714,6 +792,15 @@ def cmd_verify(args: argparse.Namespace) -> int:
                   f"{engine_fuzz.failed_cases} diverged from reference")
             for f in engine_fuzz.failures:
                 print("  " + f.describe().replace("\n", "\n  "))
+        if resilience_fuzz is not None:
+            print(f"resilience fuzz: {resilience_fuzz.cases} scenarios, "
+                  f"seed {resilience_fuzz.seed}: "
+                  f"{resilience_fuzz.failed_cases} invariant violations")
+            for f in resilience_fuzz.failures:
+                print(f"  {f.scenario.describe()} shrinks to "
+                      f"{f.shrunk.describe()}")
+                for v in f.shrunk_violations:
+                    print(f"    violation [{v['check']}]: {v['message']}")
         if step_inv is not None:
             for mode in step_inv["modes"]:
                 status = "ok" if mode["ok"] else "FAIL"
@@ -1002,7 +1089,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fleet mean time between failures")
     p.add_argument("--policy", default="young-daly",
                    help="checkpoint policy: none | young-daly | "
-                        "fixed:<steps>")
+                        "fixed:<steps> | tiered:auto | "
+                        "tiered:<tier>=<interval>[,...] with tiers "
+                        "peer/local/remote")
+    p.add_argument("--taxonomy", default="iid",
+                   help="failure taxonomy: iid | rack-correlated | "
+                        "gray-heavy | production, or key=value overrides "
+                        "(node/retry/rack/pod/gray/corruption fractions, "
+                        "retry-p, gray-compute, gray-*-scale)")
+    p.add_argument("--topology", default=None, metavar="SPEC",
+                   help="failure topology as nodes-per-rack x racks-per-pod "
+                        "(e.g. 8x32) or nodes-per-rack=N,racks-per-pod=M; "
+                        "default: the cluster's stock topology")
+    p.add_argument("--mitigation", default="tolerate",
+                   choices=("tolerate", "detect"),
+                   help="gray-failure strategy: run degraded forever, or "
+                        "arm the Section 6.1 detect-mitigate loop "
+                        "(evict-and-replan vs tolerate by projected cost)")
+    p.add_argument("--detector", default=None, metavar="SPEC",
+                   help="detector model as latency=<steps>,fn=<rate>,"
+                        "fp=<rate> (default latency=2,fn=0.1,fp=0)")
     p.add_argument("--seed", type=int, default=0,
                    help="failure-process seed; same seed -> identical "
                         "failure sequence across policies")
@@ -1050,6 +1156,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "reference engine instead of schedule configs "
                         "(--fuzz counts submission sequences; divergences "
                         "shrink to a minimal sequence)")
+    p.add_argument("--resilience", action="store_true",
+                   help="fuzz the resilient-run simulator over sampled "
+                        "failure taxonomies and checkpoint policies "
+                        "(--fuzz counts scenarios; checks accounting and "
+                        "determinism invariants)")
     p.add_argument("--no-oracles", action="store_true",
                    help="skip the differential-oracle battery")
     p.add_argument("--no-step-invariants", action="store_true",

@@ -261,15 +261,19 @@ def faults_report(gp: "GoodputReport", parallel: ParallelConfig,
 def resilience_report(result: "RunResult") -> dict:
     """Goodput-over-wallclock outcome of one multi-step resilient run.
 
-    Schema ``repro.resilience/v1`` is pinned independently of the global
-    :data:`SCHEMA_VERSION`: the resilience subsystem shipped against v1
-    and its golden (``tests/golden/resilience_run.json``) byte-compares
-    this builder's output, so the tag only moves when *these* fields
-    change shape — not when the step/plan reports evolve.
+    Schema ``repro.resilience/v2`` is pinned independently of the global
+    :data:`SCHEMA_VERSION`: the resilience subsystem's golden
+    (``tests/golden/resilience_run.json``) byte-compares this builder's
+    output, so the tag only moves when *these* fields change shape — not
+    when the step/plan reports evolve.  v2 added the failure taxonomy,
+    tiered checkpointing (per-tier intervals, write counts, restore
+    choices), and the detect–mitigate decision log; a legacy iid/
+    fail-stop/remote-only config reproduces every v1 number exactly
+    (pinned by ``tests/golden/resilience_run_v1.json``).
     """
     cfg = result.config
     return {
-        "schema": "repro.resilience/v1",
+        "schema": "repro.resilience/v2",
         "parallel": _parallel_dict(result.initial_plan.parallel),
         "job": _job_dict(result.initial_plan.job),
         "config": {
@@ -283,10 +287,15 @@ def resilience_report(result: "RunResult") -> dict:
             "retry_fraction": cfg.retry_fraction,
             "retry_success_p": cfg.retry_success_p,
             "retry_policy": cfg.retry_policy.to_dict(),
+            "taxonomy": cfg.effective_taxonomy.to_dict(),
+            "mitigation": cfg.mitigation,
+            "detector": cfg.detector.to_dict(),
         },
         "policy": dict(cfg.policy.to_dict(),
                        description=cfg.policy.describe()),
         "interval_steps": result.interval_steps,
+        "tier_intervals": dict(sorted(result.tier_intervals.items())),
+        "tier_writes": dict(sorted(result.tier_writes.items())),
         "ideal_step_seconds": result.ideal_step_seconds,
         "ideal_seconds": result.ideal_seconds,
         "elapsed_seconds": result.elapsed_seconds,
@@ -304,7 +313,41 @@ def resilience_report(result: "RunResult") -> dict:
         "counters": dict(result.counters),
         "failures": [dict(f) for f in result.failures],
         "segments": [dict(s) for s in result.segments],
+        "restores": [dict(r) for r in result.restores],
+        "mitigations": [dict(m) for m in result.mitigations],
     }
+
+
+def survivability_report(model=None, cluster=None, ngpu: int = 0) -> dict:
+    """The failure-domain × checkpoint-tier survivability matrix, plus —
+    when a (model, cluster, ngpu) scenario is given — the per-tier
+    write/read pricing that matrix trades against.
+
+    Schema ``repro.survivability/v1``: pinned byte-stable by
+    ``tests/golden/resilience_survivability.json``.
+    """
+    from repro.resilience.tiers import (
+        survivability_matrix,
+        tier_read_seconds,
+        tier_write_seconds,
+        TIER_NAMES,
+    )
+
+    out: dict = {
+        "schema": "repro.survivability/v1",
+        "survivability": survivability_matrix(),
+    }
+    if model is not None and cluster is not None and ngpu > 0:
+        out["scenario"] = {
+            "ngpu": ngpu,
+            "tier_write_seconds": {
+                tier: tier_write_seconds(tier, model, cluster, ngpu)
+                for tier in TIER_NAMES},
+            "tier_read_seconds": {
+                tier: tier_read_seconds(tier, model, cluster, ngpu)
+                for tier in TIER_NAMES},
+        }
+    return out
 
 
 def analysis_report(
@@ -348,16 +391,17 @@ def verify_report(
     step_invariants: Optional[dict] = None,
     fault_fuzz: Optional["FaultFuzzResult"] = None,
     engine_fuzz: Optional["EngineFuzzResult"] = None,
+    resilience_fuzz=None,
 ) -> dict:
     """The verification subsystem's outcome (Section 6.2 methodology).
 
     ``ok`` aggregates the fuzz campaign (schedule-property,
-    fault-randomizing, and/or engine-differential), every oracle, and
-    (when run) the step-graph timeline invariants; each fuzz failure
-    carries its minimal shrunk reproducer, so re-running
-    ``repro verify --seed <seed>`` (or building the shrunk config
-    directly) reproduces the finding.  Any fuzz campaign may be omitted
-    (None); its key is then absent.
+    fault-randomizing, engine-differential, and/or resilience
+    taxonomy-sampling), every oracle, and (when run) the step-graph
+    timeline invariants; each fuzz failure carries its minimal shrunk
+    reproducer, so re-running ``repro verify --seed <seed>`` (or
+    building the shrunk config directly) reproduces the finding.  Any
+    fuzz campaign may be omitted (None); its key is then absent.
     """
     oracle_dicts = [o.to_dict() for o in oracles]
     ok = all(o["ok"] for o in oracle_dicts)
@@ -367,6 +411,8 @@ def verify_report(
         ok = ok and fault_fuzz.ok
     if engine_fuzz is not None:
         ok = ok and engine_fuzz.ok
+    if resilience_fuzz is not None:
+        ok = ok and resilience_fuzz.ok
     if step_invariants is not None:
         ok = ok and step_invariants.get("ok", False)
     out = {
@@ -380,6 +426,8 @@ def verify_report(
         out["fault_fuzz"] = fault_fuzz.to_dict()
     if engine_fuzz is not None:
         out["engine_fuzz"] = engine_fuzz.to_dict()
+    if resilience_fuzz is not None:
+        out["resilience_fuzz"] = resilience_fuzz.to_dict()
     if step_invariants is not None:
         out["step_invariants"] = step_invariants
     return out

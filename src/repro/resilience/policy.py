@@ -34,25 +34,56 @@ def checkpoint_bytes(model: TextModelConfig) -> float:
     return training_state_bytes(model)
 
 
+def shard_transfer_seconds(
+    payload_bytes: float, nodes: int, bandwidth_per_node: float,
+    what: str = "checkpoint bandwidth",
+) -> float:
+    """Wall seconds to move ``payload_bytes`` sharded over ``nodes``
+    writers/readers at ``bandwidth_per_node`` each.
+
+    Degenerate inputs are handled explicitly: an empty payload costs
+    exactly ``0.0`` seconds (and never touches the bandwidth), while a
+    zero or negative bandwidth is a configuration error reported as a
+    ``ValueError`` naming the offending quantity — not a bare
+    ``ZeroDivisionError`` from deep inside the pricing.
+    """
+    if payload_bytes < 0:
+        raise ValueError("payload_bytes must be >= 0")
+    if nodes < 1:
+        raise ValueError("nodes must be >= 1")
+    if payload_bytes == 0:
+        return 0.0
+    if bandwidth_per_node <= 0:
+        raise ValueError(
+            f"{what} must be > 0 bytes/s (got {bandwidth_per_node!r}); "
+            "check the cluster's link and storage bandwidths")
+    return payload_bytes / nodes / bandwidth_per_node
+
+
 def checkpoint_write_seconds(
-    model: TextModelConfig, cluster: ClusterSpec, ngpu: int
+    model: TextModelConfig, cluster: ClusterSpec, ngpu: int,
+    payload_bytes: Optional[float] = None,
 ) -> float:
     """Seconds to persist one checkpoint from an ``ngpu``-GPU fleet.
 
     The state is sharded across the fleet (every rank owns a disjoint
     optimizer shard under ZeRO), so all nodes write their share in
     parallel and the wall time is the per-node share over the per-node
-    checkpoint bandwidth.
+    checkpoint bandwidth.  ``payload_bytes`` overrides the model-derived
+    payload (used by tests and by incremental-checkpoint what-ifs).
     """
     if ngpu < 1:
         raise ValueError("ngpu must be >= 1")
+    if payload_bytes is None:
+        payload_bytes = checkpoint_bytes(model)
     nodes = max(ngpu // cluster.gpus_per_node, 1)
-    per_node = checkpoint_bytes(model) / nodes
-    return per_node / cluster.checkpoint_bandwidth_per_node()
+    return shard_transfer_seconds(
+        payload_bytes, nodes, cluster.checkpoint_bandwidth_per_node())
 
 
 def checkpoint_read_seconds(
-    model: TextModelConfig, cluster: ClusterSpec, ngpu: int
+    model: TextModelConfig, cluster: ClusterSpec, ngpu: int,
+    payload_bytes: Optional[float] = None,
 ) -> float:
     """Seconds to restore a checkpoint onto an ``ngpu``-GPU fleet.
 
@@ -61,7 +92,8 @@ def checkpoint_read_seconds(
     restores get slower as capacity is lost — which the elastic-replan
     path in :mod:`repro.resilience.run` prices per segment.
     """
-    return checkpoint_write_seconds(model, cluster, ngpu)
+    return checkpoint_write_seconds(model, cluster, ngpu,
+                                    payload_bytes=payload_bytes)
 
 
 @dataclass(frozen=True)
@@ -144,7 +176,9 @@ CheckpointPolicy = Union[NoCheckpoint, FixedInterval, YoungDaly]
 
 
 def parse_policy(spec: str) -> CheckpointPolicy:
-    """Parse a CLI policy spec: ``none``, ``young-daly``, or ``fixed:N``.
+    """Parse a CLI policy spec: ``none``, ``young-daly``, ``fixed:N``, or
+    ``tiered:...`` (see :func:`repro.resilience.tiers.parse_tiered_policy`
+    for the tiered grammar).
 
     Raises ``ValueError`` with a usage hint on any malformed spec.
     """
@@ -161,5 +195,10 @@ def parse_policy(spec: str) -> CheckpointPolicy:
             raise ValueError(
                 f"bad fixed-interval policy {spec!r}; expected fixed:<steps>"
             ) from None
+    if head == "tiered":
+        # Local import: tiers builds on this module's pricing helpers.
+        from repro.resilience.tiers import parse_tiered_policy
+        return parse_tiered_policy(spec)
     raise ValueError(
-        f"unknown policy {spec!r}; choose none | young-daly | fixed:<steps>")
+        f"unknown policy {spec!r}; choose none | young-daly | "
+        "fixed:<steps> | tiered:...")

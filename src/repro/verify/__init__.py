@@ -17,6 +17,10 @@ Correctness as a first-class, reusable subsystem (see
   reference engine (``tests/harness/reference_engine.py``), asserting
   bitwise-equal observables, with greedy shrinking to a minimal
   diverging sequence (``repro verify --engine``).
+* :mod:`repro.verify.resilience_fuzz` — taxonomy-sampling fuzz for the
+  resilient-run simulator: random failure taxonomies, tiered policies,
+  and mitigation strategies checked against accounting/progress/
+  determinism/fixed-draw invariants (``repro verify --resilience``).
 
 The same machinery backs ``python -m repro verify`` (CI and local) and
 the test suite (``tests/test_verify_*.py``).
@@ -54,6 +58,15 @@ from repro.verify.invariants import (
     check_zero_schedule,
     run_invariants,
 )
+from repro.verify.resilience_fuzz import (
+    ResilienceFuzzFailure,
+    ResilienceFuzzResult,
+    ResilienceScenario,
+    check_resilience_scenario,
+    run_resilience_fuzz,
+    sample_resilience_scenario,
+    shrink_resilience_scenario,
+)
 from repro.verify.oracles import (
     OracleResult,
     oracle_afab_degeneration,
@@ -72,12 +85,16 @@ __all__ = [
     "FuzzResult",
     "InvariantReport",
     "OracleResult",
+    "ResilienceFuzzFailure",
+    "ResilienceFuzzResult",
+    "ResilienceScenario",
     "Violation",
     "check_case",
     "check_config",
     "check_conservation",
     "compare_engines",
     "check_program_order",
+    "check_resilience_scenario",
     "check_send_before_recv",
     "check_stream_overlap",
     "check_warmup_depth",
@@ -90,8 +107,11 @@ __all__ = [
     "run_engine_fuzz",
     "run_fuzz",
     "run_invariants",
+    "run_resilience_fuzz",
     "sample_case",
     "sample_config",
+    "sample_resilience_scenario",
     "shrink_case",
     "shrink_config",
+    "shrink_resilience_scenario",
 ]

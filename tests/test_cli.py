@@ -85,6 +85,71 @@ class TestRun:
         assert "never (0 written" in out
 
 
+class TestRunValidation:
+    """Degenerate `repro run` inputs exit 2 with a clear message, never
+    a traceback or a hang."""
+
+    @pytest.mark.parametrize("argv, fragment", [
+        (["run", "--steps", "0"], "steps"),
+        (["run", "--steps", "-3"], "steps"),
+        (["run", "--steps", "5", "--mtbf", "0"], "mtbf"),
+        (["run", "--steps", "5", "--mtbf", "-10"], "mtbf"),
+        (["run", "--steps", "5", "--policy", "bogus"], "policy"),
+        (["run", "--steps", "5", "--policy", "fixed:0"], "fixed"),
+        (["run", "--steps", "5", "--policy", "tiered:"], "tiered"),
+        (["run", "--steps", "5", "--policy", "tiered:tape=3"], "tier"),
+        (["run", "--steps", "5", "--taxonomy", "nope"], "taxonomy"),
+        (["run", "--steps", "5", "--taxonomy", "node=2.0"], "node"),
+        (["run", "--steps", "5", "--topology", "whatever"], "topology"),
+        (["run", "--steps", "5", "--detector", "fn=1.5"],
+         "false_negative_rate"),
+    ])
+    def test_bad_inputs_exit_2(self, argv, fragment, capsys):
+        with pytest.raises(SystemExit) as err:
+            main(argv)
+        assert err.value.code == 2
+        assert fragment in capsys.readouterr().err
+
+    def test_good_run_still_exits_0(self, capsys):
+        assert main(["run", "--steps", "3", "--mtbf", "1e9"]) == 0
+
+
+class TestRunResilienceFlags:
+    """The PR-10 flags: --taxonomy/--topology/--mitigation/--detector
+    and tiered --policy, wired through to the v2 JSON report."""
+
+    def test_tiered_run_reports_tiers(self, capsys):
+        assert main(["run", "--steps", "6", "--mtbf", "1e9",
+                     "--policy", "tiered:peer=2,remote=3"]) == 0
+        out = capsys.readouterr().out
+        assert "tiers:" in out
+        assert "peer" in out and "remote" in out
+
+    def test_json_schema_is_v2_with_taxonomy(self, capsys):
+        assert main(["run", "--steps", "4", "--mtbf", "1e9",
+                     "--taxonomy", "rack-correlated", "--json"]) == 0
+        rep = json.loads(capsys.readouterr().out)
+        assert rep["schema"] == "repro.resilience/v2"
+        assert rep["config"]["taxonomy"]["rack_loss_fraction"] > 0
+        assert rep["config"]["mitigation"] == "tolerate"
+        assert "tier_intervals" in rep
+        assert "restores" in rep and "mitigations" in rep
+
+    def test_topology_reshapes_the_cluster(self, capsys):
+        assert main(["run", "--steps", "3", "--mtbf", "1e9",
+                     "--topology", "2x4", "--json"]) == 0
+        rep = json.loads(capsys.readouterr().out)
+        assert rep["schema"] == "repro.resilience/v2"
+
+    def test_mitigation_detect_with_detector_spec(self, capsys):
+        assert main(["run", "--steps", "4", "--mtbf", "1e9",
+                     "--taxonomy", "gray-heavy", "--mitigation", "detect",
+                     "--detector", "latency=1,fn=0.0", "--json"]) == 0
+        rep = json.loads(capsys.readouterr().out)
+        assert rep["config"]["mitigation"] == "detect"
+        assert rep["config"]["detector"]["latency_steps"] == 1
+
+
 class TestTraceDestinations:
     """`repro trace` destination handling (PR 6): --out, --stdout, and
     the exit-2 usage errors when neither or both are given."""

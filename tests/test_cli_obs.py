@@ -54,7 +54,7 @@ class TestJsonFlags:
         assert main(["run", "--steps", "30", "--mtbf", "120", "--seed", "11",
                      "--wait-for-replacement", "--json"]) == 0
         rep = _json_out(capsys)
-        assert rep["schema"] == "repro.resilience/v1"
+        assert rep["schema"] == "repro.resilience/v2"
         assert rep["config"]["steps"] == 30
         assert rep["config"]["elastic"] is False
         assert "productive" in rep["buckets_seconds"]

@@ -1,5 +1,7 @@
 """Tests for the numerics-testbed transformer, including gradient checks."""
 
+import zlib
+
 import numpy as np
 import pytest
 
@@ -49,7 +51,9 @@ class TestGradients:
         tokens, targets = batch
         _, grads = model.loss_and_grads(tokens, targets, ALL_FP32)
         p = model.params[param]
-        rng = np.random.default_rng(hash(param) % 2**32)
+        # str hash() is salted per process (PYTHONHASHSEED), which made
+        # the checked indices — and occasional tolerance misses — flaky.
+        rng = np.random.default_rng(zlib.crc32(param.encode()))
         flat = p.reshape(-1)
         # Check a few random entries with central differences.
         eps = 2e-3

@@ -18,6 +18,7 @@ from repro.resilience import (
     checkpoint_read_seconds,
     checkpoint_write_seconds,
     parse_policy,
+    shard_transfer_seconds,
 )
 
 CLUSTER = grand_teton(32)
@@ -51,6 +52,48 @@ class TestCheckpointPricing:
     def test_invalid_ngpu_rejected(self):
         with pytest.raises(ValueError):
             checkpoint_write_seconds(LLAMA3_8B, CLUSTER, 0)
+
+
+class TestShardTransferDegenerates:
+    """Satellite: degenerate pricing inputs get well-defined answers —
+    zero bytes transfer in zero seconds, zero bandwidth is a clear
+    ValueError, never a ZeroDivisionError."""
+
+    def test_zero_bytes_is_free(self):
+        assert shard_transfer_seconds(0.0, 4, 1e9) == 0.0
+        assert checkpoint_write_seconds(LLAMA3_8B, CLUSTER, 32,
+                                        payload_bytes=0.0) == 0.0
+        assert checkpoint_read_seconds(LLAMA3_8B, CLUSTER, 32,
+                                       payload_bytes=0.0) == 0.0
+
+    def test_zero_bytes_never_touches_the_bandwidth(self):
+        # Even a broken (zero) bandwidth is fine when nothing moves.
+        assert shard_transfer_seconds(0.0, 4, 0.0) == 0.0
+
+    def test_zero_bandwidth_is_a_clear_error(self):
+        with pytest.raises(ValueError) as err:
+            shard_transfer_seconds(1e9, 4, 0.0)
+        assert "bandwidth" in str(err.value)
+        assert not isinstance(err.value, ZeroDivisionError)
+
+    def test_zero_cluster_bandwidth_names_the_quantity(self):
+        # ClusterSpec itself refuses zero bandwidth, so exercise the
+        # pricing guard with a duck-typed stand-in.
+        class BrokenCluster:
+            gpus_per_node = 8
+
+            def checkpoint_bandwidth_per_node(self):
+                return 0.0
+
+        with pytest.raises(ValueError) as err:
+            checkpoint_write_seconds(LLAMA3_8B, BrokenCluster(), 32)
+        assert "checkpoint bandwidth" in str(err.value)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            shard_transfer_seconds(-1.0, 4, 1e9)
+        with pytest.raises(ValueError):
+            shard_transfer_seconds(1e9, 0, 1e9)
 
 
 class TestPolicies:

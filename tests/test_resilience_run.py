@@ -1,5 +1,5 @@
 """The multi-step run simulator: goodput ordering, accounting invariants,
-elastic replanning, and the byte-stable ``repro.resilience/v1`` golden.
+elastic replanning, and the byte-stable ``repro.resilience/v2`` golden.
 
 The comparison scenario (8B on 32 GPUs, 200 steps, MTBF 150 s, seed 11)
 is chosen so the one failure sequence exercises all three failure kinds —
@@ -36,6 +36,7 @@ from repro.resilience import (
 )
 
 GOLDEN = Path(__file__).parent / "golden" / "resilience_run.json"
+GOLDEN_V1 = Path(__file__).parent / "golden" / "resilience_run_v1.json"
 
 MODEL = LLAMA3_8B
 JOB = JobConfig(seq=8192, gbs=32, ngpu=32)
@@ -198,19 +199,67 @@ class TestGoldenResilienceReport:
 
     def test_golden_schema_shape(self):
         rep = json.loads(GOLDEN.read_text(encoding="utf-8"))
-        assert rep["schema"] == "repro.resilience/v1"
+        assert rep["schema"] == "repro.resilience/v2"
         assert set(rep) >= {"parallel", "job", "config", "policy",
-                            "interval_steps", "ideal_step_seconds",
+                            "interval_steps", "tier_intervals",
+                            "tier_writes", "ideal_step_seconds",
                             "elapsed_seconds", "steps_completed",
                             "completed", "goodput", "buckets_seconds",
-                            "counters", "failures", "segments"}
+                            "counters", "failures", "segments",
+                            "restores", "mitigations"}
         assert rep["completed"] is True
         assert rep["policy"]["kind"] == "young_daly"
         assert 0 < rep["goodput"]["fraction"] < 1
         assert set(rep["buckets_seconds"]) == set(BUCKETS)
+        assert rep["config"]["taxonomy"]["node_loss_fraction"] == 0.35
+        assert rep["config"]["mitigation"] == "tolerate"
 
     def test_report_is_deterministic(self):
         assert _golden_payload() == _golden_payload()
+
+
+def _subset_equal(old, new, path=""):
+    """Every value in ``old`` must appear bit-identically in ``new``;
+    ``new`` may add dict keys (but never list elements)."""
+    problems = []
+    if isinstance(old, dict):
+        if not isinstance(new, dict):
+            return [f"{path}: dict became {type(new).__name__}"]
+        for key, value in old.items():
+            if key not in new:
+                problems.append(f"{path}/{key}: missing")
+            else:
+                problems += _subset_equal(value, new[key], f"{path}/{key}")
+    elif isinstance(old, list):
+        if not isinstance(new, list) or len(new) != len(old):
+            return [f"{path}: list changed shape"]
+        for i, value in enumerate(old):
+            problems += _subset_equal(value, new[i], f"{path}[{i}]")
+    elif old != new or type(old) is not type(new):
+        problems.append(f"{path}: {old!r} -> {new!r}")
+    return problems
+
+
+class TestLegacyEquivalence:
+    """The v2 schema is strictly additive over the archived v1 golden:
+    a legacy iid / fail-stop / remote-only config reproduces every v1
+    number bit-for-bit."""
+
+    def test_v2_report_reproduces_v1_numbers_exactly(self):
+        old = json.loads(GOLDEN_V1.read_text(encoding="utf-8"))
+        new = json.loads(GOLDEN.read_text(encoding="utf-8"))
+        old.pop("schema")  # the one intentional change
+        problems = _subset_equal(old, new)
+        assert not problems, "\n".join(problems)
+
+    def test_v1_archive_is_frozen(self):
+        old = json.loads(GOLDEN_V1.read_text(encoding="utf-8"))
+        assert old["schema"] == "repro.resilience/v1"
+        assert old["elapsed_seconds"] == 735.5540104127776
+        # The archive itself must never be regenerated: its bytes are
+        # the contract that v2 additions stay additive.
+        assert "tier_intervals" not in old
+        assert "gray" not in old["buckets_seconds"]
 
 
 if __name__ == "__main__":
